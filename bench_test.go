@@ -1,0 +1,291 @@
+package banyan_test
+
+import (
+	"io"
+	"testing"
+
+	"banyan"
+	"banyan/internal/experiments"
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+)
+
+// Every table and figure of the paper's evaluation has a benchmark that
+// regenerates it at the quick simulation scale and reports the key
+// reproduced quantity as a custom metric; run with
+//
+//	go test -bench=. -benchmem
+//
+// and `go run ./cmd/tables` / `go run ./cmd/figures` for the full-scale
+// renderings.
+
+func benchScale() experiments.Scale {
+	sc := experiments.Quick()
+	sc.Seed = 0xbe27c4
+	return sc
+}
+
+// --- Tables I–V: per-stage waiting-time tables ---
+
+func benchStageTable(b *testing.B, f func(experiments.Scale) (*experiments.StageTable, error)) {
+	b.ReportAllocs()
+	var tbl *experiments.StageTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = f(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tbl.Render(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	last := tbl.Columns[len(tbl.Columns)-1]
+	b.ReportMetric(last.SimW[last.Stages-1], "deep-w")
+	b.ReportMetric(last.EstimateW, "est-w")
+}
+
+func BenchmarkTableI(b *testing.B)   { benchStageTable(b, experiments.TableI) }
+func BenchmarkTableII(b *testing.B)  { benchStageTable(b, experiments.TableII) }
+func BenchmarkTableIII(b *testing.B) { benchStageTable(b, experiments.TableIII) }
+func BenchmarkTableIV(b *testing.B)  { benchStageTable(b, experiments.TableIV) }
+func BenchmarkTableV(b *testing.B)   { benchStageTable(b, experiments.TableV) }
+
+// --- Table VI: inter-stage correlations ---
+
+func BenchmarkTableVI(b *testing.B) {
+	b.ReportAllocs()
+	var tbl *experiments.CorrTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = experiments.TableVI(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tbl.LagCorrelations()[0], "lag1-corr")
+	b.ReportMetric(tbl.A, "model-a")
+}
+
+// --- Tables VII–XII: total-delay predictions ---
+
+func benchTotalTable(b *testing.B, f func(experiments.Scale) (*experiments.TotalTable, error)) {
+	b.ReportAllocs()
+	var tbl *experiments.TotalTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = f(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tbl.Render(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	b.ReportMetric(last.SimW, "sim-w12")
+	b.ReportMetric(last.PredW, "pred-w12")
+}
+
+func BenchmarkTableVII(b *testing.B)  { benchTotalTable(b, experiments.TableVII) }
+func BenchmarkTableVIII(b *testing.B) { benchTotalTable(b, experiments.TableVIII) }
+func BenchmarkTableIX(b *testing.B)   { benchTotalTable(b, experiments.TableIX) }
+func BenchmarkTableX(b *testing.B)    { benchTotalTable(b, experiments.TableX) }
+func BenchmarkTableXI(b *testing.B)   { benchTotalTable(b, experiments.TableXI) }
+func BenchmarkTableXII(b *testing.B)  { benchTotalTable(b, experiments.TableXII) }
+
+// --- Figures 3–8: total-wait distributions vs. the gamma approximation ---
+
+func benchFigure(b *testing.B, f func(experiments.Scale) (*experiments.Figure, error)) {
+	b.ReportAllocs()
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = f(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fig.Render(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(fig.Panels[len(fig.Panels)-1].TV, "tv-n12")
+}
+
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, experiments.Figure3) }
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, experiments.Figure4) }
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, experiments.Figure5) }
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, experiments.Figure6) }
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, experiments.Figure7) }
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, experiments.Figure8) }
+
+// --- Ablations ---
+
+// BenchmarkAblationCovarianceCorrection quantifies the Section V
+// covariance correction: total-variance prediction with and without the
+// geometric inter-stage covariance model (the DESIGN.md design-choice
+// ablation).
+func BenchmarkAblationCovarianceCorrection(b *testing.B) {
+	pt := banyan.OperatingPoint{K: 2, M: 1, P: 0.5}
+	var withCov, without float64
+	for i := 0; i < b.N; i++ {
+		nw, err := banyan.Predict(pt, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withCov = nw.TotalVarWait()
+		without = nw.TotalVarWaitIndependent()
+	}
+	b.ReportMetric(withCov, "var-corrected")
+	b.ReportMetric(without, "var-independent")
+	b.ReportMetric(withCov/without, "correction-x")
+}
+
+// BenchmarkAblationHeavyTraffic probes the paper's conjectured
+// heavy-traffic limit lim_{p→1} (1-p)·w∞(p), by simulation toward
+// saturation and under the interpolation model.
+func BenchmarkAblationHeavyTraffic(b *testing.B) {
+	var ht *experiments.HeavyTraffic
+	for i := 0; i < b.N; i++ {
+		var err error
+		ht, err = experiments.HeavyTrafficExperiment(benchScale(), 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := ht.Rows[len(ht.Rows)-1]
+	b.ReportMetric(last.Probe, "sim-probe")
+	b.ReportMetric(last.Model, "model-probe")
+	md := stages.DefaultModel()
+	b.ReportMetric(md.HeavyTrafficProbe(stages.Params{K: 2, M: 1, P: 0.9999}), "model-limit")
+}
+
+// BenchmarkAblationGammaVsConvolution compares the paper's single
+// moment-matched gamma against this library's exact-stage-1 convolution
+// predictor, by total-variation distance to a simulated 3-stage network
+// (shallow networks are where the single gamma is weakest).
+func BenchmarkAblationGammaVsConvolution(b *testing.B) {
+	pt := banyan.OperatingPoint{K: 2, M: 1, P: 0.5}
+	cfg := &banyan.SimConfig{K: 2, Stages: 3, P: 0.5, Cycles: 30000, Warmup: 3000, Seed: 77}
+	var tvGamma, tvConv float64
+	for i := 0; i < b.N; i++ {
+		res, err := banyan.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw, err := banyan.Predict(pt, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := res.TotalWait.Max() + 1
+		gammaPMF, err := nw.PredictedPMF(cells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		convPMF, err := nw.ConvolutionPMF(cells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simPMF, err := banyan.EmpiricalPMF(res.TotalWait.Counts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tvGamma = banyan.TotalVariation(simPMF, gammaPMF)
+		tvConv = banyan.TotalVariation(simPMF, convPMF)
+	}
+	b.ReportMetric(tvGamma, "tv-gamma")
+	b.ReportMetric(tvConv, "tv-convolution")
+}
+
+// BenchmarkAblationEngines compares the two simulator engines on one
+// trace (cost of literal cycle-level fidelity vs. the fast engine).
+func BenchmarkAblationEngines(b *testing.B) {
+	cfg := &banyan.SimConfig{K: 2, Stages: 6, P: 0.5, Cycles: 4000, Warmup: 400, Seed: 5}
+	tr, err := banyan.GenerateTrace(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := banyan.SimulateTrace(cfg, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("literal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := banyan.SimulateLiteral(cfg, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationExactStage2 solves the exact stage-2 Markov chain and
+// reports exact-vs-interpolated stage-2 mean wait (the Section IV
+// approximation's error, measured without Monte-Carlo noise).
+func BenchmarkAblationExactStage2(b *testing.B) {
+	var exact float64
+	for i := 0; i < b.N; i++ {
+		r, err := banyan.AnalyzeStage2(0.5, 32, 40, 6000, 1e-12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact = r.MeanWait2
+	}
+	md := stages.DefaultModel()
+	approx := md.StageMeanWait(stages.Params{K: 2, M: 1, P: 0.5}, 2)
+	b.ReportMetric(exact, "exact-w2")
+	b.ReportMetric(approx, "approx-w2")
+}
+
+// --- Micro-benchmarks for the core machinery ---
+
+func BenchmarkExactAnalysis(b *testing.B) {
+	arr, err := banyan.UniformTraffic(2, 2, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		an, err := banyan.Analyze(arr, banyan.UnitService())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = an.MeanWait()
+		_ = an.VarWait()
+	}
+}
+
+func BenchmarkWaitDistribution512(b *testing.B) {
+	arr, err := banyan.UniformTraffic(2, 2, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := banyan.Analyze(arr, banyan.UnitService())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := an.WaitDistribution(512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := &simnet.Config{K: 2, Stages: 6, P: 0.5, Cycles: 10000, Warmup: 1000, Seed: 31}
+	b.ReportAllocs()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := simnet.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Messages
+	}
+	b.ReportMetric(float64(msgs*int64(cfg.Stages))/b.Elapsed().Seconds()/float64(b.N), "msg-stages/s")
+}

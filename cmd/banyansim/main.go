@@ -1,0 +1,157 @@
+// Command banyansim simulates one clocked buffered banyan network and
+// compares the measured waiting times against the paper's analytic
+// predictions: exact first-stage formulas, later-stage estimates, the
+// total-delay prediction and the gamma approximation of the total wait.
+//
+// Usage:
+//
+//	banyansim -k 2 -n 6 -p 0.5 [-m 4 | -geom 0.25] [-b 2] [-q 0.1]
+//	          [-cycles 20000] [-warmup 2000] [-seed 1]
+//	          [-engine fast|literal] [-buffers 4] [-hist]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"banyan"
+	"banyan/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("banyansim: ")
+	var (
+		k       = flag.Int("k", 2, "switch radix (k×k switches)")
+		n       = flag.Int("n", 6, "number of stages")
+		p       = flag.Float64("p", 0.5, "per-input arrival probability per cycle")
+		m       = flag.Int("m", 1, "constant message size in packets")
+		geom    = flag.Float64("geom", 0, "geometric service parameter μ (overrides -m)")
+		b       = flag.Int("b", 1, "bulk arrival batch size")
+		q       = flag.Float64("q", 0, "favorite-output probability")
+		cycles  = flag.Int("cycles", 20000, "measured cycles")
+		warmup  = flag.Int("warmup", 2000, "warmup cycles")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		engine  = flag.String("engine", "fast", "engine: fast or literal")
+		buffers = flag.Int("buffers", 0, "finite buffer capacity per queue (literal engine; 0 = infinite)")
+		hist    = flag.Bool("hist", false, "print the total-wait histogram with the gamma overlay")
+		reps    = flag.Int("replications", 0, "run N independent replications (fast engine) and report confidence intervals")
+	)
+	flag.Parse()
+
+	var svc banyan.Service
+	var err error
+	switch {
+	case *geom > 0:
+		svc, err = banyan.GeomService(*geom, 1024)
+	default:
+		svc, err = banyan.ConstService(*m)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := &banyan.SimConfig{
+		K: *k, Stages: *n, P: *p, Bulk: *b, Q: *q, Service: svc,
+		Cycles: *cycles, Warmup: *warmup, Seed: *seed, BufferCap: *buffers,
+	}
+
+	if *reps > 0 {
+		if *engine != "fast" || *buffers > 0 {
+			log.Fatal("-replications works with the fast engine and infinite buffers")
+		}
+		rep, err := banyan.SimulateReplications(cfg, *reps, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d replications of %d cycles (k=%d, n=%d, p=%g):\n", *reps, *cycles, *k, *n, *p)
+		fmt.Printf("total wait mean: %.4f ± %.4f (95%%)\n", rep.MeanTotalWait(), rep.MeanTotalWaitCI())
+		fmt.Printf("total wait var:  %.4f ± %.4f (95%%)\n", rep.VarTotalWait(), rep.VarTotalWaitCI())
+		for s := 1; s <= *n; s++ {
+			mw, hw := rep.StageMeanWait(s)
+			fmt.Printf("stage %d wait:    %.4f ± %.4f\n", s, mw, hw)
+		}
+		return
+	}
+
+	tr, err := banyan.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res *banyan.SimResult
+	switch *engine {
+	case "fast":
+		if *buffers > 0 {
+			log.Fatal("finite buffers require -engine literal")
+		}
+		res, err = banyan.SimulateTrace(cfg, tr)
+	case "literal":
+		res, err = banyan.SimulateLiteral(cfg, tr)
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network: %d stages of %d×%d switches, %d rows/stage (wrapped=%v)\n",
+		*n, *k, *k, res.Rows, res.Wrapped)
+	fmt.Printf("traffic: p=%g b=%d q=%g service=%s → ρ=%.4f\n", *p, *b, *q, svc, float64(*b)**p*svc.Mean())
+	fmt.Printf("measured messages: %d (offered %d, dropped %d)\n\n", res.Messages, res.Offered, res.Dropped)
+
+	// Per-stage table with first-stage exact analysis.
+	var arr banyan.Arrivals
+	if *q > 0 {
+		arr, err = banyan.HotSpotTraffic(*k, *p, *q, *b)
+	} else if *b > 1 {
+		arr, err = banyan.BulkTraffic(*k, *k, *p, *b)
+	} else {
+		arr, err = banyan.UniformTraffic(*k, *k, *p)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	header := []string{"stage", "sim w", "sim v"}
+	var rows [][]string
+	for i := range res.StageWait {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.4f", res.StageWait[i].Mean()),
+			fmt.Sprintf("%.4f", res.StageWait[i].Variance()),
+		})
+	}
+	if an, aerr := banyan.Analyze(arr, svc); aerr == nil {
+		rows = append(rows, []string{"exact-1", fmt.Sprintf("%.4f", an.MeanWait()), fmt.Sprintf("%.4f", an.VarWait())})
+	}
+	if err := textplot.Table(os.Stdout, "per-stage waiting times", header, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// Total-delay prediction (defined for b=1 constant-size operating points).
+	if *b == 1 && *geom == 0 {
+		if nw, perr := banyan.Predict(banyan.OperatingPoint{K: *k, M: *m, P: *p, Q: *q}, *n); perr == nil {
+			fmt.Printf("\ntotal wait: sim mean %.4f var %.4f | predicted mean %.4f var %.4f\n",
+				res.MeanTotalWait(), res.VarTotalWait(), nw.TotalMeanWait(), nw.TotalVarWait())
+			if *hist {
+				if g, gerr := nw.GammaApprox(); gerr == nil {
+					cells := res.TotalWait.Max() + 1
+					sim := make([]float64, cells)
+					for j := range sim {
+						sim[j] = res.TotalWait.Prob(j)
+					}
+					model := g.Discretize(cells).Probs()
+					fmt.Println()
+					if err := textplot.Histogram(os.Stdout,
+						"total waiting time: simulation (bars) vs gamma approximation (·)",
+						sim, model, 56, 1e-3); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
+	} else {
+		fmt.Printf("\ntotal wait: sim mean %.4f var %.4f\n", res.MeanTotalWait(), res.VarTotalWait())
+	}
+}

@@ -1,0 +1,143 @@
+// Command extensions runs everything this reproduction adds beyond the
+// paper's own tables and figures:
+//
+//   - the stage-1 distribution check (KS/χ² tests of the full Theorem 1
+//     waiting-time distribution against simulation);
+//   - the exact second-stage Markov-chain analysis vs the Section IV
+//     interpolation (the paper's "we do not know how to analyze the later
+//     stages exactly", answered numerically for k=2, m=1);
+//   - the finite-buffer sweep (exact chain + simulated drops + tail
+//     estimates — the paper's Conclusion future work);
+//   - the heavy-traffic probe ((1-p)·w∞ toward saturation — the paper's
+//     conjectured limit).
+//
+// Usage:
+//
+//	extensions [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"banyan"
+	"banyan/internal/experiments"
+	"banyan/internal/stages"
+	"banyan/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("extensions: ")
+	quick := flag.Bool("quick", false, "use the small test-sized simulation scale")
+	seed := flag.Uint64("seed", 0, "override the base random seed")
+	flag.Parse()
+
+	sc := experiments.Full()
+	if *quick {
+		sc = experiments.Quick()
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	start := time.Now()
+	chk, err := experiments.DistributionCheck(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := chk.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Exact stage 2 vs the Section IV interpolation.
+	start = time.Now()
+	md := stages.DefaultModel()
+	header := []string{"p", "exact w2", "approx w2", "rel err", "exact v2"}
+	var rows [][]string
+	t2 := map[bool]int{true: 40, false: 56}[*quick]
+	sweeps := map[bool]int{true: 4000, false: 12000}[*quick]
+	for _, p := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		r, err := banyan.AnalyzeStage2(p, 40, t2, sweeps, 1e-13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx := md.StageMeanWait(stages.Params{K: 2, M: 1, P: p}, 2)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p),
+			fmt.Sprintf("%.5f", r.MeanWait2),
+			fmt.Sprintf("%.5f", approx),
+			fmt.Sprintf("%+.2f%%", 100*(approx-r.MeanWait2)/r.MeanWait2),
+			fmt.Sprintf("%.5f", r.VarWait2),
+		})
+	}
+	if err := textplot.Table(os.Stdout,
+		"Exact stage-2 Markov chain vs Section IV interpolation (k=2, m=1)",
+		header, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Exact stage 2 for m = 2 vs the Section IV-B scaled model.
+	start = time.Now()
+	rows = rows[:0]
+	header = []string{"ρ", "exact w2 (m=2)", "scaled model", "rel err", "exact w1"}
+	for _, rho := range []float64{0.3, 0.5, 0.7} {
+		p := rho / 2
+		r, err := banyan.AnalyzeStage2M(p, 2, 28, 36, 9000, 1e-13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx := md.StageMeanWait(stages.Params{K: 2, M: 2, P: p}, 2)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", rho),
+			fmt.Sprintf("%.5f", r.MeanWait2),
+			fmt.Sprintf("%.5f", approx),
+			fmt.Sprintf("%+.2f%%", 100*(approx-r.MeanWait2)/r.MeanWait2),
+			fmt.Sprintf("%.5f", r.MeanWait1),
+		})
+	}
+	if err := textplot.Table(os.Stdout,
+		"Exact stage-2 chain for message size m=2 vs the scaled model (Section IV-B)",
+		header, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Finite buffers.
+	start = time.Now()
+	sw, err := experiments.BufferExperiment(sc, 2, 0.6, 1, 4, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sw.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Heavy traffic.
+	start = time.Now()
+	ht, err := experiments.HeavyTrafficExperiment(sc, 2, []float64{0.5, 0.7, 0.8, 0.9, 0.95})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ht.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Bursty sources.
+	start = time.Now()
+	bu, err := experiments.BurstyExperiment(sc, 2, 0.4, []float64{2, 4, 8, 16, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bu.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%v)\n", time.Since(start).Round(time.Millisecond))
+}

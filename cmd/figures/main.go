@@ -1,0 +1,86 @@
+// Command figures regenerates Figures 3–8 of the paper: the distribution
+// of the total waiting time through networks of 3, 6, 9 and 12 stages,
+// with the fitted gamma approximation overlaid. Figures render as ASCII
+// histograms on stdout; -csv DIR additionally writes one CSV per figure
+// for external plotting.
+//
+// Usage:
+//
+//	figures [-quick] [-only "Figure 5"] [-csv DIR] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"banyan/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	quick := flag.Bool("quick", false, "use the small test-sized simulation scale")
+	only := flag.String("only", "", "regenerate a single figure (e.g. \"Figure 5\" or \"5\")")
+	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	seed := flag.Uint64("seed", 0, "override the base random seed")
+	flag.Parse()
+
+	sc := experiments.Full()
+	if *quick {
+		sc = experiments.Quick()
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	matched := false
+	for _, tc := range experiments.TotalCases() {
+		if *only != "" && !matches(tc.Fig, *only) {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		f, err := experiments.FigureFor(sc, tc)
+		if err != nil {
+			log.Fatalf("%s: %v", tc.Fig, err)
+		}
+		if err := f.Render(os.Stdout); err != nil {
+			log.Fatalf("%s: render: %v", tc.Fig, err)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatalf("%s: %v", tc.Fig, err)
+			}
+			name := filepath.Join(*csvDir, strings.ReplaceAll(strings.ToLower(tc.Fig), " ", "_")+".csv")
+			out, err := os.Create(name)
+			if err != nil {
+				log.Fatalf("%s: %v", tc.Fig, err)
+			}
+			if err := f.RenderCSV(out); err != nil {
+				log.Fatalf("%s: csv: %v", tc.Fig, err)
+			}
+			if err := out.Close(); err != nil {
+				log.Fatalf("%s: csv: %v", tc.Fig, err)
+			}
+			fmt.Printf("(wrote %s)\n", name)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", tc.Fig, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		log.Fatalf("no figure matches %q", *only)
+	}
+}
+
+func matches(name, sel string) bool {
+	sel = strings.TrimSpace(sel)
+	if strings.EqualFold(name, sel) {
+		return true
+	}
+	numeral := strings.TrimPrefix(name, "Figure ")
+	return strings.EqualFold(numeral, sel)
+}

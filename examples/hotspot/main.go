@@ -1,0 +1,87 @@
+// Hotspot: study nonuniform "favorite output" traffic (Section III-A-3 /
+// IV-D of the paper) — each processor sends a fraction q of its requests
+// to its own private memory module and sprays the rest uniformly.
+//
+// Two first-stage models are compared against a full-network simulation:
+// the paper's product-form idealization (an independent favored stream
+// multiplied into the normal binomial stream) and the physically exact
+// exclusive law (an input emits at most one message per cycle). The
+// exclusive law matches the simulator to Monte-Carlo error; the paper's
+// form overstates queueing, peaking at q = 1/3.
+//
+// Run with: go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banyan"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		k      = 2
+		p      = 0.5
+		stages = 8
+	)
+	fmt.Printf("favorite-output traffic, k=%d, p=%g, %d stages\n\n", k, p, stages)
+	fmt.Printf("%-5s %-11s %-11s %-9s %-9s %-9s %-9s %-9s\n",
+		"q", "paper E[w1]", "exact E[w1]", "sim w1", "sim w8", "sim v8", "est w∞", "est v∞")
+
+	for _, q := range []float64{0, 0.1, 0.2, 1.0 / 3, 0.5, 0.7, 0.9} {
+		paperArr, err := banyan.HotSpotPaperTraffic(k, p, q, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		paperAn, err := banyan.Analyze(paperArr, banyan.UnitService())
+		if err != nil {
+			log.Fatal(err)
+		}
+		arr, err := banyan.HotSpotTraffic(k, p, q, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		an, err := banyan.Analyze(arr, banyan.UnitService())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := banyan.Simulate(&banyan.SimConfig{
+			K: k, Stages: stages, P: p, Q: q,
+			Cycles: 15000, Warmup: 1500, Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		md := banyan.DefaultApproxModel()
+		pt := banyan.OperatingPoint{K: k, M: 1, P: p, Q: q}
+		last := len(res.StageWait) - 1
+		fmt.Printf("%-5.2f %-11.4f %-11.4f %-9.4f %-9.4f %-9.4f %-9.4f %-9.4f\n",
+			q, paperAn.MeanWait(), an.MeanWait(),
+			res.StageWait[0].Mean(), res.StageWait[last].Mean(), res.StageWait[last].Variance(),
+			md.LimitMeanWait(pt), md.LimitVarWait(pt))
+	}
+
+	fmt.Println("\nThe exclusive first-stage law matches the simulated stage 1; the")
+	fmt.Println("paper's product form overstates it (its favored stream is modeled as")
+	fmt.Println("independent extra traffic, peaking at q = 1/3). Later stages improve")
+	fmt.Println("monotonically with q — favored messages follow disjoint paths and")
+	fmt.Println("stop interfering — which the calibrated w∞/v∞ estimates track.")
+
+	// Full distribution at a hot operating point: the tail matters.
+	arr, err := banyan.HotSpotTraffic(k, 0.9, 1.0/3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := banyan.Analyze(arr, banyan.UnitService())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pmf, _, err := an.WaitDistribution(512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat p=0.9, q=1/3 (exclusive law): E[w1]=%.3f, p99=%d, p999=%d cycles\n",
+		an.MeanWait(), pmf.Quantile(0.99), pmf.Quantile(0.999))
+}

@@ -1,0 +1,70 @@
+// Quickstart: analyze one switch stage exactly, predict a whole network,
+// and check both against simulation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banyan"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 2×2 buffered switch, each input receiving a message with
+	// probability p = 0.5 per cycle, unit service: the canonical
+	// operating point of the paper.
+	arr, err := banyan.UniformTraffic(2, 2, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := banyan.Analyze(arr, banyan.UnitService())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first stage (exact): E[wait] = %.4f, Var[wait] = %.4f\n",
+		an.MeanWait(), an.VarWait())
+
+	// The analysis gives the entire distribution, not just moments.
+	pmf, tail, err := an.WaitDistribution(128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(wait = 0,1,2,3) = %.4f %.4f %.4f %.4f  (truncation tail %.1e)\n",
+		pmf.Prob(0), pmf.Prob(1), pmf.Prob(2), pmf.Prob(3), tail)
+	fmt.Printf("99th percentile of the wait: %d cycles\n", pmf.Quantile(0.99))
+
+	// Predict a 6-stage, 64-processor omega network built from these
+	// switches, including the gamma approximation of the total wait.
+	nw, err := banyan.Predict(banyan.OperatingPoint{K: 2, M: 1, P: 0.5}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n6-stage network prediction: total E[wait] = %.4f, Var = %.4f\n",
+		nw.TotalMeanWait(), nw.TotalVarWait())
+	g, err := nw.GammaApprox()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q95, err := g.Quantile(0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gamma approximation: shape %.3f scale %.3f, 95%% of messages wait ≤ %.1f cycles\n",
+		g.Shape, g.Scale, q95)
+
+	// Simulate the same network and compare.
+	res, err := banyan.Simulate(&banyan.SimConfig{
+		K: 2, Stages: 6, P: 0.5, Cycles: 20000, Warmup: 2000, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulation (%d messages): total E[wait] = %.4f, Var = %.4f\n",
+		res.Messages, res.MeanTotalWait(), res.VarTotalWait())
+	fmt.Printf("stage-1 simulated E[wait] = %.4f (exact: %.4f)\n",
+		res.StageWait[0].Mean(), an.MeanWait())
+}

@@ -1,0 +1,77 @@
+// Treesaturation: a single shared hot memory module (every processor
+// sends a fraction h of its requests to output 0) congests the entire
+// tree of queues leading to it — the "tree saturation" phenomenon that
+// motivated the combining networks of the NYU Ultracomputer and RP3, the
+// machines this paper's analysis was built for.
+//
+// The final hot queue receives N·p·h hot messages per cycle on top of its
+// uniform share, so it saturates once N·p·h + p(1-h) ≥ 1 — for N = 64
+// processors at p = 0.4 that is h ≈ 2.3%: a tiny hot fraction poisons the
+// network. This example sweeps h, comparing the waits of hot and
+// background messages per stage, with the stage-1 exact analysis
+// (traffic.HotModule law) as the anchor.
+//
+// Run with: go run ./examples/treesaturation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banyan"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		k      = 2
+		stages = 6 // 64 processors
+		p      = 0.4
+	)
+	n := 1
+	for i := 0; i < stages; i++ {
+		n *= k
+	}
+	fmt.Printf("%d-PE omega network, p=%g, single hot module at output 0\n", n, p)
+	fmt.Printf("saturation threshold: h* = (1-p)/(p(N-1)) ≈ %.4f\n\n",
+		(1-p)/(p*float64(n-1)))
+
+	fmt.Printf("%-7s %-12s %-12s %-12s %-12s %-12s\n",
+		"h", "exact w1", "sim w1(hot)", "hot w-last", "bg w-last", "hot/bg")
+	for _, h := range []float64{0, 0.005, 0.01, 0.02, 0.03} {
+		arr, err := banyan.HotModuleTraffic(k, p, h, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		an, err := banyan.Analyze(arr, banyan.UnitService())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := banyan.Simulate(&banyan.SimConfig{
+			K: k, Stages: stages, P: p, HotModule: h,
+			Cycles: 20000, Warmup: 4000, Seed: 29,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := stages - 1
+		bgLast := res.StageWait[last].Mean()
+		hot1, hotLast := 0.0, 0.0
+		if h > 0 {
+			hot1 = res.HotWait[0].Mean()
+			hotLast = res.HotWait[last].Mean()
+		} else {
+			hot1 = res.StageWait[0].Mean()
+			hotLast = bgLast
+		}
+		ratio := hotLast / bgLast
+		fmt.Printf("%-7.3f %-12.4f %-12.4f %-12.4f %-12.4f %-12.2f\n",
+			h, an.MeanWait(), hot1, hotLast, bgLast, ratio)
+	}
+
+	fmt.Println("\nBelow the threshold the hot messages only queue mildly; above it")
+	fmt.Println("their final-stage wait explodes while background traffic still sees")
+	fmt.Println("modest delays — the motivation for fetch-and-add combining in the")
+	fmt.Println("Ultracomputer/RP3 switches. Note the stage-1 exact analysis (the")
+	fmt.Println("HotModule law) matches the simulated stage-1 hot-path wait.")
+}

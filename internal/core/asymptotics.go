@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"banyan/internal/dist"
+)
+
+// This file adds tail asymptotics to the exact first-stage analysis. The
+// waiting-time transform t(z) is a ratio of analytic functions whose
+// dominant singularity is the smallest real root z₀ > 1 of
+//
+//	A(z) = R(U(z)) = z,
+//
+// so P(w = j) ~ C·z₀^{-j}: the waiting time has a geometric tail with
+// decay rate r = 1/z₀. (The paper appeals to exactly this "exponential or
+// geometric tail" behaviour when arguing a gamma approximation fits the
+// total-wait distribution well at the tails, Section V.) The root also
+// governs the unfinished-work tail, which is what finite output buffers
+// overflow — so it converts directly into buffer-sizing guidance, the
+// paper's Conclusion-section future work.
+
+// TailDecayRate returns r ∈ (0,1) such that P(w = j+1)/P(w = j) → r, by
+// locating the root z₀ > 1 of A(z) - z via bisection on the exact PMF
+// polynomial.
+func (a *Analysis) TailDecayRate() (float64, error) {
+	if a.lambda == 0 {
+		return 0, fmt.Errorf("core: no arrivals, waiting time has no tail")
+	}
+	z0, err := a.rootAboveOne()
+	if err != nil {
+		return 0, err
+	}
+	return 1 / z0, nil
+}
+
+// rootAboveOne finds the smallest z > 1 with A(z) = z.
+func (a *Analysis) rootAboveOne() (float64, error) {
+	arr := a.arr.PMF()
+	svc := a.svc.PMF()
+	// f(z) = R(U(z)) - z; f(1) = 0, f'(1) = ρ-1 < 0, f convex increasing
+	// eventually (A has a term of degree ≥ 2 in z whenever queueing can
+	// occur), so the root above 1 is unique.
+	f := func(z float64) float64 {
+		uz := 0.0
+		pw := 1.0
+		for j := 0; j < svc.Support(); j++ {
+			uz += svc.Prob(j) * pw
+			pw *= z
+		}
+		az := 0.0
+		pw = 1.0
+		for j := 0; j < arr.Support(); j++ {
+			az += arr.Prob(j) * pw
+			pw *= uz
+		}
+		return az - z
+	}
+	// Bracket: grow hi until f(hi) > 0.
+	lo, hi := 1.0, 2.0
+	for iter := 0; ; iter++ {
+		v := f(hi)
+		if math.IsInf(v, 1) || v > 0 {
+			break
+		}
+		if iter > 60 || math.IsNaN(v) {
+			return 0, fmt.Errorf("core: failed to bracket the tail root (degenerate arrival law?)")
+		}
+		lo = hi
+		hi *= 2
+	}
+	// The left endpoint must be strictly past the double root at z = 1.
+	if lo == 1 {
+		lo = 1 + 1e-12
+		if f(lo) >= 0 {
+			return 0, fmt.Errorf("core: no root above 1 (ρ = %g)", a.rho)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo < 1e-13*hi {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// WaitQuantile returns the smallest x with P(w ≤ x) ≥ 1-eps, combining
+// the exact series expansion with geometric tail extrapolation beyond the
+// truncation. n is the truncation order for the exact part (512 is ample
+// for ρ ≤ 0.95).
+func (a *Analysis) WaitQuantile(n int, eps float64) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("core: quantile eps = %g out of (0,1)", eps)
+	}
+	s, err := a.WaitPGF(n)
+	if err != nil {
+		return 0, err
+	}
+	acc := 0.0
+	for j := 0; j < s.Len(); j++ {
+		acc += s.Coeff(j)
+		if 1-acc <= eps {
+			return j, nil
+		}
+	}
+	// Extrapolate the remaining tail geometrically.
+	r, err := a.TailDecayRate()
+	if err != nil {
+		return 0, err
+	}
+	if r <= 0 || r >= 1 {
+		return 0, fmt.Errorf("core: degenerate decay rate %g", r)
+	}
+	tail := 1 - acc
+	j := n - 1
+	for tail > eps {
+		tail *= r
+		j++
+		if j > n*100 {
+			return 0, fmt.Errorf("core: quantile extrapolation ran away (eps=%g)", eps)
+		}
+	}
+	return j, nil
+}
+
+// UnfinishedWorkTail returns P(s > x) for the stationary unfinished work,
+// exactly for lattice x < n-1 (plus a geometric bound beyond), which is
+// the quantity a finite output buffer of capacity x work-units overflows.
+func (a *Analysis) UnfinishedWorkTail(n, x int) (float64, error) {
+	psi, err := a.UnfinishedWorkPGF(n)
+	if err != nil {
+		return 0, err
+	}
+	if x < 0 {
+		return 1, nil
+	}
+	acc := 0.0
+	for j := 0; j <= x && j < psi.Len(); j++ {
+		acc += psi.Coeff(j)
+	}
+	if acc > 1 {
+		acc = 1
+	}
+	return 1 - acc, nil
+}
+
+// SizeBufferForOverflow returns the smallest buffer capacity B (in units
+// of work, i.e. packet-cycles) such that the stationary probability that
+// the queue holds more than B work is at most eps. This is the
+// infinite-buffer approximation to finite-buffer loss the paper suggests
+// pursuing in its conclusion; for the loads it targets ("light to
+// moderate") the approximation is tight, and the literal simulator's
+// finite-buffer mode measures the true loss for cross-checking.
+func (a *Analysis) SizeBufferForOverflow(eps float64) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("core: overflow target %g out of (0,1)", eps)
+	}
+	const n = 4096
+	psi, err := a.UnfinishedWorkPGF(n)
+	if err != nil {
+		return 0, err
+	}
+	tail := 1.0
+	for j := 0; j < psi.Len(); j++ {
+		tail -= psi.Coeff(j)
+		if tail <= eps {
+			return j, nil
+		}
+	}
+	// Geometric extrapolation (same dominant root as the wait).
+	r, err := a.TailDecayRate()
+	if err != nil {
+		return 0, err
+	}
+	j := n - 1
+	for tail > eps && r > 0 && r < 1 {
+		tail *= r
+		j++
+		if j > n*100 {
+			break
+		}
+	}
+	if tail > eps {
+		return 0, fmt.Errorf("core: cannot reach overflow target %g (ρ = %g too high)", eps, a.rho)
+	}
+	return j, nil
+}
+
+// WaitDistributionExtended returns the waiting-time PMF over nExact exact
+// lattice points extended with a geometric tail out to nTotal points —
+// useful for plotting deep tails without a huge series order.
+func (a *Analysis) WaitDistributionExtended(nExact, nTotal int) (dist.PMF, error) {
+	if nTotal < nExact {
+		return dist.PMF{}, fmt.Errorf("core: nTotal %d < nExact %d", nTotal, nExact)
+	}
+	s, err := a.WaitPGF(nExact)
+	if err != nil {
+		return dist.PMF{}, err
+	}
+	r, err := a.TailDecayRate()
+	if err != nil {
+		return dist.PMF{}, err
+	}
+	p := make([]float64, nTotal)
+	for j := 0; j < nExact; j++ {
+		v := s.Coeff(j)
+		if v < 0 {
+			v = 0
+		}
+		p[j] = v
+	}
+	for j := nExact; j < nTotal; j++ {
+		p[j] = p[j-1] * r
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	for j := range p {
+		p[j] /= sum
+	}
+	pm, err := dist.NewPMF(p)
+	if err != nil {
+		return dist.PMF{}, err
+	}
+	return pm, nil
+}

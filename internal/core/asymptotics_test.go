@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"banyan/internal/traffic"
+)
+
+func TestTailDecayRateMatchesSeries(t *testing.T) {
+	// The decay rate from the dominant singularity must match the
+	// empirical ratio P(w=j+1)/P(w=j) deep in the exact series.
+	cases := []struct {
+		name string
+		arr  func() (traffic.Arrivals, error)
+		svc  func() (traffic.Service, error)
+	}{
+		{"k2 p.5 m1",
+			func() (traffic.Arrivals, error) { return traffic.Uniform(2, 2, 0.5) },
+			func() (traffic.Service, error) { return traffic.UnitService(), nil }},
+		{"k4 p.8 m1",
+			func() (traffic.Arrivals, error) { return traffic.Uniform(4, 4, 0.8) },
+			func() (traffic.Service, error) { return traffic.UnitService(), nil }},
+		{"k2 p.125 m4",
+			func() (traffic.Arrivals, error) { return traffic.Uniform(2, 2, 0.125) },
+			func() (traffic.Service, error) { return traffic.ConstService(4) }},
+		{"bulk",
+			func() (traffic.Arrivals, error) { return traffic.Bulk(2, 2, 0.2, 3) },
+			func() (traffic.Service, error) { return traffic.UnitService(), nil }},
+	}
+	for _, c := range cases {
+		arr, err := c.arr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := c.svc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := MustNew(arr, svc)
+		r, err := an.TailDecayRate()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if r <= 0 || r >= 1 {
+			t.Fatalf("%s: decay rate %g out of (0,1)", c.name, r)
+		}
+		s, err := an.WaitPGF(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find a probe point with mass comfortably above roundoff.
+		j := 40
+		for s.Coeff(j) < 1e-12 && j > 5 {
+			j -= 5
+		}
+		emp := s.Coeff(j+1) / s.Coeff(j)
+		almost(t, emp, r, 0.02*r+1e-6, c.name+": empirical vs analytic decay")
+	}
+}
+
+func TestTailDecayRateKnownRoot(t *testing.T) {
+	// Binomial(2, 0.4) arrivals, unit service: A(z) - z = 0 at
+	// z₀ = 0.36/0.16 = 2.25, so r = 1/2.25.
+	arr, err := traffic.Uniform(2, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := MustNew(arr, traffic.UnitService())
+	r, err := an.TailDecayRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, r, 1/2.25, 1e-9, "closed-form root")
+}
+
+func TestTailDecayRateMonotoneInLoad(t *testing.T) {
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		arr, err := traffic.Uniform(2, 2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := MustNew(arr, traffic.UnitService()).TailDecayRate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= prev {
+			t.Fatalf("decay rate not increasing with load at p=%g", p)
+		}
+		prev = r
+	}
+}
+
+func TestTailDecayNoArrivals(t *testing.T) {
+	arr, err := traffic.Uniform(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MustNew(arr, traffic.UnitService()).TailDecayRate(); err == nil {
+		t.Fatal("expected error with no arrivals")
+	}
+}
+
+func TestWaitQuantile(t *testing.T) {
+	arr, err := traffic.Uniform(2, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := MustNew(arr, traffic.UnitService())
+	pmf, _, err := an.WaitDistribution(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.1, 0.01, 1e-3} {
+		q, err := an.WaitQuantile(1024, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pmf.Quantile(1 - eps); int(math.Abs(float64(got-q))) > 1 {
+			t.Fatalf("eps=%g: quantile %d vs pmf %d", eps, q, got)
+		}
+	}
+	// Extrapolated region: a tiny eps forces geometric extension beyond
+	// the truncation; the result must still be finite and ordered.
+	qBig, err := an.WaitQuantile(64, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSmall, err := an.WaitQuantile(64, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qBig <= qSmall {
+		t.Fatalf("quantiles not ordered: %d ≤ %d", qBig, qSmall)
+	}
+	if _, err := an.WaitQuantile(64, 0); err == nil {
+		t.Fatal("expected eps validation")
+	}
+}
+
+func TestUnfinishedWorkTail(t *testing.T) {
+	arr, err := traffic.Uniform(2, 2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := MustNew(arr, traffic.UnitService())
+	t0, err := an.UnfinishedWorkTail(512, -1)
+	if err != nil || t0 != 1 {
+		t.Fatalf("tail below 0: %g %v", t0, err)
+	}
+	prev := 1.0
+	for _, x := range []int{0, 1, 2, 5, 10, 20} {
+		tl, err := an.UnfinishedWorkTail(512, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tl > prev+1e-12 || tl < 0 {
+			t.Fatalf("tail not decreasing at %d: %g", x, tl)
+		}
+		prev = tl
+	}
+	if prev > 1e-3 {
+		t.Fatalf("tail at 20 still %g", prev)
+	}
+}
+
+func TestSizeBufferForOverflow(t *testing.T) {
+	arr, err := traffic.Uniform(2, 2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := MustNew(arr, traffic.UnitService())
+	b2, err := an.SizeBufferForOverflow(1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := an.SizeBufferForOverflow(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b4 <= b2 {
+		t.Fatalf("stricter target needs more buffer: %d vs %d", b4, b2)
+	}
+	// The returned size actually meets the target.
+	tl, err := an.UnfinishedWorkTail(512, b4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl > 1e-4 {
+		t.Fatalf("size %d misses target: tail %g", b4, tl)
+	}
+	if _, err := an.SizeBufferForOverflow(0); err == nil {
+		t.Fatal("expected target validation")
+	}
+	if _, err := an.SizeBufferForOverflow(1); err == nil {
+		t.Fatal("expected target validation")
+	}
+}
+
+func TestWaitDistributionExtended(t *testing.T) {
+	arr, err := traffic.Uniform(2, 2, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := MustNew(arr, traffic.UnitService())
+	ext, err := an.WaitDistributionExtended(128, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Support() != 512 {
+		t.Fatalf("support %d", ext.Support())
+	}
+	// Mass 1 and moments close to the closed forms.
+	almost(t, ext.Mean(), an.MeanWait(), 0.01*(1+an.MeanWait()), "extended mean")
+	// Extension region follows the decay rate.
+	r, err := an.TailDecayRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, ext.Prob(200)/ext.Prob(199), r, 1e-9, "extension decay")
+	if _, err := an.WaitDistributionExtended(128, 64); err == nil {
+		t.Fatal("expected order validation")
+	}
+}

@@ -1,0 +1,75 @@
+// Package core implements the paper's primary contribution: the exact
+// analysis of the waiting time at the first stage of a buffered multistage
+// interconnection network (Kruskal, Snir, Weiss, Section II, Theorem 1).
+//
+// # Model
+//
+// Each output port of a k×s buffered switch is a discrete-time queue.
+// During cycle n a random batch of a_n messages arrives (i.i.d. across
+// cycles, PGF R(z), mean λ); each message independently requires an
+// integer service time with PGF U(z) and mean m (service ≥ 1 cycle). The
+// traffic intensity is ρ = mλ and the queue is stable iff ρ < 1.
+//
+// # Theorem 1
+//
+// Let A(z) = R(U(z)) be the PGF of the total work c_n arriving per cycle.
+// The unfinished work s_n satisfies s_n = max(0, s_{n-1} + c_n - 1), so in
+// steady state (Kobayashi–Konheim style argument)
+//
+//	Ψ(z) = E z^s = (1-ρ)(1-z) / (A(z) - z).
+//
+// An arriving message waits w = s + w′, where w′ is the total service of
+// the members of its own batch served before it. With d the number of such
+// members, φ(z) = E z^d = (R(z)-1)/(λ(z-1)) and E z^{w′} = φ(U(z)). Hence
+//
+//	t(z) = E z^w = (1-ρ)/λ · (1-z)(1 - A(z)) / ((A(z)-z)(1 - U(z))),
+//
+// which is equation (1) of the paper. The package evaluates t(z) as a
+// truncated power series (coefficient j is exactly P(w = j)), and computes
+// moments in closed form.
+//
+// # Moment formulas (re-derived)
+//
+// The available text of the paper has OCR damage in equation (3) and the
+// displayed t″(1); we therefore re-derived the moments directly from the
+// transform and validated them against the cleanly printed special cases
+// (equations (4)–(9) and the M/M/1 limit) and against numerical moments of
+// the series expansion. With r_j = R^(j)(1), u_j = U^(j)(1), m = u_1,
+// λ = r_1, ρ = mλ, and the work-PGF derivatives
+//
+//	α₂ = A″(1) = r₂m² + λu₂
+//	α₃ = A‴(1) = r₃m³ + 3r₂mu₂ + λu₃,
+//
+// expanding Ψ(1+ε) = (1-ρ) / ((1-ρ) - α₂ε/2 - α₃ε²/6 - …) gives the
+// factorial moments of the unfinished work,
+//
+//	E s            = α₂ / (2(1-ρ))
+//	E s(s-1)       = α₃ / (3(1-ρ)) + α₂² / (2(1-ρ)²),
+//
+// and expanding φ(1+δ) = 1 + (r₂/2λ)δ + (r₃/6λ)δ² + … gives, for
+// G(z) = φ(U(z)),
+//
+//	E w′           = G′(1)  = m·r₂ / (2λ)
+//	E w′(w′-1)     = G″(1)  = m²·r₃ / (3λ) + u₂·r₂ / (2λ).
+//
+// Since s and w′ are independent,
+//
+//	E w   = E s + E w′
+//	      = (m r₂ + λ² u₂) / (2λ(1-ρ))        — paper equation (2) —
+//	Var w = Var s + Var w′.
+//
+// Setting U(z) = z recovers the paper's equation (5),
+//
+//	Var w = [2(3r₂ + 2r₃)λ(1-λ) - 3(1-2λ)r₂²] / (12λ²(1-λ)²),
+//
+// exactly as printed, which confirms the re-derivation.
+//
+// # What callers get
+//
+// An Analysis bundles an arrival and a service model and provides: mean
+// and variance of the waiting time (and of the delay = wait + service),
+// the component statistics (unfinished work s, batch wait w′), the full
+// waiting-time transform as a series, and the complete waiting-time and
+// delay distributions as PMFs. The closed forms of Section III are in
+// formulas.go as independent implementations used for cross-validation.
+package core

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"banyan/internal/dist"
+	"banyan/internal/traffic"
+)
+
+// FiniteQueue is the exact analysis of a single first-stage output queue
+// with a finite waiting room — the paper's Conclusion-section future work
+// ("develop good approximate formulas for finite buffer delays"), made
+// exact for unit service times by solving the queue's Markov chain
+// directly.
+//
+// Model (matching the literal simulator's semantics): the queue holds at
+// most B waiting messages. During each cycle the arriving batch enters
+// one message at a time, each admitted iff the current count is below B
+// (excess messages are dropped); then, if the queue is nonempty, the
+// server takes one message (unit service). The state is the waiting
+// count after the service start, a Markov chain on {0, …, B-1}.
+type FiniteQueue struct {
+	arr      traffic.Arrivals
+	capacity int
+
+	pi       []float64 // stationary waiting-count distribution (post-service)
+	dropProb float64   // long-run fraction of offered messages dropped
+	meanWait float64   // mean wait of admitted messages (Little's law)
+	meanLen  float64   // mean waiting count (post-service epochs)
+}
+
+// NewFiniteQueue solves the chain for the given arrival law and waiting-
+// room capacity B ≥ 1. Unlike the infinite-buffer analysis, it is valid
+// at any load, including ρ ≥ 1 (the buffer sheds the excess).
+func NewFiniteQueue(arr traffic.Arrivals, capacity int) (*FiniteQueue, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: buffer capacity %d must be at least 1", capacity)
+	}
+	a := arr.PMF()
+	lambda := arr.Rate()
+	if lambda == 0 {
+		return nil, fmt.Errorf("core: finite queue needs a positive arrival rate")
+	}
+	b := capacity
+
+	// Transition matrix on post-service states 0…B-1:
+	// w' = max(0, min(w + a, B) - 1).
+	p := make([][]float64, b)
+	for w := 0; w < b; w++ {
+		p[w] = make([]float64, b)
+		for j := 0; j < a.Support(); j++ {
+			pa := a.Prob(j)
+			if pa == 0 {
+				continue
+			}
+			tot := w + j
+			if tot > b {
+				tot = b
+			}
+			next := tot - 1
+			if next < 0 {
+				next = 0
+			}
+			p[w][next] += pa
+		}
+	}
+	pi, err := dist.StationaryDist(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: finite-queue chain: %w", err)
+	}
+
+	// Drop rate: from post-service state w, the batch a loses
+	// max(0, w + a - B) messages.
+	dropped := 0.0
+	meanLen := 0.0
+	for w := 0; w < b; w++ {
+		meanLen += float64(w) * pi[w]
+		for j := 0; j < a.Support(); j++ {
+			if excess := w + j - b; excess > 0 {
+				dropped += pi[w] * a.Prob(j) * float64(excess)
+			}
+		}
+	}
+	q := &FiniteQueue{
+		arr:      arr,
+		capacity: capacity,
+		pi:       pi,
+		dropProb: dropped / lambda,
+		meanLen:  meanLen,
+	}
+	// Little's law for the admitted stream: the time-average number
+	// waiting equals λ_adm · E[wait]. The post-service state *is* the
+	// waiting count during the next cycle, so meanLen is the
+	// time-average number waiting.
+	lambdaAdm := lambda * (1 - q.dropProb)
+	if lambdaAdm > 0 {
+		q.meanWait = meanLen / lambdaAdm
+	}
+	return q, nil
+}
+
+// Capacity returns the waiting-room size B.
+func (q *FiniteQueue) Capacity() int { return q.capacity }
+
+// DropProb returns the long-run fraction of offered messages dropped.
+func (q *FiniteQueue) DropProb() float64 { return q.dropProb }
+
+// MeanWait returns the mean waiting time of admitted messages.
+func (q *FiniteQueue) MeanWait() float64 { return q.meanWait }
+
+// MeanQueueLength returns the time-average number of waiting messages.
+func (q *FiniteQueue) MeanQueueLength() float64 { return q.meanLen }
+
+// QueueLengthDist returns the stationary distribution of the waiting
+// count at post-service epochs.
+func (q *FiniteQueue) QueueLengthDist() (dist.PMF, error) {
+	return dist.NewPMF(q.pi)
+}
+
+// Throughput returns the admitted-message rate λ(1 - DropProb).
+func (q *FiniteQueue) Throughput() float64 {
+	return q.arr.Rate() * (1 - q.dropProb)
+}
+
+// FiniteBufferSweep evaluates drop probability and mean wait over a range
+// of capacities, the convenient form for buffer-sizing studies.
+func FiniteBufferSweep(arr traffic.Arrivals, capacities []int) ([]*FiniteQueue, error) {
+	out := make([]*FiniteQueue, 0, len(capacities))
+	for _, c := range capacities {
+		q, err := NewFiniteQueue(arr, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// MinCapacityForLoss returns the smallest waiting-room size whose drop
+// probability is at most eps, searching up to maxCap.
+func MinCapacityForLoss(arr traffic.Arrivals, eps float64, maxCap int) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("core: loss target %g out of (0,1)", eps)
+	}
+	if maxCap < 1 {
+		return 0, fmt.Errorf("core: maxCap %d must be at least 1", maxCap)
+	}
+	for c := 1; c <= maxCap; c++ {
+		q, err := NewFiniteQueue(arr, c)
+		if err != nil {
+			return 0, err
+		}
+		if q.DropProb() <= eps {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no capacity ≤ %d meets loss target %g", maxCap, eps)
+}

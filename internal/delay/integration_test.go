@@ -1,0 +1,73 @@
+package delay
+
+import (
+	"testing"
+
+	"banyan/internal/dist"
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+)
+
+// TestConvolutionBeatsGammaShallow: on a shallow network the convolution
+// predictor (exact stage 1 ⊛ gamma block) fits the simulated total-wait
+// distribution at least as well as the paper's single gamma.
+func TestConvolutionBeatsGammaShallow(t *testing.T) {
+	cfg := &simnet.Config{K: 2, Stages: 3, P: 0.5, Cycles: 25000, Warmup: 2500, Seed: 99}
+	res, err := simnet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := MustNew(stages.DefaultModel(), stages.Params{K: 2, M: 1, P: 0.5}, 3)
+	cells := res.TotalWait.Max() + 1
+	gamma, err := nw.PredictedPMF(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := nw.ConvolutionPMF(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := dist.EmpiricalPMF(res.TotalWait.Counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tvGamma := dist.TotalVariation(sim, gamma)
+	tvConv := dist.TotalVariation(sim, conv)
+	if tvConv > tvGamma {
+		t.Fatalf("convolution TV %g worse than gamma %g", tvConv, tvGamma)
+	}
+	if tvConv > 0.04 {
+		t.Fatalf("convolution TV %g too large", tvConv)
+	}
+	// The convolution's zero atom matches the simulation much better.
+	simZero := sim.Prob(0)
+	if d := conv.Prob(0) - simZero; d > 0.03 || d < -0.03 {
+		t.Fatalf("convolution P(0) %g vs sim %g", conv.Prob(0), simZero)
+	}
+}
+
+// TestPredictedPMFTailMatchesSim: the gamma approximation's tail claim
+// (the paper's headline for Figures 3–8) at a deeper network.
+func TestPredictedPMFTailMatchesSim(t *testing.T) {
+	cfg := &simnet.Config{K: 2, Stages: 9, P: 0.5, Cycles: 15000, Warmup: 1500, Seed: 44}
+	res, err := simnet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := MustNew(stages.DefaultModel(), stages.Params{K: 2, M: 1, P: 0.5}, 9)
+	g, err := nw.GammaApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.9, 0.99} {
+		x, err := g.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simTail := res.TotalWait.Tail(int(x + 0.5))
+		want := 1 - q
+		if simTail > 2.2*want || simTail < want/2.2 {
+			t.Fatalf("q=%g: sim tail %g vs nominal %g", q, simTail, want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package design turns the paper's formulas into the design studies they
+// were built for ("formulas derived in a previous paper … have been
+// heavily used in designing both the NYU Ultracomputer and RP3"): given a
+// machine size and workload, evaluate candidate interconnect designs —
+// switch radix, message size, buffer depth — against latency and loss
+// targets, using the exact first-stage analysis, the Section IV/V
+// approximations, and the finite-buffer chain.
+package design
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"banyan/internal/core"
+	"banyan/internal/delay"
+	"banyan/internal/dist"
+	"banyan/internal/stages"
+	"banyan/internal/traffic"
+)
+
+// Point is one candidate interconnect design.
+type Point struct {
+	PEs int     // processors to connect (network size rounds up to k^n)
+	K   int     // switch radix
+	M   int     // message size in packets (constant)
+	P   float64 // per-PE request probability per cycle
+}
+
+// Metrics summarizes a design's predicted behaviour.
+type Metrics struct {
+	Stages       int     // n = ⌈log_k PEs⌉
+	Endpoints    int     // k^n ≥ PEs
+	Rho          float64 // traffic intensity m·p
+	MeanWait     float64 // total mean waiting time, cycles
+	VarWait      float64 // total waiting-time variance
+	MeanTransit  float64 // waiting + cut-through service (n+m-1)
+	P99Transit   float64 // 99th-percentile transit via the gamma approximation
+	Crosspoints  int     // n·(k^n/k)·k² — switch hardware cost proxy
+	BufferFor1e3 int     // per-queue waiting room for ≤1e-3 loss (m=1 exact chain; m>1 work-tail estimate)
+}
+
+// Evaluate predicts the metrics of a candidate design.
+func Evaluate(pt Point) (Metrics, error) {
+	if pt.PEs < 2 {
+		return Metrics{}, fmt.Errorf("design: need at least 2 PEs, got %d", pt.PEs)
+	}
+	if pt.K < 2 {
+		return Metrics{}, fmt.Errorf("design: switch radix %d must be at least 2", pt.K)
+	}
+	if pt.M < 1 {
+		return Metrics{}, fmt.Errorf("design: message size %d must be at least 1", pt.M)
+	}
+	n := 1
+	size := pt.K
+	for size < pt.PEs {
+		size *= pt.K
+		n++
+		if n > 40 {
+			return Metrics{}, fmt.Errorf("design: network too deep")
+		}
+	}
+	pr := stages.Params{K: pt.K, M: pt.M, P: pt.P}
+	if err := pr.Validate(); err != nil {
+		return Metrics{}, fmt.Errorf("design: %w", err)
+	}
+	nw, err := delay.New(stages.DefaultModel(), pr, n)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{
+		Stages:      n,
+		Endpoints:   size,
+		Rho:         pr.Rho(),
+		MeanWait:    nw.TotalMeanWait(),
+		VarWait:     nw.TotalVarWait(),
+		Crosspoints: n * (size / pt.K) * pt.K * pt.K,
+	}
+	m.MeanTransit = m.MeanWait + float64(nw.TotalServiceTime())
+	g, err := nw.GammaApprox()
+	if err != nil {
+		return Metrics{}, err
+	}
+	q99, err := g.Quantile(0.99)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.P99Transit = q99 + float64(nw.TotalServiceTime())
+
+	// Buffer sizing for ≤1e-3 per-queue loss.
+	arr, err := traffic.Uniform(pt.K, pt.K, pt.P)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if pt.M == 1 {
+		b, err := core.MinCapacityForLoss(arr, 1e-3, 4096)
+		if err != nil {
+			return Metrics{}, err
+		}
+		m.BufferFor1e3 = b
+	} else {
+		svc, err := traffic.ConstService(pt.M)
+		if err != nil {
+			return Metrics{}, err
+		}
+		an, err := core.New(arr, svc)
+		if err != nil {
+			return Metrics{}, err
+		}
+		work, err := an.SizeBufferForOverflow(1e-3)
+		if err != nil {
+			return Metrics{}, err
+		}
+		// Convert work units (packet-cycles) to message slots.
+		m.BufferFor1e3 = (work + pt.M - 1) / pt.M
+	}
+	return m, nil
+}
+
+// Candidate pairs a design with its metrics.
+type Candidate struct {
+	Point    Point
+	Metrics  Metrics
+	Feasible bool // meets the SLO
+}
+
+// RecommendRadix evaluates one candidate per radix and returns them
+// sorted by hardware cost (crosspoints), cheapest feasible first. A
+// candidate is feasible when its 99th-percentile transit is at most
+// sloP99 cycles.
+func RecommendRadix(pes, m int, p, sloP99 float64, radices []int) ([]Candidate, error) {
+	if len(radices) == 0 {
+		radices = []int{2, 4, 8}
+	}
+	var out []Candidate
+	for _, k := range radices {
+		pt := Point{PEs: pes, K: k, M: m, P: p}
+		met, err := Evaluate(pt)
+		if err != nil {
+			// Infeasible radix (e.g. unstable): report as such rather
+			// than failing the whole sweep.
+			out = append(out, Candidate{Point: pt, Feasible: false})
+			continue
+		}
+		out = append(out, Candidate{Point: pt, Metrics: met, Feasible: met.P99Transit <= sloP99})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if !a.Feasible {
+			return false
+		}
+		return a.Metrics.Crosspoints < b.Metrics.Crosspoints
+	})
+	return out, nil
+}
+
+// MaxMessageSize returns the largest constant message size m whose
+// predicted p99 transit stays within sloP99 at fixed payload throughput
+// (ρ held constant: p = rho/m) — the paper's headline tradeoff quantified.
+func MaxMessageSize(pes, k int, rho, sloP99 float64, maxM int) (int, error) {
+	if rho <= 0 || rho >= 1 {
+		return 0, fmt.Errorf("design: intensity %g out of (0,1)", rho)
+	}
+	best := 0
+	for m := 1; m <= maxM; m++ {
+		pt := Point{PEs: pes, K: k, M: m, P: rho / float64(m)}
+		met, err := Evaluate(pt)
+		if err != nil {
+			return 0, err
+		}
+		if met.P99Transit <= sloP99 {
+			best = m
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("design: no message size meets p99 ≤ %g at ρ=%g", sloP99, rho)
+	}
+	return best, nil
+}
+
+// SlowestOfN returns the expected maximum transit over nProc independent
+// messages (the barrier-latency proxy of the Ultracomputer example),
+// approximated by the (1 - 1/nProc) gamma quantile plus service.
+func SlowestOfN(pt Point, nProc int) (float64, error) {
+	if nProc < 1 {
+		return 0, fmt.Errorf("design: need at least one processor")
+	}
+	met, err := Evaluate(pt)
+	if err != nil {
+		return 0, err
+	}
+	g, err := dist.GammaFromMoments(met.MeanWait, met.VarWait)
+	if err != nil {
+		return 0, err
+	}
+	q, err := g.Quantile(1 - 1/float64(nProc))
+	if err != nil {
+		return 0, err
+	}
+	return q + (met.MeanTransit - met.MeanWait), nil
+}
+
+// String renders a metrics summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("n=%d size=%d ρ=%.3f wait=%.2f±%.2f transit=%.2f p99=%.1f xpoints=%d buf=%d",
+		m.Stages, m.Endpoints, m.Rho, m.MeanWait, math.Sqrt(m.VarWait),
+		m.MeanTransit, m.P99Transit, m.Crosspoints, m.BufferFor1e3)
+}

@@ -1,0 +1,179 @@
+package design
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEvaluateBasics(t *testing.T) {
+	m, err := Evaluate(Point{PEs: 64, K: 2, M: 1, P: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stages != 6 || m.Endpoints != 64 {
+		t.Fatalf("geometry: %+v", m)
+	}
+	if math.Abs(m.Rho-0.5) > 1e-12 {
+		t.Fatalf("rho %g", m.Rho)
+	}
+	// Known totals for (k=2, p=0.5, n=6): mean wait ≈ 1.717.
+	if math.Abs(m.MeanWait-1.717) > 0.01 {
+		t.Fatalf("mean wait %g", m.MeanWait)
+	}
+	if m.MeanTransit != m.MeanWait+6 { // n+m-1 = 6
+		t.Fatalf("transit %g", m.MeanTransit)
+	}
+	if m.P99Transit <= m.MeanTransit {
+		t.Fatal("p99 below mean")
+	}
+	if m.Crosspoints != 6*32*4 {
+		t.Fatalf("crosspoints %d", m.Crosspoints)
+	}
+	if m.BufferFor1e3 < 2 || m.BufferFor1e3 > 20 {
+		t.Fatalf("buffer recommendation %d", m.BufferFor1e3)
+	}
+	if !strings.Contains(m.String(), "p99=") {
+		t.Fatalf("string: %s", m.String())
+	}
+}
+
+func TestEvaluateRoundsUpNetwork(t *testing.T) {
+	m, err := Evaluate(Point{PEs: 60, K: 2, M: 1, P: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Endpoints != 64 || m.Stages != 6 {
+		t.Fatalf("rounding: %+v", m)
+	}
+	m4, err := Evaluate(Point{PEs: 60, K: 4, M: 1, P: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.Endpoints != 64 || m4.Stages != 3 {
+		t.Fatalf("radix-4 rounding: %+v", m4)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(Point{PEs: 1, K: 2, M: 1, P: 0.5}); err == nil {
+		t.Fatal("expected PE validation")
+	}
+	if _, err := Evaluate(Point{PEs: 8, K: 1, M: 1, P: 0.5}); err == nil {
+		t.Fatal("expected radix validation")
+	}
+	if _, err := Evaluate(Point{PEs: 8, K: 2, M: 0, P: 0.5}); err == nil {
+		t.Fatal("expected size validation")
+	}
+	if _, err := Evaluate(Point{PEs: 8, K: 2, M: 4, P: 0.5}); err == nil {
+		t.Fatal("expected stability validation (ρ=2)")
+	}
+}
+
+func TestEvaluateBufferForLargeMessages(t *testing.T) {
+	m1, err := Evaluate(Point{PEs: 64, K: 2, M: 1, P: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := Evaluate(Point{PEs: 64, K: 2, M: 4, P: 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.BufferFor1e3 < m1.BufferFor1e3 {
+		t.Fatalf("larger messages should not shrink buffer slots: %d vs %d",
+			m4.BufferFor1e3, m1.BufferFor1e3)
+	}
+}
+
+func TestRecommendRadix(t *testing.T) {
+	cands, err := RecommendRadix(256, 1, 0.5, 20, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("candidates %d", len(cands))
+	}
+	// All radices should be feasible at this relaxed SLO, sorted by
+	// cost ascending among feasible ones.
+	for i, c := range cands {
+		if !c.Feasible {
+			t.Fatalf("candidate %d infeasible: %+v", i, c)
+		}
+		if i > 0 && c.Metrics.Crosspoints < cands[i-1].Metrics.Crosspoints {
+			t.Fatal("not sorted by cost")
+		}
+	}
+	// A brutal SLO leaves nothing feasible; results still returned.
+	none, err := RecommendRadix(256, 1, 0.5, 1, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range none {
+		if c.Feasible {
+			t.Fatal("impossible SLO marked feasible")
+		}
+	}
+	// Unstable radix configurations are reported infeasible, not fatal.
+	mixed, err := RecommendRadix(64, 4, 0.5, 100, []int{2}) // ρ = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed[0].Feasible {
+		t.Fatal("unstable design marked feasible")
+	}
+	// Default radices used when none given.
+	def, err := RecommendRadix(64, 1, 0.4, 50, nil)
+	if err != nil || len(def) != 3 {
+		t.Fatalf("default radices: %d, %v", len(def), err)
+	}
+}
+
+func TestMaxMessageSize(t *testing.T) {
+	// At fixed ρ the wait grows ∝ m, so a transit SLO caps m.
+	m, err := MaxMessageSize(64, 2, 0.5, 40, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 2 || m > 32 {
+		t.Fatalf("max size %d", m)
+	}
+	// A tighter SLO allows a smaller max size.
+	tight, err := MaxMessageSize(64, 2, 0.5, 15, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight >= m {
+		t.Fatalf("tighter SLO gave %d ≥ %d", tight, m)
+	}
+	if _, err := MaxMessageSize(64, 2, 0.5, 0.5, 4); err == nil {
+		t.Fatal("expected no-feasible-size error")
+	}
+	if _, err := MaxMessageSize(64, 2, 1.2, 40, 4); err == nil {
+		t.Fatal("expected intensity validation")
+	}
+}
+
+func TestSlowestOfN(t *testing.T) {
+	pt := Point{PEs: 64, K: 2, M: 1, P: 0.5}
+	s1, err := SlowestOfN(pt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s64, err := SlowestOfN(pt, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s64 <= s1 {
+		t.Fatalf("slowest of 64 (%g) not above median-ish of 1 (%g)", s64, s1)
+	}
+	met, err := Evaluate(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s64 <= met.MeanTransit {
+		t.Fatal("slowest-of-64 below the mean transit")
+	}
+	if _, err := SlowestOfN(pt, 0); err == nil {
+		t.Fatal("expected processor-count validation")
+	}
+}

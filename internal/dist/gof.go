@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Goodness-of-fit metrics for comparing simulated histograms against the
+// analytic waiting-time distributions. TotalVariation (pmf.go) measures
+// bulk agreement; the Kolmogorov–Smirnov statistic here is tail-sensitive
+// and the chi-square statistic supports a formal rejection test when the
+// sample size is known.
+
+// KolmogorovSmirnov returns sup_j |F_p(j) - F_q(j)|, the KS distance
+// between two lattice distributions.
+func KolmogorovSmirnov(p, q PMF) float64 {
+	n := p.Support()
+	if q.Support() > n {
+		n = q.Support()
+	}
+	cp, cq, ks := 0.0, 0.0, 0.0
+	for j := 0; j < n; j++ {
+		cp += p.Prob(j)
+		cq += q.Prob(j)
+		if d := math.Abs(cp - cq); d > ks {
+			ks = d
+		}
+	}
+	return ks
+}
+
+// KSCriticalValue returns the approximate critical KS distance at
+// significance alpha for a sample of size n compared against a fully
+// specified distribution: c(α)/√n with c from the asymptotic Kolmogorov
+// distribution. Supported alphas: 0.10, 0.05, 0.01 (others interpolate
+// via the exact asymptotic formula c = sqrt(-ln(α/2)/2)).
+func KSCriticalValue(alpha float64, n int64) (float64, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("dist: significance %g out of (0,1)", alpha)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("dist: sample size %d must be positive", n)
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// ChiSquare returns the chi-square statistic and degrees of freedom for
+// observed counts against expected probabilities, pooling trailing cells
+// until every expected count is at least minExpected (Cochran's rule uses
+// 5). The counts and probs must align by index; probs may be longer.
+func ChiSquare(counts []int64, probs []float64, minExpected float64) (stat float64, dof int, err error) {
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, fmt.Errorf("dist: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("dist: no observations")
+	}
+	n := len(probs)
+	if len(counts) > n {
+		n = len(counts)
+	}
+	at := func(v []float64, j int) float64 {
+		if j < len(v) {
+			return v[j]
+		}
+		return 0
+	}
+	cat := func(v []int64, j int) int64 {
+		if j < len(v) {
+			return v[j]
+		}
+		return 0
+	}
+	cells := 0
+	var accO int64
+	var accE float64
+	for j := 0; j < n; j++ {
+		accO += cat(counts, j)
+		accE += at(probs, j) * float64(total)
+		// Pool forward until the expected count is large enough, or we
+		// are at the last index (fold the remainder).
+		if accE >= minExpected || j == n-1 {
+			if accE <= 0 {
+				// Degenerate tail cell with observations but no
+				// expectation: infinite statistic.
+				if accO > 0 {
+					return math.Inf(1), cells, nil
+				}
+				continue
+			}
+			d := float64(accO) - accE
+			stat += d * d / accE
+			cells++
+			accO, accE = 0, 0
+		}
+	}
+	if cells < 2 {
+		return 0, 0, fmt.Errorf("dist: too few cells (%d) after pooling", cells)
+	}
+	return stat, cells - 1, nil
+}
+
+// ChiSquarePValue returns P(X² ≥ stat) for dof degrees of freedom, via
+// the regularized incomplete gamma function.
+func ChiSquarePValue(stat float64, dof int) (float64, error) {
+	if dof < 1 {
+		return 0, fmt.Errorf("dist: dof %d must be positive", dof)
+	}
+	if stat < 0 {
+		return 0, fmt.Errorf("dist: negative statistic %g", stat)
+	}
+	if math.IsInf(stat, 1) {
+		return 0, nil
+	}
+	return RegUpperGamma(float64(dof)/2, stat/2)
+}

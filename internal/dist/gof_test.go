@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	a := PointPMF(0)
+	b := PointPMF(3)
+	almost(t, KolmogorovSmirnov(a, b), 1, 1e-12, "disjoint KS")
+	almost(t, KolmogorovSmirnov(a, a), 0, 0, "identical KS")
+	p := MustPMF([]float64{0.5, 0.5})
+	q := MustPMF([]float64{0.3, 0.7})
+	almost(t, KolmogorovSmirnov(p, q), 0.2, 1e-12, "two-point KS")
+	// KS ≤ TV always.
+	d1 := Binomial(6, 0.3)
+	d2 := Binomial(6, 0.45)
+	if KolmogorovSmirnov(d1, d2) > TotalVariation(d1, d2)+1e-12 {
+		t.Fatal("KS exceeded TV")
+	}
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	c, err := KSCriticalValue(0.05, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c(0.05) = 1.3581…; /100.
+	almost(t, c, 1.3581/100, 1e-4, "critical value")
+	if _, err := KSCriticalValue(0, 10); err == nil {
+		t.Fatal("expected alpha validation")
+	}
+	if _, err := KSCriticalValue(0.05, 0); err == nil {
+		t.Fatal("expected n validation")
+	}
+}
+
+func TestKSSampleAgainstTruth(t *testing.T) {
+	// Samples from a distribution should pass KS at 1%; samples from a
+	// perturbed distribution should fail with enough data.
+	truth := Binomial(8, 0.4)
+	rng := rand.New(rand.NewSource(10))
+	s := NewSampler(truth)
+	const n = 200000
+	counts := make([]int64, truth.Support())
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng.Float64(), rng.Float64())]++
+	}
+	emp, err := EmpiricalPMF(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(0.01, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := KolmogorovSmirnov(emp, truth); ks > crit {
+		t.Fatalf("true-law sample rejected: KS %g > %g", ks, crit)
+	}
+	if ks := KolmogorovSmirnov(emp, Binomial(8, 0.42)); ks < crit {
+		t.Fatalf("perturbed law accepted: KS %g < %g", ks, crit)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	truth := Binomial(5, 0.5)
+	rng := rand.New(rand.NewSource(11))
+	s := NewSampler(truth)
+	const n = 100000
+	counts := make([]int64, truth.Support())
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng.Float64(), rng.Float64())]++
+	}
+	stat, dof, err := ChiSquare(counts, truth.Probs(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof < 3 {
+		t.Fatalf("dof %d too small", dof)
+	}
+	pv, err := ChiSquarePValue(stat, dof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv < 0.001 {
+		t.Fatalf("true law rejected: stat %g dof %d p %g", stat, dof, pv)
+	}
+	// Wrong law rejected.
+	stat2, dof2, err := ChiSquare(counts, Binomial(5, 0.55).Probs(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv2, err := ChiSquarePValue(stat2, dof2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv2 > 1e-6 {
+		t.Fatalf("wrong law accepted: p %g", pv2)
+	}
+}
+
+func TestChiSquarePooling(t *testing.T) {
+	// Tiny expected tail cells must be pooled, not divided by ~0.
+	counts := []int64{50, 30, 15, 4, 1, 0, 0}
+	probs := []float64{0.5, 0.3, 0.15, 0.04, 0.008, 0.0015, 0.0005}
+	stat, dof, err := ChiSquare(counts, probs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(stat, 1) || dof < 2 {
+		t.Fatalf("pooled stat %g dof %d", stat, dof)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquare([]int64{0, 0}, []float64{0.5, 0.5}, 5); err == nil {
+		t.Fatal("expected no-observations error")
+	}
+	if _, _, err := ChiSquare([]int64{-1, 2}, []float64{0.5, 0.5}, 5); err == nil {
+		t.Fatal("expected negative-count error")
+	}
+	if _, _, err := ChiSquare([]int64{100}, []float64{1}, 5); err == nil {
+		t.Fatal("expected too-few-cells error")
+	}
+	if _, err := ChiSquarePValue(-1, 3); err == nil {
+		t.Fatal("expected stat validation")
+	}
+	if _, err := ChiSquarePValue(1, 0); err == nil {
+		t.Fatal("expected dof validation")
+	}
+	if pv, err := ChiSquarePValue(math.Inf(1), 3); err != nil || pv != 0 {
+		t.Fatalf("infinite stat p-value: %g, %v", pv, err)
+	}
+}

@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveLinear solves the dense linear system A·x = b in place by Gaussian
+// elimination with partial pivoting. A is row-major (n×n), b has length
+// n; both are clobbered. It backs the small Markov-chain solves of the
+// finite-buffer analysis (state spaces of a few hundred states), where a
+// dense O(n³) solve is simpler and faster than an iterative method.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n {
+		return nil, fmt.Errorf("dist: matrix rows %d != rhs length %d", len(a), n)
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("dist: matrix row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("dist: singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := b[i]
+		for c := i + 1; c < n; c++ {
+			acc -= a[i][c] * x[c]
+		}
+		x[i] = acc / a[i][i]
+	}
+	return x, nil
+}
+
+// StationaryDist returns the stationary distribution π of a finite
+// irreducible Markov chain with row-stochastic transition matrix P
+// (π P = π, Σπ = 1), by solving the linear system (Pᵀ - I)π = 0 with the
+// normalization row replacing the last equation.
+func StationaryDist(p [][]float64) ([]float64, error) {
+	n := len(p)
+	if n == 0 {
+		return nil, fmt.Errorf("dist: empty chain")
+	}
+	for i := range p {
+		if len(p[i]) != n {
+			return nil, fmt.Errorf("dist: transition row %d has %d entries, want %d", i, len(p[i]), n)
+		}
+		sum := 0.0
+		for _, v := range p[i] {
+			if v < -1e-12 {
+				return nil, fmt.Errorf("dist: negative transition probability %g", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("dist: transition row %d sums to %g", i, sum)
+		}
+	}
+	// Build (Pᵀ - I) with the last row replaced by 1…1, rhs e_n.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = p[j][i]
+		}
+		a[i][i] -= 1
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	b[n-1] = 1
+	pi, err := SolveLinear(a, b)
+	if err != nil {
+		return nil, err
+	}
+	// Clean tiny negatives from roundoff and renormalize.
+	sum := 0.0
+	for i, v := range pi {
+		if v < 0 {
+			if v < -1e-8 {
+				return nil, fmt.Errorf("dist: stationary solve produced π[%d] = %g", i, v)
+			}
+			pi[i] = 0
+		}
+		sum += pi[i]
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}

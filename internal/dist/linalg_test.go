@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		almost(t, x[i], want[i], 1e-10, "solution component")
+	}
+}
+
+func TestSolveLinearRandomRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+				if i == j {
+					a[i][j] += float64(n) // diagonally dominant
+				}
+				orig[i][j] = a[i][j]
+			}
+		}
+		for i := range b {
+			for j := range xTrue {
+				b[i] += orig[i][j] * xTrue[j]
+			}
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			almost(t, x[i], xTrue[i], 1e-8*(1+math.Abs(xTrue[i])), "roundtrip solve")
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular-system error")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("expected row-length error")
+	}
+}
+
+func TestStationaryDistTwoState(t *testing.T) {
+	// P(0→1)=0.3, P(1→0)=0.6 → π = (2/3, 1/3).
+	p := [][]float64{{0.7, 0.3}, {0.6, 0.4}}
+	pi, err := StationaryDist(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, pi[0], 2.0/3, 1e-10, "π0")
+	almost(t, pi[1], 1.0/3, 1e-10, "π1")
+}
+
+func TestStationaryDistRandomChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 40
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		sum := 0.0
+		for j := range p[i] {
+			p[i][j] = rng.Float64() + 0.01 // strictly positive → irreducible
+			sum += p[i][j]
+		}
+		for j := range p[i] {
+			p[i][j] /= sum
+		}
+	}
+	pi, err := StationaryDist(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// πP = π.
+	for j := 0; j < n; j++ {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			acc += pi[i] * p[i][j]
+		}
+		almost(t, acc, pi[j], 1e-10, "stationarity")
+	}
+	sum := 0.0
+	for _, v := range pi {
+		if v < 0 {
+			t.Fatal("negative stationary probability")
+		}
+		sum += v
+	}
+	almost(t, sum, 1, 1e-12, "normalization")
+}
+
+func TestStationaryDistValidation(t *testing.T) {
+	if _, err := StationaryDist(nil); err == nil {
+		t.Fatal("expected empty-chain error")
+	}
+	if _, err := StationaryDist([][]float64{{0.5, 0.4}, {0.5, 0.5}}); err == nil {
+		t.Fatal("expected row-sum error")
+	}
+	if _, err := StationaryDist([][]float64{{1.5, -0.5}, {0.5, 0.5}}); err == nil {
+		t.Fatal("expected negativity error")
+	}
+	if _, err := StationaryDist([][]float64{{1, 0}}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}

@@ -1,0 +1,419 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PMF is a probability mass function on the nonnegative integers,
+// represented densely: P(X = j) = p[j]. PMFs are the concrete face of the
+// PGFs used throughout the analysis: a PMF's generating function is a
+// Series and vice versa.
+type PMF struct {
+	p []float64
+}
+
+// NewPMF builds a PMF from the given weights after validating that they
+// are nonnegative and sum to 1 within tolerance. The slice is copied.
+func NewPMF(weights []float64) (PMF, error) {
+	if len(weights) == 0 {
+		return PMF{}, fmt.Errorf("dist: empty PMF")
+	}
+	sum := 0.0
+	for j, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return PMF{}, fmt.Errorf("dist: PMF weight p[%d] = %g invalid", j, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return PMF{}, fmt.Errorf("dist: PMF weights sum to %g, want 1", sum)
+	}
+	p := make([]float64, len(weights))
+	copy(p, weights)
+	return PMF{p: p}, nil
+}
+
+// MustPMF is NewPMF that panics on invalid weights, for statically known
+// distributions.
+func MustPMF(weights []float64) PMF {
+	d, err := NewPMF(weights)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// PointPMF returns the distribution concentrated at value v ≥ 0.
+func PointPMF(v int) PMF {
+	if v < 0 {
+		panic("dist: point mass at negative value")
+	}
+	p := make([]float64, v+1)
+	p[v] = 1
+	return PMF{p: p}
+}
+
+// Support returns one past the largest value with positive probability.
+func (d PMF) Support() int { return len(d.p) }
+
+// Prob returns P(X = j).
+func (d PMF) Prob(j int) float64 {
+	if j < 0 || j >= len(d.p) {
+		return 0
+	}
+	return d.p[j]
+}
+
+// Probs returns a copy of the dense probability vector.
+func (d PMF) Probs() []float64 {
+	p := make([]float64, len(d.p))
+	copy(p, d.p)
+	return p
+}
+
+// Mean returns E[X].
+func (d PMF) Mean() float64 {
+	acc := 0.0
+	for j, w := range d.p {
+		acc += float64(j) * w
+	}
+	return acc
+}
+
+// Variance returns Var[X].
+func (d PMF) Variance() float64 {
+	m := d.Mean()
+	acc := 0.0
+	for j, w := range d.p {
+		dj := float64(j) - m
+		acc += dj * dj * w
+	}
+	return acc
+}
+
+// FactorialMoment returns E[X(X-1)…(X-r+1)].
+func (d PMF) FactorialMoment(r int) float64 {
+	return Series{c: d.p}.FactorialMoment(r)
+}
+
+// CDF returns P(X ≤ j).
+func (d PMF) CDF(j int) float64 {
+	if j < 0 {
+		return 0
+	}
+	if j >= len(d.p) {
+		return 1
+	}
+	acc := 0.0
+	for i := 0; i <= j; i++ {
+		acc += d.p[i]
+	}
+	return acc
+}
+
+// Tail returns P(X > j).
+func (d PMF) Tail(j int) float64 { return 1 - d.CDF(j) }
+
+// Quantile returns the smallest j with P(X ≤ j) ≥ q, for q in (0,1].
+func (d PMF) Quantile(q float64) int {
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("dist: quantile level %g out of (0,1]", q))
+	}
+	acc := 0.0
+	for j, w := range d.p {
+		acc += w
+		if acc >= q-1e-12 {
+			return j
+		}
+	}
+	return len(d.p) - 1
+}
+
+// PGF returns the generating function of d truncated to n terms.
+func (d PMF) PGF(n int) Series {
+	s := ZeroSeries(n)
+	copy(s.c, d.p)
+	return s
+}
+
+// Binomial returns the Binomial(n, p) distribution.
+func Binomial(n int, p float64) PMF {
+	if n < 0 || p < 0 || p > 1 {
+		panic(fmt.Sprintf("dist: invalid Binomial(%d, %g)", n, p))
+	}
+	w := make([]float64, n+1)
+	// Iterative PMF: w[0] = (1-p)^n, w[j+1] = w[j]·(n-j)/(j+1)·p/(1-p).
+	// Handle the endpoints exactly.
+	switch {
+	case p == 0:
+		w[0] = 1
+	case p == 1:
+		w[n] = 1
+	default:
+		lw := float64(n) * math.Log1p(-p)
+		for j := 0; j <= n; j++ {
+			w[j] = math.Exp(lw)
+			lw += math.Log(float64(n-j)) - math.Log(float64(j+1)) + math.Log(p) - math.Log1p(-p)
+		}
+	}
+	// Renormalize tiny floating error.
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	for j := range w {
+		w[j] /= sum
+	}
+	return PMF{p: w}
+}
+
+// GeometricPMF returns the geometric distribution on {1, 2, …} with
+// success probability mu, truncated at n terms with the residual tail mass
+// folded into the last retained value so that the PMF still sums to one.
+// E[X] = 1/mu for the untruncated law.
+func GeometricPMF(mu float64, n int) PMF {
+	if mu <= 0 || mu > 1 {
+		panic(fmt.Sprintf("dist: invalid geometric parameter %g", mu))
+	}
+	if n < 2 {
+		panic("dist: geometric truncation too short")
+	}
+	w := make([]float64, n)
+	acc := 0.0
+	for j := 1; j < n; j++ {
+		w[j] = mu * math.Pow(1-mu, float64(j-1))
+		acc += w[j]
+	}
+	w[n-1] += 1 - acc // fold tail
+	return PMF{p: w}
+}
+
+// PoissonPMF returns the Poisson(lambda) distribution truncated at n terms
+// with the tail folded into the last value.
+func PoissonPMF(lambda float64, n int) PMF {
+	if lambda < 0 {
+		panic(fmt.Sprintf("dist: invalid Poisson rate %g", lambda))
+	}
+	if n < 1 {
+		panic("dist: Poisson truncation too short")
+	}
+	w := make([]float64, n)
+	term := math.Exp(-lambda)
+	acc := 0.0
+	for j := 0; j < n; j++ {
+		w[j] = term
+		acc += term
+		term *= lambda / float64(j+1)
+	}
+	w[n-1] += 1 - acc
+	return PMF{p: w}
+}
+
+// Mixture returns the mixture Σ weights[i]·components[i].
+func Mixture(components []PMF, weights []float64) (PMF, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return PMF{}, fmt.Errorf("dist: mixture needs matching nonempty components/weights, got %d/%d",
+			len(components), len(weights))
+	}
+	sum := 0.0
+	maxLen := 0
+	for i, w := range weights {
+		if w < 0 {
+			return PMF{}, fmt.Errorf("dist: negative mixture weight %g", w)
+		}
+		sum += w
+		if components[i].Support() > maxLen {
+			maxLen = components[i].Support()
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return PMF{}, fmt.Errorf("dist: mixture weights sum to %g, want 1", sum)
+	}
+	p := make([]float64, maxLen)
+	for i, comp := range components {
+		for j, v := range comp.p {
+			p[j] += weights[i] * v
+		}
+	}
+	return PMF{p: p}, nil
+}
+
+// Convolve returns the distribution of the sum of two independent
+// variables with laws d and e.
+func Convolve(d, e PMF) PMF {
+	p := make([]float64, len(d.p)+len(e.p)-1)
+	for i, a := range d.p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range e.p {
+			p[i+j] += a * b
+		}
+	}
+	return PMF{p: p}
+}
+
+// FromSeries interprets a truncated series as a sub-probability vector and
+// normalizes it into a PMF, returning the truncated tail mass that was
+// discarded by renormalization. Negative coefficients smaller in magnitude
+// than tol are clamped to zero; larger negative coefficients are an error
+// (they indicate the series was not a PGF).
+func FromSeries(s Series, tol float64) (PMF, float64, error) {
+	p := make([]float64, s.Len())
+	sum := 0.0
+	for j := 0; j < s.Len(); j++ {
+		v := s.Coeff(j)
+		if v < 0 {
+			if v < -tol {
+				return PMF{}, 0, fmt.Errorf("dist: series coefficient %d = %g is negative beyond tolerance", j, v)
+			}
+			v = 0
+		}
+		p[j] = v
+		sum += v
+	}
+	if sum <= 0 {
+		return PMF{}, 0, fmt.Errorf("dist: series has no positive mass")
+	}
+	for j := range p {
+		p[j] /= sum
+	}
+	return PMF{p: p}, 1 - sum, nil
+}
+
+// Sampler precomputes the inverse CDF of a PMF for O(1) sampling via the
+// alias method. It is the bridge between the analytic models and the
+// simulators.
+type Sampler struct {
+	n      int
+	prob   []float64
+	alias  []int
+	values []int
+}
+
+// NewSampler builds an alias-method sampler over the support of d.
+// Zero-probability values are retained (they simply never get picked).
+func NewSampler(d PMF) *Sampler {
+	n := len(d.p)
+	s := &Sampler{
+		n:      n,
+		prob:   make([]float64, n),
+		alias:  make([]int, n),
+		values: make([]int, n),
+	}
+	for j := range s.values {
+		s.values[j] = j
+	}
+	scaled := make([]float64, n)
+	var small, large []int
+	for j, w := range d.p {
+		scaled[j] = w * float64(n)
+		if scaled[j] < 1 {
+			small = append(small, j)
+		} else {
+			large = append(large, j)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, j := range large {
+		s.prob[j] = 1
+	}
+	for _, j := range small {
+		s.prob[j] = 1
+	}
+	return s
+}
+
+// Sample draws one value using the two uniforms u1, u2 in [0,1).
+func (s *Sampler) Sample(u1, u2 float64) int {
+	j := int(u1 * float64(s.n))
+	if j >= s.n {
+		j = s.n - 1
+	}
+	if u2 < s.prob[j] {
+		return s.values[j]
+	}
+	return s.values[s.alias[j]]
+}
+
+// TotalVariation returns the total-variation distance between two PMFs,
+// ½·Σ|p_j - q_j|, a convenient test metric.
+func TotalVariation(d, e PMF) float64 {
+	n := len(d.p)
+	if len(e.p) > n {
+		n = len(e.p)
+	}
+	acc := 0.0
+	for j := 0; j < n; j++ {
+		acc += math.Abs(d.Prob(j) - e.Prob(j))
+	}
+	return acc / 2
+}
+
+// EmpiricalPMF builds a PMF from observation counts.
+func EmpiricalPMF(counts []int64) (PMF, error) {
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return PMF{}, fmt.Errorf("dist: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return PMF{}, fmt.Errorf("dist: no observations")
+	}
+	p := make([]float64, len(counts))
+	for j, c := range counts {
+		p[j] = float64(c) / float64(total)
+	}
+	return PMF{p: p}, nil
+}
+
+// TrimTail returns a copy of d with trailing values of cumulative mass
+// ≤ eps removed and the removed mass folded into the new last value.
+func (d PMF) TrimTail(eps float64) PMF {
+	cut := len(d.p)
+	acc := 0.0
+	for cut > 1 {
+		acc += d.p[cut-1]
+		if acc > eps {
+			break
+		}
+		cut--
+	}
+	p := make([]float64, cut)
+	copy(p, d.p[:cut])
+	rest := 0.0
+	for j := cut; j < len(d.p); j++ {
+		rest += d.p[j]
+	}
+	p[cut-1] += rest
+	return PMF{p: p}
+}
+
+// SortedSupport returns the values with probability above eps, ascending.
+func (d PMF) SortedSupport(eps float64) []int {
+	var vals []int
+	for j, w := range d.p {
+		if w > eps {
+			vals = append(vals, j)
+		}
+	}
+	sort.Ints(vals)
+	return vals
+}

@@ -1,0 +1,247 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPMFValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		ok      bool
+	}{
+		{"valid", []float64{0.5, 0.5}, true},
+		{"point", []float64{1}, true},
+		{"empty", nil, false},
+		{"negative", []float64{1.5, -0.5}, false},
+		{"badsum", []float64{0.5, 0.6}, false},
+		{"nan", []float64{math.NaN(), 1}, false},
+		{"inf", []float64{math.Inf(1), 1}, false},
+	}
+	for _, c := range cases {
+		_, err := NewPMF(c.weights)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPointPMF(t *testing.T) {
+	d := PointPMF(3)
+	if d.Prob(3) != 1 || d.Prob(2) != 0 {
+		t.Fatalf("point mass wrong: %v", d.Probs())
+	}
+	almost(t, d.Mean(), 3, 0, "point mean")
+	almost(t, d.Variance(), 0, 0, "point variance")
+	almost(t, d.FactorialMoment(2), 6, 0, "point second factorial moment")
+}
+
+func TestBinomialMoments(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{1, 0.3}, {4, 0.25}, {8, 0.5}, {16, 0.9}, {5, 0}, {5, 1}} {
+		d := Binomial(c.n, c.p)
+		n, p := float64(c.n), c.p
+		almost(t, d.Mean(), n*p, 1e-10, "binomial mean")
+		almost(t, d.Variance(), n*p*(1-p), 1e-9, "binomial variance")
+		almost(t, d.FactorialMoment(2), n*(n-1)*p*p, 1e-9, "binomial E[X(X-1)]")
+		almost(t, d.FactorialMoment(3), n*(n-1)*(n-2)*p*p*p, 1e-9, "binomial E[X(X-1)(X-2)]")
+		sum := 0.0
+		for j := 0; j <= c.n; j++ {
+			sum += d.Prob(j)
+		}
+		almost(t, sum, 1, 1e-12, "binomial normalization")
+	}
+}
+
+func TestGeometricPMF(t *testing.T) {
+	mu := 0.25
+	d := GeometricPMF(mu, 4096)
+	almost(t, d.Mean(), 1/mu, 1e-6, "geometric mean")
+	almost(t, d.Variance(), (1-mu)/(mu*mu), 1e-4, "geometric variance")
+	if d.Prob(0) != 0 {
+		t.Fatal("geometric must have no mass at 0")
+	}
+	almost(t, d.Prob(1), mu, 1e-12, "geometric P(1)")
+}
+
+func TestPoissonPMF(t *testing.T) {
+	lam := 3.2
+	d := PoissonPMF(lam, 256)
+	almost(t, d.Mean(), lam, 1e-9, "poisson mean")
+	almost(t, d.Variance(), lam, 1e-7, "poisson variance")
+	almost(t, d.Prob(0), math.Exp(-lam), 1e-12, "poisson P(0)")
+}
+
+func TestCDFQuantileTail(t *testing.T) {
+	d := MustPMF([]float64{0.1, 0.4, 0.3, 0.2})
+	almost(t, d.CDF(-1), 0, 0, "CDF below support")
+	almost(t, d.CDF(1), 0.5, 1e-12, "CDF(1)")
+	almost(t, d.CDF(9), 1, 0, "CDF beyond support")
+	almost(t, d.Tail(1), 0.5, 1e-12, "Tail(1)")
+	if q := d.Quantile(0.5); q != 1 {
+		t.Fatalf("Quantile(0.5) = %d", q)
+	}
+	if q := d.Quantile(0.95); q != 3 {
+		t.Fatalf("Quantile(0.95) = %d", q)
+	}
+	if q := d.Quantile(1); q != 3 {
+		t.Fatalf("Quantile(1) = %d", q)
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m, err := Mixture([]PMF{PointPMF(1), PointPMF(3)}, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, m.Mean(), 0.25+3*0.75, 1e-12, "mixture mean")
+	if _, err := Mixture([]PMF{PointPMF(1)}, []float64{0.9}); err == nil {
+		t.Fatal("expected bad-weights error")
+	}
+	if _, err := Mixture(nil, nil); err == nil {
+		t.Fatal("expected empty-mixture error")
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	a := Binomial(3, 0.4)
+	b := Binomial(5, 0.4)
+	c := Convolve(a, b)
+	want := Binomial(8, 0.4)
+	if tv := TotalVariation(c, want); tv > 1e-10 {
+		t.Fatalf("Binomial(3)+Binomial(5) != Binomial(8): TV = %g", tv)
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	s := NewSeries([]float64{0.5, 0.3, 0.1})
+	d, tail, err := FromSeries(s, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, tail, 0.1, 1e-12, "tail mass")
+	almost(t, d.Prob(0), 0.5/0.9, 1e-12, "renormalized head")
+
+	// Tiny negatives are clamped.
+	s2 := NewSeries([]float64{1, -1e-12})
+	if _, _, err := FromSeries(s2, 1e-9); err != nil {
+		t.Fatalf("tiny negative should clamp: %v", err)
+	}
+	// Large negatives are errors.
+	s3 := NewSeries([]float64{1, -0.5})
+	if _, _, err := FromSeries(s3, 1e-9); err == nil {
+		t.Fatal("expected error for materially negative coefficient")
+	}
+	// All-zero series is an error.
+	if _, _, err := FromSeries(ZeroSeries(3), 1e-9); err == nil {
+		t.Fatal("expected error for zero-mass series")
+	}
+}
+
+func TestSamplerMatchesPMF(t *testing.T) {
+	d := MustPMF([]float64{0.1, 0.2, 0.05, 0.4, 0.25})
+	s := NewSampler(d)
+	rng := rand.New(rand.NewSource(99))
+	const n = 400000
+	counts := make([]int64, d.Support())
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng.Float64(), rng.Float64())]++
+	}
+	for j := range counts {
+		got := float64(counts[j]) / n
+		if math.Abs(got-d.Prob(j)) > 0.004 {
+			t.Fatalf("sampler P(%d) = %.4f, want %.4f", j, got, d.Prob(j))
+		}
+	}
+}
+
+func TestEmpiricalPMF(t *testing.T) {
+	d, err := EmpiricalPMF([]int64{1, 3, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d.Prob(1), 3.0/8, 1e-12, "empirical prob")
+	if _, err := EmpiricalPMF([]int64{0, 0}); err == nil {
+		t.Fatal("expected no-observations error")
+	}
+	if _, err := EmpiricalPMF([]int64{-1, 2}); err == nil {
+		t.Fatal("expected negative-count error")
+	}
+}
+
+func TestTrimTail(t *testing.T) {
+	d := MustPMF([]float64{0.9, 0.0999999, 1e-7, 0, 0})
+	tr := d.TrimTail(1e-6)
+	if tr.Support() > 3 {
+		t.Fatalf("trim kept support %d", tr.Support())
+	}
+	sum := 0.0
+	for j := 0; j < tr.Support(); j++ {
+		sum += tr.Prob(j)
+	}
+	almost(t, sum, 1, 1e-12, "trimmed mass conserved")
+}
+
+func TestTotalVariationBounds(t *testing.T) {
+	a := PointPMF(0)
+	b := PointPMF(5)
+	almost(t, TotalVariation(a, b), 1, 1e-12, "disjoint TV")
+	almost(t, TotalVariation(a, a), 0, 0, "identical TV")
+}
+
+// Property: for any valid PMF, Quantile(CDF(j)) ≤ j and the CDF is
+// monotone.
+func TestPMFQuantileConsistencyQuick(t *testing.T) {
+	f := func(raw [6]float64) bool {
+		w := make([]float64, 6)
+		sum := 0.0
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0.5
+			}
+			w[i] = math.Mod(math.Abs(v), 1) + 1e-3
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		d, err := NewPMF(w)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for j := 0; j < d.Support(); j++ {
+			c := d.CDF(j)
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+			if d.Quantile(c) > j {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: convolution means and variances add.
+func TestConvolveMomentsQuick(t *testing.T) {
+	f := func(n1, n2 uint8, p1, p2 float64) bool {
+		a := Binomial(int(n1%6)+1, math.Mod(math.Abs(p1), 1))
+		b := Binomial(int(n2%6)+1, math.Mod(math.Abs(p2), 1))
+		c := Convolve(a, b)
+		return math.Abs(c.Mean()-(a.Mean()+b.Mean())) < 1e-9 &&
+			math.Abs(c.Variance()-(a.Variance()+b.Variance())) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

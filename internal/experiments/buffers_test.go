@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBufferExperiment(t *testing.T) {
+	sw, err := BufferExperiment(testScale(), 2, 0.6, 1, 4, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Rows) != 4 {
+		t.Fatalf("rows %d", len(sw.Rows))
+	}
+	// Drops decrease with capacity, analytics likewise.
+	for i := 1; i < len(sw.Rows); i++ {
+		if sw.Rows[i].DropFrac > sw.Rows[i-1].DropFrac {
+			t.Fatal("drop fraction not decreasing with capacity")
+		}
+		if sw.Rows[i].Overflow > sw.Rows[i-1].Overflow {
+			t.Fatal("analytic overflow not decreasing with capacity")
+		}
+	}
+	// Sim and analytic agree within an order of magnitude where both are
+	// measurable.
+	for _, r := range sw.Rows {
+		if r.PerStageDrop > 1e-3 && r.Overflow > 1e-6 {
+			ratio := r.PerStageDrop / r.Overflow
+			if ratio < 0.05 || ratio > 20 {
+				t.Fatalf("capacity %d: per-stage drop %g vs analytic %g",
+					r.Capacity, r.PerStageDrop, r.Overflow)
+			}
+		}
+	}
+	// The exact chain column is populated for m=1 and brackets the
+	// simulated per-stage drop within a factor accounting for
+	// stage-to-stage traffic smoothing.
+	for _, r := range sw.Rows {
+		if math.IsNaN(r.ExactDrop) {
+			t.Fatal("exact drop missing for m=1")
+		}
+		if r.PerStageDrop > 1e-3 && r.ExactDrop > 0 {
+			if ratio := r.PerStageDrop / r.ExactDrop; ratio < 0.2 || ratio > 5 {
+				t.Fatalf("capacity %d: per-stage drop %g vs exact %g", r.Capacity, r.PerStageDrop, r.ExactDrop)
+			}
+		}
+	}
+	// Occupancy reference populated.
+	if sw.Rows[0].MeanDepth <= 0 || sw.Rows[0].MaxDepth <= 0 {
+		t.Fatal("occupancy reference missing")
+	}
+	// Survivors of tight buffers wait less.
+	if sw.Rows[0].MeanWait >= sw.Rows[len(sw.Rows)-1].MeanWait {
+		t.Fatal("tight buffers should reduce survivor waiting")
+	}
+	var b strings.Builder
+	if err := sw.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "capacity") || !strings.Contains(b.String(), "occupancy") {
+		t.Fatalf("render output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBurstyExperiment(t *testing.T) {
+	b, err := BurstyExperiment(testScale(), 2, 0.4, []float64{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 3 {
+		t.Fatalf("rows %d", len(b.Rows))
+	}
+	// Waits inflate monotonically with burst length at fixed load…
+	for i := 1; i < len(b.Rows); i++ {
+		if b.Rows[i].SimW1 <= b.Rows[i-1].SimW1 {
+			t.Fatalf("stage-1 wait not increasing with burstiness: %+v", b.Rows)
+		}
+	}
+	// …and the i.i.d. Theorem 1 value underpredicts clearly at long
+	// bursts.
+	last := b.Rows[len(b.Rows)-1]
+	if last.Inflation < 1.5 {
+		t.Fatalf("long bursts inflate only %.2f×", last.Inflation)
+	}
+	// Short bursts (L=2) stay within ~2.5× of i.i.d. at this load.
+	if b.Rows[0].Inflation > 2.5 {
+		t.Fatalf("short bursts inflated %.2f×", b.Rows[0].Inflation)
+	}
+	var sb strings.Builder
+	if err := b.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "inflation") {
+		t.Fatal("render missing header")
+	}
+	// Bad burst length rejected.
+	if _, err := BurstyExperiment(testScale(), 2, 0.4, []float64{0.5}); err == nil {
+		t.Fatal("expected burst-length validation")
+	}
+	// Default grid works.
+	if _, err := BurstyExperiment(Scale{TargetMessages: 20000, WarmupCycles: 500, Seed: 3}, 2, 0.3, nil); err != nil {
+		t.Fatal(err)
+	}
+}

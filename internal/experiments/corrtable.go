@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"banyan/internal/delay"
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+	"banyan/internal/textplot"
+)
+
+// CorrTable is the Table VI experiment: the correlation matrix of the
+// waiting times a message experiences at the different stages, compared
+// to the paper's geometric covariance-decay model a·b^{j-1}.
+type CorrTable struct {
+	Name    string
+	Caption string
+	Stages  int
+	Sim     [][]float64 // simulated correlation matrix
+	Model   [][]float64 // a·b^{|i-j|-1} prediction (1 on the diagonal)
+	A, B    float64     // the model constants
+}
+
+// TableVI reproduces Table VI: correlations of waiting times between
+// stages (k = 2, p = 0.5, m = 1).
+func TableVI(sc Scale) (*CorrTable, error) {
+	const n = 7
+	res, err := sc.run("tableVI", simnet.Config{K: 2, Stages: n, P: 0.5, TrackStageWaits: true})
+	if err != nil {
+		return nil, err
+	}
+	pr := stages.Params{K: 2, M: 1, P: 0.5}
+	nw := delay.MustNew(stages.DefaultModel(), pr, n)
+	a, b := nw.CovConstants()
+	t := &CorrTable{
+		Name:    "Table VI",
+		Caption: "correlations of waiting times between stages (k=2, p=0.5, m=1)",
+		Stages:  n,
+		A:       a,
+		B:       b,
+	}
+	t.Sim = res.StageCov.CorrelationMatrix()
+	t.Model = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		t.Model[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			t.Model[i][j] = nw.Correlation(i+1, j+1)
+		}
+	}
+	return t, nil
+}
+
+// Render writes the upper triangle of the simulated matrix (the paper's
+// layout) followed by the model prediction.
+func (t *CorrTable) Render(w io.Writer) error {
+	header := []string{""}
+	for j := 1; j <= t.Stages; j++ {
+		header = append(header, fmt.Sprintf("stage %d", j))
+	}
+	block := func(title string, mat [][]float64) error {
+		var rows [][]string
+		for i := 0; i < t.Stages; i++ {
+			row := []string{fmt.Sprintf("stage %d", i+1)}
+			for j := 0; j < t.Stages; j++ {
+				if j < i {
+					row = append(row, "")
+				} else {
+					row = append(row, fmt.Sprintf("%.4f", mat[i][j]))
+				}
+			}
+			rows = append(rows, row)
+		}
+		return textplot.Table(w, title, header, rows)
+	}
+	if err := block(fmt.Sprintf("%s — %s (simulation)", t.Name, t.Caption), t.Sim); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return block(fmt.Sprintf("model: σ(i,i+j) = a·b^(j-1), a=%.4f b=%.4f", t.A, t.B), t.Model)
+}
+
+// LagCorrelations returns the average simulated correlation at each lag
+// (1 … Stages-1), a convenient scalar summary for tests.
+func (t *CorrTable) LagCorrelations() []float64 {
+	out := make([]float64, t.Stages-1)
+	for lag := 1; lag < t.Stages; lag++ {
+		acc, cnt := 0.0, 0
+		for i := 0; i+lag < t.Stages; i++ {
+			acc += t.Sim[i][i+lag]
+			cnt++
+		}
+		out[lag-1] = acc / float64(cnt)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"banyan/internal/core"
+	"banyan/internal/dist"
+	"banyan/internal/simnet"
+	"banyan/internal/textplot"
+	"banyan/internal/traffic"
+)
+
+// DistRow is one traffic/service class of the distribution check.
+type DistRow struct {
+	Model    string
+	Messages int64
+	KS       float64 // Kolmogorov–Smirnov distance sim vs exact
+	Critical float64 // 1% KS critical value for the sample size
+	TV       float64 // total-variation distance
+	ChiP     float64 // chi-square p-value (pooled cells)
+	Pass     bool    // KS below critical value
+}
+
+// DistCheck validates Theorem 1 at the distribution level: for each
+// traffic/service class the full simulated stage-1 waiting-time histogram
+// is tested against the exact transform-derived distribution with a
+// Kolmogorov–Smirnov test at the 1% level. This is the strongest form of
+// the paper's first-stage claim — not just the mean and variance but
+// every lattice probability.
+type DistCheck struct {
+	Name string
+	Rows []DistRow
+}
+
+// DistributionCheck runs the check over the paper's traffic classes.
+func DistributionCheck(sc Scale) (*DistCheck, error) {
+	type class struct {
+		name string
+		cfg  simnet.Config
+		arr  func() (traffic.Arrivals, error)
+		svc  func() (traffic.Service, error)
+	}
+	unit := func() (traffic.Service, error) { return traffic.UnitService(), nil }
+	classes := []class{
+		{
+			name: "uniform k=2 p=0.5 m=1",
+			cfg:  simnet.Config{K: 2, Stages: 1, P: 0.5},
+			arr:  func() (traffic.Arrivals, error) { return traffic.Uniform(2, 2, 0.5) },
+			svc:  unit,
+		},
+		{
+			name: "uniform k=4 p=0.8 m=1",
+			cfg:  simnet.Config{K: 4, Stages: 1, P: 0.8},
+			arr:  func() (traffic.Arrivals, error) { return traffic.Uniform(4, 4, 0.8) },
+			svc:  unit,
+		},
+		{
+			name: "bulk b=3 p=0.15",
+			cfg:  simnet.Config{K: 2, Stages: 1, P: 0.15, Bulk: 3},
+			arr:  func() (traffic.Arrivals, error) { return traffic.Bulk(2, 2, 0.15, 3) },
+			svc:  unit,
+		},
+		{
+			name: "hot-spot q=0.4 (exclusive)",
+			cfg:  simnet.Config{K: 2, Stages: 1, P: 0.5, Q: 0.4},
+			arr:  func() (traffic.Arrivals, error) { return traffic.NonuniformExclusive(2, 0.5, 0.4, 1) },
+			svc:  unit,
+		},
+		{
+			name: "constant m=4 ρ=0.5",
+			cfg:  simnet.Config{K: 2, Stages: 1, P: 0.125},
+			arr:  func() (traffic.Arrivals, error) { return traffic.Uniform(2, 2, 0.125) },
+			svc:  func() (traffic.Service, error) { return traffic.ConstService(4) },
+		},
+		{
+			name: "multi-size {4:.75, 8:.25}",
+			cfg:  simnet.Config{K: 2, Stages: 1, P: 0.08},
+			arr:  func() (traffic.Arrivals, error) { return traffic.Uniform(2, 2, 0.08) },
+			svc: func() (traffic.Service, error) {
+				return traffic.MultiService([]traffic.SizeMix{{Size: 4, Prob: 0.75}, {Size: 8, Prob: 0.25}})
+			},
+		},
+		{
+			name: "geometric μ=0.5 p=0.25",
+			cfg:  simnet.Config{K: 2, Stages: 1, P: 0.25},
+			arr:  func() (traffic.Arrivals, error) { return traffic.Uniform(2, 2, 0.25) },
+			svc:  func() (traffic.Service, error) { return traffic.GeomService(0.5, 512) },
+		},
+	}
+
+	chk := &DistCheck{Name: "Stage-1 distribution check (Theorem 1)"}
+	for _, c := range classes {
+		arr, err := c.arr()
+		if err != nil {
+			return nil, err
+		}
+		svc, err := c.svc()
+		if err != nil {
+			return nil, err
+		}
+		cfg := c.cfg
+		cfg.Service = svc
+		res, err := sc.run("distcheck/"+c.name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		an, err := core.New(arr, svc)
+		if err != nil {
+			return nil, err
+		}
+		maxV := res.TotalWait.Max()
+		order := maxV + 64
+		if order < 256 {
+			order = 256
+		}
+		exact, _, err := an.WaitDistribution(order)
+		if err != nil {
+			return nil, err
+		}
+		emp, err := dist.EmpiricalPMF(res.TotalWait.Counts())
+		if err != nil {
+			return nil, err
+		}
+		ks := dist.KolmogorovSmirnov(emp, exact)
+		// Successive waits at a queue are autocorrelated (they share
+		// busy periods), so the i.i.d. KS critical value is too tight.
+		// Use an effective sample size N·(1-ρ)/(1+ρ) — the classic
+		// integrated-autocorrelation-time correction for an AR(ρ)-like
+		// dependence structure, conservative at light load.
+		rho := arr.Rate() * svc.Mean()
+		nEff := int64(float64(res.Messages) * (1 - rho) / (1 + rho))
+		if nEff < 1 {
+			nEff = 1
+		}
+		crit, err := dist.KSCriticalValue(0.01, nEff)
+		if err != nil {
+			return nil, err
+		}
+		chiP := 0.0
+		if stat, dof, cerr := dist.ChiSquare(res.TotalWait.Counts(), exact.Probs(), 5); cerr == nil {
+			if pv, perr := dist.ChiSquarePValue(stat, dof); perr == nil {
+				chiP = pv
+			}
+		}
+		chk.Rows = append(chk.Rows, DistRow{
+			Model:    c.name,
+			Messages: res.Messages,
+			KS:       ks,
+			Critical: crit,
+			TV:       dist.TotalVariation(emp, exact),
+			ChiP:     chiP,
+			Pass:     ks <= crit,
+		})
+	}
+	return chk, nil
+}
+
+// Render writes the check as a table.
+func (chk *DistCheck) Render(w io.Writer) error {
+	header := []string{"model", "messages", "KS", "KS 1% crit", "TV", "χ² p", "pass"}
+	var rows [][]string
+	for _, r := range chk.Rows {
+		rows = append(rows, []string{
+			r.Model,
+			fmt.Sprintf("%d", r.Messages),
+			fmt.Sprintf("%.5f", r.KS),
+			fmt.Sprintf("%.5f", r.Critical),
+			fmt.Sprintf("%.5f", r.TV),
+			fmt.Sprintf("%.3f", r.ChiP),
+			fmt.Sprintf("%v", r.Pass),
+		})
+	}
+	return textplot.Table(w, chk.Name, header, rows)
+}

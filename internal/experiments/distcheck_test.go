@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDistributionCheck(t *testing.T) {
+	chk, err := DistributionCheck(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chk.Rows) != 7 {
+		t.Fatalf("rows %d", len(chk.Rows))
+	}
+	for _, r := range chk.Rows {
+		if !r.Pass {
+			t.Errorf("%s: simulated stage-1 distribution rejected: KS %g > crit %g",
+				r.Model, r.KS, r.Critical)
+		}
+		if r.TV > 0.015 {
+			t.Errorf("%s: TV %g too large", r.Model, r.TV)
+		}
+		if r.Messages < 10000 {
+			t.Errorf("%s: too few messages %d", r.Model, r.Messages)
+		}
+	}
+	var b strings.Builder
+	if err := chk.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "KS 1% crit") {
+		t.Fatal("render missing header")
+	}
+}

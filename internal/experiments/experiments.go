@@ -1,0 +1,92 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the per-stage waiting-time tables (I–V), the inter-stage
+// correlation matrix (VI), the total-wait prediction tables (VII–XII) and
+// the total-wait distribution figures (3–8). Each experiment returns a
+// structured result that renders itself in the paper's layout
+// (SIMULATION rows vs. ANALYSIS/ESTIMATE rows) and that the test suite
+// asserts shape properties on.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+	"banyan/internal/traffic"
+)
+
+// Scale controls the simulation effort of every experiment.
+type Scale struct {
+	// TargetMessages is the approximate number of measured messages per
+	// simulation run; cycle counts are derived from it.
+	TargetMessages int
+	// WarmupCycles are simulated before measurement starts.
+	WarmupCycles int
+	// Seed is the base random seed; each run derives its own from it.
+	Seed uint64
+}
+
+// Quick returns a scale suitable for tests and benchmarks (seconds).
+func Quick() Scale {
+	return Scale{TargetMessages: 150_000, WarmupCycles: 1500, Seed: 0x5eed}
+}
+
+// Full returns a scale suitable for regenerating the paper's numbers
+// (a few minutes for the whole suite).
+func Full() Scale {
+	return Scale{TargetMessages: 2_000_000, WarmupCycles: 5000, Seed: 0x5eed}
+}
+
+// derive returns a per-run seed from the base seed and a label.
+func (sc Scale) derive(label string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return sc.Seed ^ h.Sum64()
+}
+
+// cyclesFor sizes a run to reach the target measured-message count.
+func (sc Scale) cyclesFor(rows int, p float64, bulk int) int {
+	if bulk < 1 {
+		bulk = 1
+	}
+	perCycle := float64(rows) * p * float64(bulk)
+	c := int(float64(sc.TargetMessages)/perCycle) + 1
+	if c < 200 {
+		c = 200
+	}
+	return c
+}
+
+// runCfg builds and runs one simulation.
+func (sc Scale) run(label string, cfg simnet.Config) (*simnet.Result, error) {
+	rows := 1
+	for i := 0; i < cfg.Stages; i++ {
+		rows *= cfg.K
+		if rows >= 4096 {
+			rows = 4096
+			break
+		}
+	}
+	cfg.Cycles = sc.cyclesFor(rows, cfg.P, cfg.Bulk)
+	cfg.Warmup = sc.WarmupCycles
+	cfg.Seed = sc.derive(label)
+	res, err := simnet.Run(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	return res, nil
+}
+
+// model returns the Section IV approximation model used by all ESTIMATE
+// rows.
+func model() stages.Model { return stages.DefaultModel() }
+
+// mustConst returns a constant-size service law.
+func mustConst(m int) traffic.Service {
+	s, err := traffic.ConstService(m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

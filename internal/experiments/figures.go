@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"banyan/internal/dist"
+	"banyan/internal/textplot"
+)
+
+// FigurePanel is one panel of a Figure 3–8 experiment: the simulated
+// distribution of the total waiting time through an n-stage network, with
+// the gamma approximation matched to the Section V predicted moments.
+type FigurePanel struct {
+	NStages int
+	Sim     []float64  // empirical P(total wait = j)
+	Model   []float64  // gamma cell probabilities
+	Gamma   dist.Gamma // the fitted gamma
+	SimMean float64
+	SimVar  float64
+	// TV is the total-variation distance between the simulated and
+	// gamma distributions, the scalar "how good is the fit" summary
+	// used by the tests. TVConv is the same metric for the library's
+	// sharper convolution predictor (exact stage-1 distribution plus a
+	// gamma block for the later stages).
+	TV     float64
+	TVConv float64
+	// TailErr compares P(X > x95) where x95 is the model's 95% point —
+	// the paper emphasizes tail accuracy.
+	SimTail, ModelTail float64
+}
+
+// Figure is a Figure 3–8 experiment result: four panels at depths
+// 3, 6, 9, 12.
+type Figure struct {
+	Name    string
+	Caption string
+	Case    TotalCase
+	Panels  []FigurePanel
+}
+
+// FigureFor reproduces one of Figures 3–8 for the given operating point.
+func FigureFor(sc Scale, tc TotalCase) (*Figure, error) {
+	f := &Figure{
+		Name: tc.Fig,
+		Caption: fmt.Sprintf("distribution of total waiting times — simulation and gamma prediction (k=%d, p=%g, m=%d)",
+			tc.K, tc.P, tc.M),
+		Case: tc,
+	}
+	for _, n := range []int{3, 6, 9, 12} {
+		res, err := runTotalCase(sc, tc, n, false)
+		if err != nil {
+			return nil, err
+		}
+		nw := predictor(tc, n)
+		g, err := nw.GammaApprox()
+		if err != nil {
+			return nil, err
+		}
+		maxV := res.TotalWait.Max()
+		cells := maxV + 1
+		if q, qerr := g.Quantile(0.9999); qerr == nil {
+			if c := int(q) + 2; c > cells {
+				cells = c
+			}
+		}
+		sim := make([]float64, cells)
+		for j := 0; j < cells; j++ {
+			sim[j] = res.TotalWait.Prob(j)
+		}
+		modelPMF := g.Discretize(cells)
+		model := modelPMF.Probs()
+		simPMF, err := dist.EmpiricalPMF(res.TotalWait.Counts())
+		if err != nil {
+			return nil, err
+		}
+		panel := FigurePanel{
+			NStages: n,
+			Sim:     sim,
+			Model:   model,
+			Gamma:   g,
+			SimMean: res.MeanTotalWait(),
+			SimVar:  res.VarTotalWait(),
+			TV:      dist.TotalVariation(simPMF, modelPMF),
+		}
+		if convPMF, cerr := nw.ConvolutionPMF(cells); cerr == nil {
+			panel.TVConv = dist.TotalVariation(simPMF, convPMF)
+		}
+		if q, qerr := g.Quantile(0.95); qerr == nil {
+			x := int(math.Ceil(q))
+			panel.SimTail = res.TotalWait.Tail(x)
+			panel.ModelTail = g.Tail(float64(x) + 0.5)
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f, nil
+}
+
+// Figure3 … Figure8 regenerate the individual figures.
+func Figure3(sc Scale) (*Figure, error) { return FigureFor(sc, TotalCases()[0]) }
+func Figure4(sc Scale) (*Figure, error) { return FigureFor(sc, TotalCases()[1]) }
+func Figure5(sc Scale) (*Figure, error) { return FigureFor(sc, TotalCases()[2]) }
+func Figure6(sc Scale) (*Figure, error) { return FigureFor(sc, TotalCases()[3]) }
+func Figure7(sc Scale) (*Figure, error) { return FigureFor(sc, TotalCases()[4]) }
+func Figure8(sc Scale) (*Figure, error) { return FigureFor(sc, TotalCases()[5]) }
+
+// Render draws every panel as an ASCII histogram with the gamma overlay.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.Name, f.Caption); err != nil {
+		return err
+	}
+	for _, p := range f.Panels {
+		title := fmt.Sprintf("\n%d stages: sim mean %.3f var %.3f | gamma(shape=%.3f, scale=%.3f) mean %.3f var %.3f | TV %.4f (convolution %.4f)",
+			p.NStages, p.SimMean, p.SimVar, p.Gamma.Shape, p.Gamma.Scale, p.Gamma.Mean(), p.Gamma.Variance(), p.TV, p.TVConv)
+		if err := textplot.Histogram(w, title, p.Sim, p.Model, 56, 1e-3); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the figure's panels as CSV (one block per panel).
+func (f *Figure) RenderCSV(w io.Writer) error {
+	for _, p := range f.Panels {
+		if _, err := fmt.Fprintf(w, "# %s, %d stages\n", f.Name, p.NStages); err != nil {
+			return err
+		}
+		if err := textplot.CSV(w, []string{"wait", "sim", "gamma"}, p.Sim, p.Model); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"banyan/internal/core"
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+	"banyan/internal/textplot"
+)
+
+// HeavyRow is one load point of the heavy-traffic probe.
+type HeavyRow struct {
+	P        float64
+	SimRatio float64 // measured r(p) = w∞/w₁
+	Probe    float64 // (1-p)·w∞ simulated
+	Model    float64 // (1-p)·w∞ under the interpolation model
+}
+
+// HeavyTraffic is the Conclusion-section conjecture experiment: the
+// paper expects lim_{p→1} (1-p)·w∞(p) to exist (every classical queue
+// has O(1/(1-ρ)) waits) and suggests a heavy-traffic analysis would pin
+// r(p) = w∞/w₁ at p = 1. This experiment pushes the simulator toward
+// saturation and watches both quantities stabilize; the model column is
+// the linear interpolation r(p) = 1 + 4p/(5k), whose probe limit is
+// (1+4/(5k))·(1-1/k)/2.
+type HeavyTraffic struct {
+	Name    string
+	Caption string
+	K       int
+	Rows    []HeavyRow
+}
+
+// HeavyTrafficExperiment sweeps p toward 1 at k=2, m=1.
+func HeavyTrafficExperiment(sc Scale, k int, loads []float64) (*HeavyTraffic, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.5, 0.7, 0.8, 0.9, 0.95}
+	}
+	ht := &HeavyTraffic{
+		Name:    "Heavy traffic",
+		Caption: fmt.Sprintf("(1-p)·w∞ probe toward saturation (k=%d, m=1)", k),
+		K:       k,
+	}
+	md := model()
+	n := 8
+	for _, p := range loads {
+		if p >= 1 {
+			return nil, fmt.Errorf("experiments: heavy-traffic load %g must be < 1", p)
+		}
+		cfg := simnet.Config{K: k, Stages: n, P: p}
+		// Saturation needs longer warmup: transients decay like
+		// 1/(1-p)².
+		scHeavy := sc
+		scHeavy.WarmupCycles = sc.WarmupCycles + int(20/((1-p)*(1-p)))
+		res, err := scHeavy.run(fmt.Sprintf("heavy/p=%g", p), cfg)
+		if err != nil {
+			return nil, err
+		}
+		wInf := (res.StageWait[n-1].Mean() + res.StageWait[n-2].Mean()) / 2
+		w1 := core.UniformServiceOneMeanWait(k, k, p)
+		pr := stages.Params{K: k, M: 1, P: p}
+		ht.Rows = append(ht.Rows, HeavyRow{
+			P:        p,
+			SimRatio: wInf / w1,
+			Probe:    (1 - p) * wInf,
+			Model:    md.HeavyTrafficProbe(pr),
+		})
+	}
+	return ht, nil
+}
+
+// Render writes the probe table.
+func (ht *HeavyTraffic) Render(w io.Writer) error {
+	header := []string{"p", "sim r(p)", "sim (1-p)w∞", "model (1-p)w∞"}
+	var rows [][]string
+	for _, r := range ht.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", r.P),
+			fmt.Sprintf("%.4f", r.SimRatio),
+			fmt.Sprintf("%.4f", r.Probe),
+			fmt.Sprintf("%.4f", r.Model),
+		})
+	}
+	return textplot.Table(w, fmt.Sprintf("%s — %s", ht.Name, ht.Caption), header, rows)
+}

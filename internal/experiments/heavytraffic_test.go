@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeavyTrafficExperiment(t *testing.T) {
+	ht, err := HeavyTrafficExperiment(testScale(), 2, []float64{0.5, 0.8, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ht.Rows) != 3 {
+		t.Fatalf("rows %d", len(ht.Rows))
+	}
+	for i, r := range ht.Rows {
+		// r(p) stays in the plausible band [1, 1+2p/5+slack].
+		if r.SimRatio < 1 || r.SimRatio > 1.45 {
+			t.Fatalf("row %d: ratio %g out of band", i, r.SimRatio)
+		}
+		// The probe stays positive and bounded.
+		if r.Probe <= 0 || r.Probe > 0.5 {
+			t.Fatalf("row %d: probe %g out of band", i, r.Probe)
+		}
+		// Model and simulation agree within 15% (the model is the
+		// crude linear interpolation; the paper notes concavity).
+		if r.Probe/r.Model < 0.8 || r.Probe/r.Model > 1.2 {
+			t.Fatalf("row %d: probe %g vs model %g", i, r.Probe, r.Model)
+		}
+	}
+	// The probe grows toward its limit (w∞ ~ C/(1-p) ⇒ probe → C).
+	if ht.Rows[2].Probe <= ht.Rows[0].Probe {
+		t.Fatal("probe should grow with p toward its limit")
+	}
+	var b strings.Builder
+	if err := ht.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sim r(p)") {
+		t.Fatal("render missing header")
+	}
+	// Default load grid.
+	if _, err := HeavyTrafficExperiment(Scale{TargetMessages: 20000, WarmupCycles: 300, Seed: 7}, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Saturation rejected.
+	if _, err := HeavyTrafficExperiment(testScale(), 2, []float64{1.0}); err == nil {
+		t.Fatal("expected p<1 validation")
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"banyan/internal/core"
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+	"banyan/internal/textplot"
+	"banyan/internal/traffic"
+)
+
+// StageColumn is one parameter column of a per-stage waiting-time table:
+// simulated mean/variance at each stage, the exact first-stage analysis,
+// and the Section IV estimate of the limiting stage statistics.
+type StageColumn struct {
+	Label     string
+	Stages    int
+	SimW      []float64 // per-stage simulated mean wait
+	SimV      []float64 // per-stage simulated wait variance
+	AnalysisW float64   // exact first-stage mean (paper: ANALYSIS row)
+	AnalysisV float64
+	EstimateW float64 // estimated limiting mean (paper: ESTIMATE row)
+	EstimateV float64
+	Messages  int64
+}
+
+// StageTable is a Table I–V style experiment result.
+type StageTable struct {
+	Name    string
+	Caption string
+	Columns []StageColumn
+}
+
+// Render writes the table in the paper's layout.
+func (t *StageTable) Render(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("experiments: empty table %s", t.Name)
+	}
+	nStages := 0
+	for _, c := range t.Columns {
+		if c.Stages > nStages {
+			nStages = c.Stages
+		}
+	}
+	header := []string{""}
+	for _, c := range t.Columns {
+		header = append(header, c.Label+" w", c.Label+" v")
+	}
+	var rows [][]string
+	for s := 0; s < nStages; s++ {
+		row := []string{fmt.Sprintf("stage %d", s+1)}
+		for _, c := range t.Columns {
+			if s < len(c.SimW) {
+				row = append(row, fmt.Sprintf("%.4f", c.SimW[s]), fmt.Sprintf("%.4f", c.SimV[s]))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	an := []string{"ANALYSIS"}
+	es := []string{"ESTIMATE"}
+	for _, c := range t.Columns {
+		an = append(an, fmt.Sprintf("%.4f", c.AnalysisW), fmt.Sprintf("%.4f", c.AnalysisV))
+		es = append(es, fmt.Sprintf("%.4f", c.EstimateW), fmt.Sprintf("%.4f", c.EstimateV))
+	}
+	rows = append(rows, an, es)
+	return textplot.Table(w, fmt.Sprintf("%s — %s", t.Name, t.Caption), header, rows)
+}
+
+func stageColumnFromResult(label string, res *simnet.Result) StageColumn {
+	col := StageColumn{Label: label, Stages: len(res.StageWait), Messages: res.Messages}
+	for i := range res.StageWait {
+		col.SimW = append(col.SimW, res.StageWait[i].Mean())
+		col.SimV = append(col.SimV, res.StageWait[i].Variance())
+	}
+	return col
+}
+
+// TableI reproduces Table I: waiting times and variances per stage with
+// the load p varying (k = 2, m = 1, q = 0).
+func TableI(sc Scale) (*StageTable, error) {
+	t := &StageTable{Name: "Table I", Caption: "waiting times and variances: p varying (k=2, m=1, q=0)"}
+	md := model()
+	for _, p := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		label := fmt.Sprintf("p=%.2f", p)
+		res, err := sc.run("tableI/"+label, simnet.Config{K: 2, Stages: 8, P: p})
+		if err != nil {
+			return nil, err
+		}
+		col := stageColumnFromResult(label, res)
+		pr := stages.Params{K: 2, M: 1, P: p}
+		col.AnalysisW = md.FirstStageMean(pr)
+		col.AnalysisV = md.FirstStageVar(pr)
+		col.EstimateW = md.LimitMeanWait(pr)
+		col.EstimateV = md.LimitVarWait(pr)
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}
+
+// TableII reproduces Table II: k varying (p = 0.5, m = 1, q = 0). The
+// stage count shrinks with k to keep the network at 4096 rows or fewer
+// (stage statistics converge well before the last simulated stage).
+func TableII(sc Scale) (*StageTable, error) {
+	t := &StageTable{Name: "Table II", Caption: "waiting times and variances: k varying (p=0.5, m=1, q=0)"}
+	md := model()
+	for _, kc := range []struct{ k, n int }{{2, 8}, {4, 6}, {8, 4}} {
+		label := fmt.Sprintf("k=%d", kc.k)
+		res, err := sc.run("tableII/"+label, simnet.Config{K: kc.k, Stages: kc.n, P: 0.5})
+		if err != nil {
+			return nil, err
+		}
+		col := stageColumnFromResult(label, res)
+		pr := stages.Params{K: kc.k, M: 1, P: 0.5}
+		col.AnalysisW = md.FirstStageMean(pr)
+		col.AnalysisV = md.FirstStageVar(pr)
+		col.EstimateW = md.LimitMeanWait(pr)
+		col.EstimateV = md.LimitVarWait(pr)
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}
+
+// TableIII reproduces Table III: message size m and p varying together so
+// the traffic intensity stays ρ = mp = 0.5 (k = 2, q = 0).
+func TableIII(sc Scale) (*StageTable, error) {
+	t := &StageTable{Name: "Table III", Caption: "waiting times and variances: p and m varying with ρ=0.5 (k=2, q=0)"}
+	md := model()
+	for _, m := range []int{2, 4, 8, 16} {
+		p := 0.5 / float64(m)
+		label := fmt.Sprintf("m=%d", m)
+		res, err := sc.run("tableIII/"+label, simnet.Config{K: 2, Stages: 8, P: p, Service: mustConst(m)})
+		if err != nil {
+			return nil, err
+		}
+		col := stageColumnFromResult(label, res)
+		pr := stages.Params{K: 2, M: m, P: p}
+		col.AnalysisW = md.FirstStageMean(pr)
+		col.AnalysisV = md.FirstStageVar(pr)
+		col.EstimateW = md.LimitMeanWait(pr)
+		col.EstimateV = md.LimitVarWait(pr)
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}
+
+// TableIV reproduces Table IV: two message sizes m₁ = 4, m₂ = 8 with the
+// mixture (g₁, g₂) and p varying so that ρ = p·m̄ = 0.5 (k = 2, q = 0).
+func TableIV(sc Scale) (*StageTable, error) {
+	t := &StageTable{Name: "Table IV", Caption: "waiting times and variances: m1=4, m2=8; p, g1, g2 varying with ρ=0.5 (k=2, q=0)"}
+	md := model()
+	sizes := []int{4, 8}
+	for _, g1 := range []float64{1, 2.0 / 3, 1.0 / 3, 0} {
+		g2 := 1 - g1
+		mbar := 4*g1 + 8*g2
+		p := 0.5 / mbar
+		label := fmt.Sprintf("g1=%.2f", g1)
+		svc, err := traffic.MultiService([]traffic.SizeMix{{Size: 4, Prob: g1}, {Size: 8, Prob: g2}})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.run("tableIV/"+label, simnet.Config{K: 2, Stages: 8, P: p, Service: svc})
+		if err != nil {
+			return nil, err
+		}
+		col := stageColumnFromResult(label, res)
+		probs := []float64{g1, g2}
+		arr, err := traffic.Uniform(2, 2, p)
+		if err != nil {
+			return nil, err
+		}
+		an, err := core.New(arr, svc)
+		if err != nil {
+			return nil, err
+		}
+		col.AnalysisW = an.MeanWait()
+		col.AnalysisV = an.VarWait()
+		col.EstimateW = md.MultiSizeLimitMeanWait(2, p, sizes, probs)
+		col.EstimateV = md.MultiSizeLimitVarWait(2, p, sizes, probs)
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}
+
+// TableV reproduces Table V: favorite-output probability q varying
+// (p = 0.5, k = 2, m = 1).
+func TableV(sc Scale) (*StageTable, error) {
+	t := &StageTable{Name: "Table V", Caption: "waiting times and variances: q varying (p=0.5, k=2, m=1)"}
+	md := model()
+	for _, q := range []float64{0, 0.1, 0.3, 0.6} {
+		label := fmt.Sprintf("q=%.1f", q)
+		res, err := sc.run("tableV/"+label, simnet.Config{K: 2, Stages: 8, P: 0.5, Q: q})
+		if err != nil {
+			return nil, err
+		}
+		col := stageColumnFromResult(label, res)
+		pr := stages.Params{K: 2, M: 1, P: 0.5, Q: q}
+		col.AnalysisW = md.FirstStageMean(pr)
+		col.AnalysisV = md.FirstStageVar(pr)
+		col.EstimateW = md.LimitMeanWait(pr)
+		col.EstimateV = md.LimitVarWait(pr)
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}

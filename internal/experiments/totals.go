@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"banyan/internal/delay"
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+	"banyan/internal/textplot"
+)
+
+// TotalCase identifies one of the paper's six total-delay operating
+// points (Tables VII–XII and Figures 3–8 share them).
+type TotalCase struct {
+	Table string // "Table VII" …
+	Fig   string // "Figure 3" …
+	K     int
+	P     float64
+	M     int
+}
+
+// TotalCases returns the paper's six operating points in table order.
+func TotalCases() []TotalCase {
+	return []TotalCase{
+		{Table: "Table VII", Fig: "Figure 3", K: 2, P: 0.2, M: 1},   // ρ=0.2
+		{Table: "Table VIII", Fig: "Figure 4", K: 2, P: 0.05, M: 4}, // ρ=0.2
+		{Table: "Table IX", Fig: "Figure 5", K: 2, P: 0.5, M: 1},    // ρ=0.5
+		{Table: "Table X", Fig: "Figure 6", K: 2, P: 0.125, M: 4},   // ρ=0.5
+		{Table: "Table XI", Fig: "Figure 7", K: 2, P: 0.8, M: 1},    // ρ=0.8
+		{Table: "Table XII", Fig: "Figure 8", K: 2, P: 0.2, M: 4},   // ρ=0.8
+	}
+}
+
+// TotalRow is one network depth of a total-delay table.
+type TotalRow struct {
+	NStages int
+	SimW    float64 // simulated total mean wait
+	SimV    float64 // simulated total wait variance
+	PredW   float64 // Section V predicted mean
+	PredV   float64 // Section V predicted variance (covariance-corrected)
+}
+
+// TotalTable is a Table VII–XII style experiment result.
+type TotalTable struct {
+	Name    string
+	Caption string
+	Case    TotalCase
+	Rows    []TotalRow
+}
+
+// runTotalCase simulates one operating point at one depth.
+func runTotalCase(sc Scale, tc TotalCase, n int, track bool) (*simnet.Result, error) {
+	cfg := simnet.Config{K: tc.K, Stages: n, P: tc.P}
+	if tc.M > 1 {
+		cfg.Service = mustConst(tc.M)
+	}
+	cfg.TrackStageWaits = track
+	return sc.run(fmt.Sprintf("total/%s/n=%d", tc.Table, n), cfg)
+}
+
+// predictor builds the Section V delay predictor for a case and depth.
+func predictor(tc TotalCase, n int) *delay.Network {
+	pr := stages.Params{K: tc.K, M: tc.M, P: tc.P}
+	return delay.MustNew(stages.DefaultModel(), pr, n)
+}
+
+// TotalTableFor reproduces one of Tables VII–XII: the predicted total
+// mean and variance of the waiting time versus simulation at network
+// depths n = 3, 6, 9, 12.
+func TotalTableFor(sc Scale, tc TotalCase) (*TotalTable, error) {
+	t := &TotalTable{
+		Name: tc.Table,
+		Caption: fmt.Sprintf("comparison of predictions to simulations (k=%d, p=%g, m=%d, ρ=%g)",
+			tc.K, tc.P, tc.M, tc.P*float64(tc.M)),
+		Case: tc,
+	}
+	for _, n := range []int{3, 6, 9, 12} {
+		res, err := runTotalCase(sc, tc, n, false)
+		if err != nil {
+			return nil, err
+		}
+		nw := predictor(tc, n)
+		t.Rows = append(t.Rows, TotalRow{
+			NStages: n,
+			SimW:    res.MeanTotalWait(),
+			SimV:    res.VarTotalWait(),
+			PredW:   nw.TotalMeanWait(),
+			PredV:   nw.TotalVarWait(),
+		})
+	}
+	return t, nil
+}
+
+// TableVII … TableXII regenerate the individual tables.
+func TableVII(sc Scale) (*TotalTable, error)  { return TotalTableFor(sc, TotalCases()[0]) }
+func TableVIII(sc Scale) (*TotalTable, error) { return TotalTableFor(sc, TotalCases()[1]) }
+func TableIX(sc Scale) (*TotalTable, error)   { return TotalTableFor(sc, TotalCases()[2]) }
+func TableX(sc Scale) (*TotalTable, error)    { return TotalTableFor(sc, TotalCases()[3]) }
+func TableXI(sc Scale) (*TotalTable, error)   { return TotalTableFor(sc, TotalCases()[4]) }
+func TableXII(sc Scale) (*TotalTable, error)  { return TotalTableFor(sc, TotalCases()[5]) }
+
+// Render writes the table in the paper's layout: simulation and
+// prediction side by side for each depth.
+func (t *TotalTable) Render(w io.Writer) error {
+	header := []string{"", "sim w", "sim v", "pred w", "pred v"}
+	var rows [][]string
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d stages", r.NStages),
+			fmt.Sprintf("%.3f", r.SimW),
+			fmt.Sprintf("%.3f", r.SimV),
+			fmt.Sprintf("%.3f", r.PredW),
+			fmt.Sprintf("%.3f", r.PredV),
+		})
+	}
+	return textplot.Table(w, fmt.Sprintf("%s — %s", t.Name, t.Caption), header, rows)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllTotalCases runs every Table VII–XII operating point at a reduced
+// scale and asserts the Section V predictions track simulation — the full
+// six-case version of TestTotalTablesShape's two cases.
+func TestAllTotalCases(t *testing.T) {
+	sc := Scale{TargetMessages: 40_000, WarmupCycles: 1200, Seed: 0xfeed}
+	for _, tc := range TotalCases() {
+		tc := tc
+		t.Run(tc.Table, func(t *testing.T) {
+			tbl, err := TotalTableFor(sc, tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range tbl.Rows {
+				// Means within 10%, variances within 30% at this small
+				// scale (heavy-load variance estimates are noisy).
+				almost(t, r.SimW, r.PredW, 0.10*(1+r.PredW), tc.Table+" mean")
+				almost(t, r.SimV, r.PredV, 0.30*(1+r.PredV), tc.Table+" variance")
+			}
+			// Depth scaling: totals roughly linear in n beyond the
+			// first stages — n=12 between 1.5× and 2.7× the n=6 value.
+			ratio := tbl.Rows[3].SimW / tbl.Rows[1].SimW
+			if ratio < 1.5 || ratio > 2.7 {
+				t.Fatalf("%s: depth ratio %g implausible", tc.Table, ratio)
+			}
+		})
+	}
+}
+
+func TestTotalCasesMatchPaperGrid(t *testing.T) {
+	cases := TotalCases()
+	if len(cases) != 6 {
+		t.Fatalf("cases: %d", len(cases))
+	}
+	// The six (p, m) pairs of the paper, in table order.
+	want := []struct {
+		p float64
+		m int
+	}{{0.2, 1}, {0.05, 4}, {0.5, 1}, {0.125, 4}, {0.8, 1}, {0.2, 4}}
+	for i, c := range cases {
+		if c.P != want[i].p || c.M != want[i].m || c.K != 2 {
+			t.Fatalf("case %d: %+v", i, c)
+		}
+		if !strings.HasPrefix(c.Table, "Table ") || !strings.HasPrefix(c.Fig, "Figure ") {
+			t.Fatalf("case %d labels: %q %q", i, c.Table, c.Fig)
+		}
+	}
+	// Table/figure pairing: ρ bands 0.2, 0.2, 0.5, 0.5, 0.8, 0.8.
+	rhos := []float64{0.2, 0.2, 0.5, 0.5, 0.8, 0.8}
+	for i, c := range cases {
+		if got := c.P * float64(c.M); got != rhos[i] {
+			t.Fatalf("case %d: ρ = %g, want %g", i, got, rhos[i])
+		}
+	}
+}

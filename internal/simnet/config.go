@@ -1,0 +1,402 @@
+// Package simnet simulates clocked, buffered, multistage banyan networks —
+// the experimental apparatus of the paper. Two independent engines are
+// provided:
+//
+//   - a fast message-level engine (fastsim.go) that exploits the
+//     infinite-buffer FIFO structure to propagate messages stage by stage
+//     without simulating idle cycles, and
+//
+//   - a literal cycle-driven engine (packetsim.go) that models every
+//     switch and queue each cycle and optionally enforces finite buffers
+//     (the paper's future-work extension).
+//
+// Both engines consume the same pre-generated arrival trace, so they can
+// be cross-validated against each other, and their first-stage statistics
+// against the exact analysis in internal/core.
+//
+// Timing conventions (identical in both engines): a message arriving at a
+// queue at cycle t may begin service no earlier than cycle t; consecutive
+// messages at one output port begin service at least m cycles apart
+// (m = the earlier message's service time); a message beginning service at
+// cycle s arrives at its next-stage queue at cycle s+1 (cut-through: the
+// head packet moves on while the tail may still be transmitting). The
+// waiting time at a stage is s - t, which is zero for a message finding
+// its output port free.
+package simnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"banyan/internal/dist"
+	"banyan/internal/traffic"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	K      int // switch radix (k×k switches)
+	Stages int // number of stages n
+
+	// P is the probability that an input port receives an arrival
+	// (a batch of Bulk messages) at each cycle.
+	P float64
+
+	// Bulk is the number of messages per arrival batch (Section
+	// III-A-2); 0 means 1.
+	Bulk int
+
+	// Q is the probability an arrival is addressed to the input's
+	// favorite output (its own index; Section III-A-3); 0 = uniform.
+	Q float64
+
+	// HotModule is the probability an arrival is addressed to the
+	// single shared output 0 (the RP3-style hot memory module); 0 =
+	// uniform. Mutually exclusive with Q. Hot traffic aggregates
+	// geometrically along the tree to output 0 and saturates it (tree
+	// saturation); Result.HotWait tracks the hot messages separately.
+	HotModule float64
+
+	// Service is the message service-time law; the zero value means
+	// unit service. A message keeps its sampled size at every stage
+	// (message length is physical), unless ResampleService is set.
+	Service traffic.Service
+
+	// ResampleService redraws each message's service time independently
+	// at every stage — the "i.i.d. service per queue" reading of the
+	// model, useful for studying how much length persistence (the
+	// default) matters at the later stages.
+	ResampleService bool
+
+	// Cycles is the number of measured cycles; Warmup cycles are
+	// simulated first and excluded from statistics.
+	Cycles int
+	Warmup int
+
+	// Burst, when non-nil, replaces the i.i.d.-per-cycle arrival process
+	// with a two-state Markov-modulated Bernoulli process per input:
+	// while ON the input generates with probability Burst.POn per cycle
+	// (OFF generates nothing); the state flips ON→OFF with probability
+	// Burst.POffRate and OFF→ON with Burst.POnRate per cycle. The mean
+	// rate is POn·POnRate/(POnRate+POffRate); P still selects the
+	// *target* mean rate and POn is derived, so sweeps hold the load
+	// fixed while varying burstiness. The paper's analysis assumes
+	// i.i.d. cycles (its reference [3], Burman & Smith, is exactly the
+	// bursty-traffic extension); this knob measures what burstiness
+	// costs beyond the paper's model.
+	Burst *BurstParams
+
+	// Seed seeds the deterministic PCG random stream.
+	Seed uint64
+
+	// MaxRows caps the number of rows per stage. A full k-ary n-stage
+	// banyan has k^n rows; when that exceeds MaxRows the simulator uses
+	// the largest power of k not exceeding it and wraps the shuffle
+	// (statistically equivalent for uniform traffic; favorite-output
+	// traffic requires the full network and is rejected when wrapped).
+	// 0 means 4096.
+	MaxRows int
+
+	// TrackStageWaits records each measured message's per-stage waiting
+	// times for covariance analysis (Table VI). Costs memory
+	// proportional to messages × stages.
+	TrackStageWaits bool
+
+	// TrackOccupancy, for the literal engine only, samples every output
+	// queue's occupancy each cycle after warmup (mean and maximum per
+	// stage) — the statistic used to validate analytic buffer sizing.
+	// Costs time proportional to stages × rows per cycle.
+	TrackOccupancy bool
+
+	// BufferCap, for the literal engine only, bounds each output queue
+	// to the given number of queued messages (0 = infinite). Arrivals
+	// to a full queue are dropped and counted.
+	BufferCap int
+}
+
+func (c *Config) bulk() int {
+	if c.Bulk <= 0 {
+		return 1
+	}
+	return c.Bulk
+}
+
+func (c *Config) service() traffic.Service {
+	if c.Service.PMF().Support() == 0 {
+		return traffic.UnitService()
+	}
+	return c.Service
+}
+
+// serviceSampler returns the alias sampler used for per-stage service
+// redraws, or nil when resampling is off or the law is a single atom
+// (redrawing a constant is a no-op).
+func (c *Config) serviceSampler() *dist.Sampler {
+	if !c.ResampleService {
+		return nil
+	}
+	pmf := c.service().PMF()
+	if len(pmf.SortedSupport(0)) == 1 {
+		return nil
+	}
+	return dist.NewSampler(pmf)
+}
+
+func (c *Config) maxRows() int {
+	if c.MaxRows <= 0 {
+		return 4096
+	}
+	return c.MaxRows
+}
+
+// rows returns the number of rows per stage and whether the shuffle wraps.
+func (c *Config) rows() (int, bool, error) {
+	full := 1
+	for i := 0; i < c.Stages; i++ {
+		if full > c.maxRows()/c.K {
+			// Full network too large: wrap at the largest power of k
+			// that fits.
+			r := 1
+			for r*c.K <= c.maxRows() {
+				r *= c.K
+			}
+			if c.Q != 0 || c.HotModule != 0 {
+				return 0, false, fmt.Errorf("simnet: favorite-output and hot-module traffic need the full k^n=%d-row network (MaxRows=%d)",
+					intPow(c.K, c.Stages), c.maxRows())
+			}
+			return r, true, nil
+		}
+		full *= c.K
+	}
+	return full, false, nil
+}
+
+func intPow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// bitsFor returns an upper bound on log2(k), used to bound k^n.
+func bitsFor(k int) int {
+	b := 0
+	for v := k - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("simnet: switch radix k = %d must be at least 2", c.K)
+	}
+	if c.Stages < 1 {
+		return fmt.Errorf("simnet: stage count %d must be at least 1", c.Stages)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("simnet: arrival probability p = %g out of [0,1]", c.P)
+	}
+	if c.Q < 0 || c.Q > 1 {
+		return fmt.Errorf("simnet: favorite probability q = %g out of [0,1]", c.Q)
+	}
+	if c.HotModule < 0 || c.HotModule > 1 {
+		return fmt.Errorf("simnet: hot-module probability h = %g out of [0,1]", c.HotModule)
+	}
+	if c.HotModule > 0 && c.Q > 0 {
+		return fmt.Errorf("simnet: HotModule and Q are mutually exclusive")
+	}
+	if c.Cycles < 1 {
+		return fmt.Errorf("simnet: cycle count %d must be at least 1", c.Cycles)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("simnet: negative warmup %d", c.Warmup)
+	}
+	if c.BufferCap < 0 {
+		return fmt.Errorf("simnet: negative buffer capacity %d", c.BufferCap)
+	}
+	if c.Stages*bitsFor(c.K) > 31 {
+		return fmt.Errorf("simnet: destination space k^n = %d^%d exceeds 2^31", c.K, c.Stages)
+	}
+	if c.Burst != nil {
+		if _, err := c.Burst.validate(c.P); err != nil {
+			return err
+		}
+	}
+	rho := float64(c.bulk()) * c.P * c.service().Mean()
+	if c.BufferCap == 0 && rho >= 1 {
+		return fmt.Errorf("simnet: unstable load ρ = %g with infinite buffers", rho)
+	}
+	if _, _, err := c.rows(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BurstParams configures the two-state Markov-modulated source; see
+// Config.Burst.
+type BurstParams struct {
+	// POnRate is P(OFF→ON) per cycle; POffRate is P(ON→OFF) per cycle.
+	// The mean burst length is 1/POffRate cycles and the fraction of
+	// time ON is POnRate/(POnRate+POffRate).
+	POnRate  float64
+	POffRate float64
+}
+
+// onFraction returns the stationary fraction of time an input is ON.
+func (b *BurstParams) onFraction() float64 {
+	return b.POnRate / (b.POnRate + b.POffRate)
+}
+
+// validate checks the parameters and derives the ON-state generation
+// probability for a target mean rate p.
+func (b *BurstParams) validate(p float64) (pOn float64, err error) {
+	if b.POnRate <= 0 || b.POnRate > 1 || b.POffRate <= 0 || b.POffRate > 1 {
+		return 0, fmt.Errorf("simnet: burst rates (%g, %g) out of (0,1]", b.POnRate, b.POffRate)
+	}
+	frac := b.onFraction()
+	pOn = p / frac
+	if pOn > 1 {
+		return 0, fmt.Errorf("simnet: target rate p=%g unreachable with ON fraction %g (needs POn=%g > 1)",
+			p, frac, pOn)
+	}
+	return pOn, nil
+}
+
+// Trace is a pre-generated first-stage arrival schedule shared by both
+// engines. Messages are ordered by arrival cycle.
+type Trace struct {
+	K, Stages int
+	Rows      int  // rows per stage
+	Wrapped   bool // shuffle wraps (rows < k^Stages)
+	Horizon   int  // last generation cycle + 1
+
+	T    []int32  // arrival cycle at stage 1
+	In   []int32  // input row
+	Dest []uint32 // destination address in [0, k^Stages) (digits used mod Rows when wrapped)
+	Svc  []int16  // message service time, cycles
+	Meas []bool   // generated after warmup → counts toward statistics
+
+	digitDiv []uint32 // k^{Stages-j} for stage j = 1..Stages
+}
+
+// Len returns the number of messages in the trace.
+func (tr *Trace) Len() int { return len(tr.T) }
+
+// Digit returns the routing digit consumed by message i at the given
+// stage (1-based).
+func (tr *Trace) Digit(i, stage int) int {
+	return int(tr.Dest[i]/tr.digitDiv[stage-1]) % tr.K
+}
+
+// NextRow applies the omega-network shuffle-exchange step.
+func (tr *Trace) NextRow(row int32, digit int) int32 {
+	return int32((int(row)*tr.K + digit) % tr.Rows)
+}
+
+// GenerateTrace draws the stage-1 arrival schedule for cfg.
+func GenerateTrace(cfg *Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rows, wrapped, err := cfg.rows()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	b := cfg.bulk()
+	svc := cfg.service()
+	svcPMF := svc.PMF()
+	constSvc := -1
+	if len(svcPMF.SortedSupport(0)) == 1 {
+		constSvc = svcPMF.SortedSupport(0)[0]
+	}
+	var sampler *dist.Sampler
+	if constSvc < 0 {
+		sampler = dist.NewSampler(svcPMF)
+	}
+	destSpace := uint64(intPow(cfg.K, cfg.Stages))
+
+	horizon := cfg.Warmup + cfg.Cycles
+	expected := int(float64(rows) * cfg.P * float64(b) * float64(horizon) * 1.05)
+	tr := &Trace{
+		K: cfg.K, Stages: cfg.Stages, Rows: rows, Wrapped: wrapped,
+		Horizon: horizon,
+		T:       make([]int32, 0, expected),
+		In:      make([]int32, 0, expected),
+		Dest:    make([]uint32, 0, expected),
+		Svc:     make([]int16, 0, expected),
+		Meas:    make([]bool, 0, expected),
+	}
+	tr.digitDiv = make([]uint32, cfg.Stages)
+	d := destSpace
+	for j := 0; j < cfg.Stages; j++ {
+		d /= uint64(cfg.K)
+		tr.digitDiv[j] = uint32(d)
+	}
+
+	// Bursty sources: per-input ON/OFF modulation, initialized from the
+	// stationary law so the warmup does not have to absorb a cold start.
+	var on []bool
+	pGen := cfg.P
+	if cfg.Burst != nil {
+		pOn, err := cfg.Burst.validate(cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		pGen = pOn
+		frac := cfg.Burst.onFraction()
+		on = make([]bool, rows)
+		for i := range on {
+			on[i] = rng.Float64() < frac
+		}
+	}
+
+	for t := 0; t < horizon; t++ {
+		meas := t >= cfg.Warmup
+		for in := 0; in < rows; in++ {
+			if on != nil {
+				if on[in] {
+					if rng.Float64() < cfg.Burst.POffRate {
+						on[in] = false
+					}
+				} else if rng.Float64() < cfg.Burst.POnRate {
+					on[in] = true
+				}
+				if !on[in] {
+					continue
+				}
+			}
+			if rng.Float64() >= pGen {
+				continue
+			}
+			var dest uint32
+			switch {
+			case cfg.Q > 0 && rng.Float64() < cfg.Q:
+				dest = uint32(in) // favorite: the output with the input's own index
+			case cfg.HotModule > 0 && rng.Float64() < cfg.HotModule:
+				dest = 0 // the shared hot module
+			default:
+				dest = uint32(rng.Uint64N(destSpace))
+			}
+			s := int16(1)
+			if constSvc > 0 {
+				s = int16(constSvc)
+			} else {
+				s = int16(sampler.Sample(rng.Float64(), rng.Float64()))
+			}
+			for j := 0; j < b; j++ {
+				tr.T = append(tr.T, int32(t))
+				tr.In = append(tr.In, int32(in))
+				tr.Dest = append(tr.Dest, dest)
+				tr.Svc = append(tr.Svc, s)
+				tr.Meas = append(tr.Meas, meas)
+			}
+		}
+	}
+	return tr, nil
+}

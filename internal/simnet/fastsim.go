@@ -1,0 +1,200 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"banyan/internal/stats"
+)
+
+// Result carries the statistics of one simulation run.
+type Result struct {
+	Rows     int   // rows per stage actually simulated
+	Wrapped  bool  // shuffle wrapped (rows < k^n)
+	Messages int64 // measured messages
+
+	// StageWait[i] accumulates the waiting times observed at stage i+1
+	// by measured messages.
+	StageWait []stats.Welford
+
+	// TotalWait is the histogram of Σ_stages wait over measured messages.
+	TotalWait stats.Hist
+
+	// StageCov is the covariance matrix of the per-stage waiting-time
+	// vector; nil unless Config.TrackStageWaits was set.
+	StageCov *stats.CovMatrix
+
+	// Dropped counts messages lost to full buffers (literal engine with
+	// BufferCap > 0 only).
+	Dropped int64
+
+	// Offered counts all simulated messages including warmup.
+	Offered int64
+
+	// HotWait[i] accumulates the stage-(i+1) waits of the subset of
+	// measured messages addressed to the hot module (populated only
+	// when Config.HotModule > 0; StageWait still covers all messages).
+	// Comparing the two exposes tree saturation.
+	HotWait []stats.Welford
+
+	// QueueDepth[i], populated by the literal engine when
+	// Config.TrackOccupancy is set, accumulates the per-cycle number of
+	// messages present (queued or in service) at each output queue of
+	// stage i+1 — the statistic that sizes real buffers.
+	QueueDepth []stats.Welford
+
+	// MaxQueueDepth[i] is the largest occupancy observed at any stage
+	// i+1 queue (with TrackOccupancy).
+	MaxQueueDepth []int
+}
+
+// MeanTotalWait returns the empirical mean of the total waiting time.
+func (r *Result) MeanTotalWait() float64 { return r.TotalWait.Mean() }
+
+// VarTotalWait returns the empirical variance of the total waiting time.
+func (r *Result) VarTotalWait() float64 { return r.TotalWait.Variance() }
+
+// Run generates a trace for cfg and executes the fast message-level
+// engine on it.
+func Run(cfg *Config) (*Result, error) {
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunTrace(cfg, tr)
+}
+
+// RunTrace executes the fast message-level engine on a prepared trace.
+//
+// The engine processes the network one stage at a time. Within a stage,
+// messages are visited in arrival-time order (simultaneous arrivals in
+// uniformly random order, which realizes the random batch-order service
+// discipline assumed by the analysis); each message joins the output
+// queue selected by its routing digit, begins service at
+// s = max(arrival, port-free time), advances the port-free time by its
+// service requirement, and is handed to the next stage with arrival time
+// s+1. With infinite buffers and FIFO queues this reproduces the
+// cycle-level dynamics exactly while doing work proportional to the
+// number of message-stage events only.
+func RunTrace(cfg *Config, tr *Trace) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Stages
+	m := tr.Len()
+	res := &Result{
+		Rows:      tr.Rows,
+		Wrapped:   tr.Wrapped,
+		StageWait: make([]stats.Welford, n),
+		Offered:   int64(m),
+	}
+	if cfg.TrackStageWaits {
+		res.StageCov = stats.NewCovMatrix(n)
+	}
+	if cfg.HotModule > 0 {
+		res.HotWait = make([]stats.Welford, n)
+	}
+
+	// Per-message mutable state.
+	arr := make([]int32, m) // arrival time at the current stage
+	row := make([]int32, m) // current row
+	wsum := make([]int32, m)
+	copy(arr, tr.T)
+	copy(row, tr.In)
+
+	var stageWaits [][]int16
+	if cfg.TrackStageWaits {
+		stageWaits = make([][]int16, m)
+		for i := range stageWaits {
+			stageWaits[i] = make([]int16, n)
+		}
+	}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed^0xa5a5a5a5a5a5a5a5, cfg.Seed+1))
+	resample := cfg.serviceSampler()
+	free := make([]int64, tr.Rows) // per-port next-free cycle, reused per stage
+	var buckets [][]int32          // message indices by arrival time
+	maxT := int32(0)
+	for _, t := range arr {
+		if t > maxT {
+			maxT = t
+		}
+	}
+
+	for stage := 1; stage <= n; stage++ {
+		// Rebuild time buckets for this stage.
+		need := int(maxT) + 2
+		if cap(buckets) < need {
+			buckets = make([][]int32, need)
+		}
+		buckets = buckets[:need]
+		for i := range buckets {
+			buckets[i] = buckets[i][:0]
+		}
+		for i := 0; i < m; i++ {
+			buckets[arr[i]] = append(buckets[arr[i]], int32(i))
+		}
+		for i := range free {
+			free[i] = 0
+		}
+		newMax := int32(0)
+		for t := 0; t < len(buckets); t++ {
+			bk := buckets[t]
+			if len(bk) == 0 {
+				continue
+			}
+			// Random service order among simultaneous arrivals.
+			rng.Shuffle(len(bk), func(a, b int) { bk[a], bk[b] = bk[b], bk[a] })
+			for _, idx := range bk {
+				i := int(idx)
+				digit := tr.Digit(i, stage)
+				port := tr.NextRow(row[i], digit)
+				s := int64(t)
+				if f := free[port]; f > s {
+					s = f
+				}
+				svc := int64(tr.Svc[i])
+				if resample != nil {
+					svc = int64(resample.Sample(rng.Float64(), rng.Float64()))
+				}
+				free[port] = s + svc
+				w := int32(s) - int32(t)
+				wsum[i] += w
+				if tr.Meas[i] {
+					res.StageWait[stage-1].Add(float64(w))
+					if res.HotWait != nil && tr.Dest[i] == 0 {
+						res.HotWait[stage-1].Add(float64(w))
+					}
+				}
+				if stageWaits != nil {
+					stageWaits[i][stage-1] = int16(w)
+				}
+				arr[i] = int32(s) + 1
+				row[i] = port
+				if arr[i] > newMax {
+					newMax = arr[i]
+				}
+			}
+		}
+		maxT = newMax
+	}
+
+	vec := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if !tr.Meas[i] {
+			continue
+		}
+		res.Messages++
+		res.TotalWait.Add(int(wsum[i]))
+		if stageWaits != nil {
+			for j := 0; j < n; j++ {
+				vec[j] = float64(stageWaits[i][j])
+			}
+			res.StageCov.Add(vec)
+		}
+	}
+	if res.Messages == 0 {
+		return nil, fmt.Errorf("simnet: no measured messages (p too small or horizon too short)")
+	}
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"banyan/internal/stats"
+)
+
+// literalQueue is one output-port FIFO of the literal engine.
+type literalQueue struct {
+	items  []int32 // message indices, FIFO
+	head   int
+	freeAt int64 // first cycle the server may start the next message
+}
+
+func (q *literalQueue) size() int { return len(q.items) - q.head }
+
+func (q *literalQueue) push(i int32) { q.items = append(q.items, i) }
+
+func (q *literalQueue) pop() int32 {
+	v := q.items[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
+}
+
+// RunLiteral executes the cycle-driven packet-level engine on a prepared
+// trace. It models every output queue explicitly, cycle by cycle: trace
+// messages enter their stage-1 queue at their arrival cycle, a queue whose
+// server is free starts its head-of-line message (recording the wait), and
+// a message starting service at cycle s is delivered to its next-stage
+// queue at cycle s+1 (cut-through). Simultaneous arrivals at a queue are
+// ordered uniformly at random, realizing the random batch-service
+// discipline assumed by the analysis.
+//
+// With Config.BufferCap > 0, a message arriving at a queue already holding
+// BufferCap messages is dropped and counted in Result.Dropped — the
+// finite-buffer extension the paper leaves as future work. With
+// BufferCap == 0 this engine is statistically identical to the fast
+// engine; the test suite drives both from one trace and compares.
+func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Stages
+	m := tr.Len()
+	res := &Result{
+		Rows:      tr.Rows,
+		Wrapped:   tr.Wrapped,
+		StageWait: make([]stats.Welford, n),
+		Offered:   int64(m),
+	}
+	if cfg.TrackStageWaits {
+		res.StageCov = stats.NewCovMatrix(n)
+	}
+
+	queues := make([][]literalQueue, n)
+	for s := range queues {
+		queues[s] = make([]literalQueue, tr.Rows)
+	}
+
+	arrivedAt := make([]int32, m) // arrival cycle at the current stage's queue
+	rowOf := make([]int32, m)     // row of the queue the message occupies
+	stageOf := make([]int8, m)    // 1-based stage the message occupies
+	wsum := make([]int32, m)
+	var stageWaits [][]int16
+	if cfg.TrackStageWaits {
+		stageWaits = make([][]int16, m)
+		for i := range stageWaits {
+			stageWaits[i] = make([]int16, n)
+		}
+	}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed^0xa5a5a5a5a5a5a5a5, cfg.Seed+1))
+	resample := cfg.serviceSampler()
+	if cfg.TrackOccupancy {
+		res.QueueDepth = make([]stats.Welford, n)
+		res.MaxQueueDepth = make([]int, n)
+	}
+
+	// enter places message i into its stage-st queue (1-based) at cycle t.
+	enter := func(i int, st int, t int64) {
+		var prevRow int32
+		if st == 1 {
+			prevRow = tr.In[i]
+		} else {
+			prevRow = rowOf[i]
+		}
+		row := tr.NextRow(prevRow, tr.Digit(i, st))
+		q := &queues[st-1][row]
+		if cfg.BufferCap > 0 && q.size() >= cfg.BufferCap {
+			res.Dropped++
+			stageOf[i] = int8(n + 1) // dropped messages leave the network
+			return
+		}
+		stageOf[i] = int8(st)
+		rowOf[i] = row
+		arrivedAt[i] = int32(t)
+		q.push(int32(i))
+	}
+
+	completed := int64(0)
+	finish := func(i int) {
+		completed++
+		if !tr.Meas[i] {
+			return
+		}
+		res.Messages++
+		res.TotalWait.Add(int(wsum[i]))
+		if stageWaits != nil {
+			vec := make([]float64, n)
+			for j := 0; j < n; j++ {
+				vec[j] = float64(stageWaits[i][j])
+			}
+			res.StageCov.Add(vec)
+		}
+	}
+
+	nextInj := 0            // next trace index to inject
+	var delivery [2][]int32 // two-slot ring of next-cycle deliveries
+	inNetwork := int64(0)
+	for t := int64(0); ; t++ {
+		// 1. New trace arrivals enter stage 1 (random order within the
+		// cycle).
+		start := nextInj
+		for nextInj < m && int64(tr.T[nextInj]) == t {
+			nextInj++
+		}
+		if nextInj > start {
+			batch := make([]int32, nextInj-start)
+			for j := range batch {
+				batch[j] = int32(start + j)
+			}
+			rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
+			for _, idx := range batch {
+				inNetwork++
+				enter(int(idx), 1, t)
+				if stageOf[idx] == int8(n+1) { // dropped at stage 1
+					inNetwork--
+				}
+			}
+		}
+
+		// 2. Deliveries scheduled for this cycle enter their next stage.
+		slot := delivery[t&1]
+		delivery[t&1] = delivery[t&1][:0]
+		rng.Shuffle(len(slot), func(a, b int) { slot[a], slot[b] = slot[b], slot[a] })
+		for _, idx := range slot {
+			i := int(idx)
+			st := int(stageOf[i]) + 1
+			enter(i, st, t)
+			if stageOf[i] == int8(n+1) { // dropped mid-network
+				inNetwork--
+			}
+		}
+
+		// 3. Free servers start their head-of-line messages.
+		for s := 0; s < n; s++ {
+			qs := queues[s]
+			for r := range qs {
+				q := &qs[r]
+				if q.freeAt > t || q.size() == 0 {
+					continue
+				}
+				i := int(q.pop())
+				w := int32(t) - arrivedAt[i]
+				wsum[i] += w
+				if tr.Meas[i] {
+					res.StageWait[s].Add(float64(w))
+				}
+				if stageWaits != nil {
+					stageWaits[i][s] = int16(w)
+				}
+				svc := int64(tr.Svc[i])
+				if resample != nil {
+					svc = int64(resample.Sample(rng.Float64(), rng.Float64()))
+				}
+				q.freeAt = t + svc
+				if s+1 < n {
+					delivery[(t+1)&1] = append(delivery[(t+1)&1], int32(i))
+				} else {
+					finish(i)
+					inNetwork--
+				}
+			}
+		}
+
+		// 4. Occupancy sampling at end of cycle: queued messages plus an
+		// in-service message whose packets are still draining.
+		if cfg.TrackOccupancy && t >= int64(cfg.Warmup) && t < int64(tr.Horizon) {
+			for s := 0; s < n; s++ {
+				qs := queues[s]
+				for r := range qs {
+					occ := qs[r].size()
+					if qs[r].freeAt > t {
+						occ++
+					}
+					res.QueueDepth[s].Add(float64(occ))
+					if occ > res.MaxQueueDepth[s] {
+						res.MaxQueueDepth[s] = occ
+					}
+				}
+			}
+		}
+
+		if nextInj == m && inNetwork == 0 {
+			break
+		}
+		if t > int64(tr.Horizon)*1000+1000 {
+			return nil, fmt.Errorf("simnet: literal engine failed to drain by cycle %d", t)
+		}
+	}
+	if res.Messages == 0 {
+		return nil, fmt.Errorf("simnet: no measured messages completed")
+	}
+	return res, nil
+}

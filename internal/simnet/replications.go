@@ -1,0 +1,134 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"banyan/internal/stats"
+)
+
+// Replicated aggregates independent replications of one configuration,
+// giving honest confidence intervals for steady-state quantities (single
+// long runs have autocorrelated output; across-replication variability is
+// i.i.d. by construction).
+type Replicated struct {
+	Runs []*Result
+
+	// TotalMeanW / TotalVarW collect each replication's total-wait mean
+	// and variance, so the CI helpers below can report across-run
+	// dispersion.
+	TotalMeanW stats.Welford
+	TotalVarW  stats.Welford
+
+	// StageMeanW[i] collects each replication's mean wait at stage i+1.
+	StageMeanW []stats.Welford
+
+	// Merged is the pooled histogram of total waits over all
+	// replications.
+	Merged stats.Hist
+}
+
+// RunReplications executes r independent replications of cfg (seeds
+// derived from cfg.Seed) across at most parallelism goroutines
+// (0 = GOMAXPROCS) and aggregates the results. The per-replication
+// simulations are embarrassingly parallel; this is the intended way to
+// use multicore hardware with the simulator.
+func RunReplications(cfg *Config, r, parallelism int) (*Replicated, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("simnet: need at least one replication, got %d", r)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > r {
+		parallelism = r
+	}
+
+	results := make([]*Result, r)
+	errs := make([]error, r)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < r; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := *cfg // copy; each replication gets its own seed
+			c.Seed = splitSeed(cfg.Seed, uint64(i))
+			results[i], errs[i] = Run(&c)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	agg := &Replicated{
+		Runs:       results,
+		StageMeanW: make([]stats.Welford, cfg.Stages),
+	}
+	for _, res := range results {
+		agg.TotalMeanW.Add(res.MeanTotalWait())
+		agg.TotalVarW.Add(res.VarTotalWait())
+		for s := range res.StageWait {
+			agg.StageMeanW[s].Add(res.StageWait[s].Mean())
+		}
+		agg.Merged.Merge(&res.TotalWait)
+	}
+	return agg, nil
+}
+
+// splitSeed derives statistically independent seeds (SplitMix64 step).
+func splitSeed(base, i uint64) uint64 {
+	z := base + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Replications returns the number of replications aggregated.
+func (rp *Replicated) Replications() int { return len(rp.Runs) }
+
+// MeanTotalWait returns the across-replication estimate of the mean total
+// wait.
+func (rp *Replicated) MeanTotalWait() float64 { return rp.TotalMeanW.Mean() }
+
+// MeanTotalWaitCI returns the half-width of an approximate 95% confidence
+// interval for the mean total wait (normal critical value; use ≥ 10
+// replications).
+func (rp *Replicated) MeanTotalWaitCI() float64 {
+	if rp.TotalMeanW.N() < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * math.Sqrt(rp.TotalMeanW.SampleVariance()/float64(rp.TotalMeanW.N()))
+}
+
+// VarTotalWait returns the across-replication estimate of the total-wait
+// variance.
+func (rp *Replicated) VarTotalWait() float64 { return rp.TotalVarW.Mean() }
+
+// VarTotalWaitCI returns the 95% half-width for the variance estimate.
+func (rp *Replicated) VarTotalWaitCI() float64 {
+	if rp.TotalVarW.N() < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * math.Sqrt(rp.TotalVarW.SampleVariance()/float64(rp.TotalVarW.N()))
+}
+
+// StageMeanWait returns the across-replication mean wait at a stage
+// (1-based) with its 95% half-width.
+func (rp *Replicated) StageMeanWait(stage int) (mean, halfWidth float64) {
+	w := rp.StageMeanW[stage-1]
+	if w.N() < 2 {
+		return w.Mean(), math.Inf(1)
+	}
+	return w.Mean(), 1.96 * math.Sqrt(w.SampleVariance()/float64(w.N()))
+}

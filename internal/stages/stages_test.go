@@ -1,0 +1,254 @@
+package stages
+
+import (
+	"math"
+	"testing"
+
+	"banyan/internal/core"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %.10g, want %.10g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{K: 2, M: 1, P: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{K: 1, M: 1, P: 0.5},
+		{K: 2, M: 0, P: 0.5},
+		{K: 2, M: 1, P: -0.1},
+		{K: 2, M: 1, P: 1.1},
+		{K: 2, M: 1, P: 0.5, Q: 2},
+		{K: 2, M: 4, P: 0.3}, // ρ = 1.2
+	}
+	for i, pr := range bad {
+		if err := pr.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, pr)
+		}
+	}
+	almost(t, Params{K: 2, M: 4, P: 0.125}.Rho(), 0.5, 1e-15, "rho")
+}
+
+// TestPaperEstimateAnchors pins the reconstructed Section IV constants
+// against every legible ESTIMATE value in the paper's tables.
+func TestPaperEstimateAnchors(t *testing.T) {
+	md := DefaultModel()
+
+	// Table V, q=0 column (k=2, p=0.5, m=1): ESTIMATE w∞ = 0.3000,
+	// v∞ = 0.3438.
+	pr := Params{K: 2, M: 1, P: 0.5}
+	almost(t, md.LimitMeanWait(pr), 0.3, 1e-9, "paper ESTIMATE w∞(k=2,p=.5)")
+	almost(t, md.LimitVarWait(pr), 0.34375, 1e-4, "paper ESTIMATE v∞(k=2,p=.5)")
+
+	// Table III (k=2, ρ=0.5): the mean ESTIMATE row is (0.600, 1.200,
+	// 2.400, 4.800) for m = 2, 4, 8, 16, which the model reproduces
+	// exactly. For the variance our re-fit targets the paper's
+	// *simulated* deep-stage values (1.219, 4.777, 18.73, 74.35) —
+	// the paper's own printed ESTIMATE row (1.167, 4.667, …) sits ≈4%
+	// below its own simulations.
+	want := []struct {
+		m    int
+		w, v float64
+	}{
+		{2, 0.600, 1.219},
+		{4, 1.200, 4.777},
+		{8, 2.400, 18.73},
+		{16, 4.800, 74.35},
+	}
+	for _, c := range want {
+		prm := Params{K: 2, M: c.m, P: 0.5 / float64(c.m)}
+		almost(t, md.LimitMeanWait(prm), c.w, 5e-4, "Table III ESTIMATE w")
+		almost(t, md.LimitVarWait(prm), c.v, 0.04*c.v, "Table III deep-stage v")
+	}
+
+	// The r(p) coefficients the paper reports: a ≈ 2/5 at k=2, a bit
+	// under 0.2 at k=4, a bit under 0.1 at k=8.
+	almost(t, md.WaitA(2), 0.4, 1e-12, "a(2)")
+	almost(t, md.WaitA(4), 0.2, 1e-12, "a(4)")
+	almost(t, md.WaitA(8), 0.1, 1e-12, "a(8)")
+}
+
+// TestQuadraticWaitModel checks the paper-suggested concave refinement
+// against the measured ratios (see cmd/calibrate).
+func TestQuadraticWaitModel(t *testing.T) {
+	md := QuadraticWaitModel()
+	// Measured r(p) at k=2 from the calibration run.
+	for _, c := range []struct{ p, want float64 }{
+		{0.2, 1.0876}, {0.35, 1.1464}, {0.5, 1.1991}, {0.65, 1.2475}, {0.8, 1.2920},
+	} {
+		r := md.RatioOfLimits(Params{K: 2, M: 1, P: c.p})
+		almost(t, r, c.want, 0.004, "quadratic r(p)")
+	}
+	// The default's linear model overshoots at p=0.8 where the
+	// quadratic does not.
+	lin := DefaultModel().RatioOfLimits(Params{K: 2, M: 1, P: 0.8})
+	quad := md.RatioOfLimits(Params{K: 2, M: 1, P: 0.8})
+	if math.Abs(quad-1.2920) >= math.Abs(lin-1.2920) {
+		t.Fatalf("quadratic (%g) no better than linear (%g) at p=0.8", quad, lin)
+	}
+	// Multi-size and m≥2 paths also honor the override.
+	w := md.MultiSizeLimitMeanWait(2, 0.1, []int{4}, []float64{1})
+	almost(t, w, md.LimitMeanWait(Params{K: 2, M: 4, P: 0.1}), 1e-9, "override in multi-size path")
+}
+
+func TestFirstStageAnchorsAreExact(t *testing.T) {
+	md := DefaultModel()
+	pr := Params{K: 2, M: 4, P: 0.125}
+	almost(t, md.FirstStageMean(pr), core.ConstServiceMeanWait(2, 2, 0.125, 4), 1e-12, "anchor mean")
+	almost(t, md.FirstStageVar(pr), core.ConstServiceVarWait(2, 2, 0.125, 4), 1e-12, "anchor var")
+	prq := Params{K: 2, M: 1, P: 0.5, Q: 0.3}
+	almost(t, md.FirstStageMean(prq), core.NonuniformExclusiveMeanWait(2, 0.5, 0.3, 1), 1e-12, "q anchor mean")
+}
+
+func TestStageConvergence(t *testing.T) {
+	md := DefaultModel()
+	pr := Params{K: 2, M: 1, P: 0.5}
+	w1 := md.StageMeanWait(pr, 1)
+	winf := md.LimitMeanWait(pr)
+	prev := w1
+	for i := 2; i <= 30; i++ {
+		w := md.StageMeanWait(pr, i)
+		if w < prev-1e-12 {
+			t.Fatalf("stage mean decreased at %d", i)
+		}
+		if w > winf+1e-12 {
+			t.Fatalf("stage mean overshot limit at %d", i)
+		}
+		prev = w
+	}
+	almost(t, md.StageMeanWait(pr, 30), winf, 1e-9, "converges to limit")
+	// Geometric rate α: (w∞-w_{i+1})/(w∞-w_i) = α.
+	g2 := (winf - md.StageMeanWait(pr, 3)) / (winf - md.StageMeanWait(pr, 2))
+	almost(t, g2, md.Alpha, 1e-12, "geometric rate")
+	// Variance analog.
+	vinf := md.LimitVarWait(pr)
+	almost(t, md.StageVarWait(pr, 40), vinf, 1e-9, "variance converges")
+	almost(t, md.StageVarWait(pr, 1), md.FirstStageVar(pr), 0, "stage 1 exact")
+}
+
+func TestStageMeanForLargeMessages(t *testing.T) {
+	md := DefaultModel()
+	pr := Params{K: 2, M: 4, P: 0.125}
+	// Stage 1 is exact (1.75); later stages drop to the scaled model
+	// (1.2) — the paper's "sources are spaced" effect.
+	almost(t, md.StageMeanWait(pr, 1), 1.75, 1e-12, "stage 1")
+	almost(t, md.StageMeanWait(pr, 2), md.LimitMeanWait(pr), 0, "stage 2 = limit for m ≥ 2")
+	if md.StageMeanWait(pr, 2) >= md.StageMeanWait(pr, 1) {
+		t.Fatal("later stages must be lighter than stage 1 for m ≥ 2 at this load")
+	}
+}
+
+func TestRatioOfLimits(t *testing.T) {
+	md := DefaultModel()
+	pr := Params{K: 2, M: 1, P: 0.5}
+	almost(t, md.RatioOfLimits(pr), 1.2, 1e-12, "r(0.5) = 1+2/5·0.5")
+	// r is increasing in p and decreasing in k.
+	if md.RatioOfLimits(Params{K: 2, M: 1, P: 0.8}) <= md.RatioOfLimits(pr) {
+		t.Fatal("ratio should grow with p")
+	}
+	if md.RatioOfLimits(Params{K: 8, M: 1, P: 0.5}) >= md.RatioOfLimits(pr) {
+		t.Fatal("ratio should shrink with k")
+	}
+	// Zero-wait edge: ratio defined as 1.
+	almost(t, md.RatioOfLimits(Params{K: 2, M: 1, P: 0}), 1, 0, "ratio at p=0")
+}
+
+func TestFitLinear(t *testing.T) {
+	a, err := FitLinear(0.5, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, a, 0.4, 1e-12, "paper's own calibration: a = 2/5")
+	if _, err := FitLinear(0, 1.2); err == nil {
+		t.Fatal("expected error at p = 0")
+	}
+}
+
+func TestFitQuadratic(t *testing.T) {
+	// Recover known coefficients.
+	c1, c2 := 0.7, -0.3
+	r := func(x float64) float64 { return 1 + c1*x + c2*x*x }
+	g1, g2, err := FitQuadratic(0.3, r(0.3), 0.8, r(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, g1, c1, 1e-10, "c1")
+	almost(t, g2, c2, 1e-10, "c2")
+	if _, _, err := FitQuadratic(0.5, 1.1, 0.5, 1.2); err == nil {
+		t.Fatal("expected degenerate-points error")
+	}
+}
+
+func TestMultiSizeLimits(t *testing.T) {
+	md := DefaultModel()
+	sizes := []int{4, 8}
+	probs := []float64{0.75, 0.25}
+	mbar := 5.0
+	p := 0.5 / mbar
+	w := md.MultiSizeLimitMeanWait(2, p, sizes, probs)
+	v := md.MultiSizeLimitVarWait(2, p, sizes, probs)
+	if w <= 0 || v <= 0 {
+		t.Fatalf("limits must be positive: %g %g", w, v)
+	}
+	// Degenerate mixture must agree with the constant-size path.
+	wc := md.MultiSizeLimitMeanWait(2, 0.125, []int{4}, []float64{1})
+	almost(t, wc, md.LimitMeanWait(Params{K: 2, M: 4, P: 0.125}), 1e-9, "degenerate mixture mean")
+	vc := md.MultiSizeLimitVarWait(2, 0.125, []int{4}, []float64{1})
+	almost(t, vc, md.LimitVarWait(Params{K: 2, M: 4, P: 0.125}), 1e-9, "degenerate mixture var")
+	// Mixing sizes at the same m̄ raises the wait (service variability).
+	if w <= wc {
+		t.Fatalf("mixture wait %g should exceed constant-size wait %g", w, wc)
+	}
+}
+
+func TestNonuniformLimitsMonotone(t *testing.T) {
+	md := DefaultModel()
+	// With the calibrated factors, w∞(q) decreases in q at p=0.5
+	// (favored messages stop colliding at later stages).
+	prev := math.Inf(1)
+	for _, q := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95} {
+		w := md.LimitMeanWait(Params{K: 2, M: 1, P: 0.5, Q: q})
+		if w >= prev {
+			t.Fatalf("w∞ not decreasing at q=%g: %g ≥ %g", q, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestHeavyTrafficProbe(t *testing.T) {
+	md := DefaultModel()
+	// (1-ρ)·w∞ should approach a finite positive limit as p → 1: the
+	// paper's conjectured heavy-traffic constant.
+	var last float64
+	for _, p := range []float64{0.9, 0.99, 0.999, 0.9999} {
+		v := md.HeavyTrafficProbe(Params{K: 2, M: 1, P: p})
+		if v <= 0 || math.IsInf(v, 0) {
+			t.Fatalf("probe at p=%g: %g", p, v)
+		}
+		last = v
+	}
+	// Analytic limit: (1+a)·(1-1/k)/2 = 1.4·0.25 = 0.35.
+	almost(t, last, 0.35, 1e-3, "heavy-traffic constant")
+}
+
+func TestLightTrafficMD1Mean(t *testing.T) {
+	got := LightTrafficMD1Mean(2, 4, 0.2)
+	want := 4 * (0.1 / (2 * 0.9))
+	almost(t, got, want, 1e-12, "light-traffic M/D/1 anchor")
+}
+
+func TestStagePanics(t *testing.T) {
+	md := DefaultModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for stage 0")
+		}
+	}()
+	md.StageMeanWait(Params{K: 2, M: 1, P: 0.5}, 0)
+}

@@ -1,0 +1,415 @@
+// Package stats provides the streaming statistics collectors used by the
+// simulators: numerically stable mean/variance accumulators (Welford),
+// covariance and correlation matrices over the per-stage waiting times of
+// each message, integer histograms, and batch-means confidence intervals
+// for steady-state simulation output analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates count, mean and variance of a stream of
+// observations using Welford's numerically stable recurrence.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// AddN folds the same observation n times (useful for histogram replay).
+func (w *Welford) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	// Chan et al. parallel update with a degenerate (zero-variance) block.
+	nb := float64(n)
+	na := float64(w.n)
+	d := x - w.mean
+	w.n += n
+	tot := float64(w.n)
+	w.mean += d * nb / tot
+	w.m2 += d * d * na * nb / tot
+}
+
+// Merge combines another accumulator into this one.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	na, nb := float64(w.n), float64(o.n)
+	d := o.mean - w.mean
+	tot := na + nb
+	w.mean += d * nb / tot
+	w.m2 += o.m2 + d*d*na*nb/tot
+	w.n += o.n
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance Σ(x-μ)²/n.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased sample variance Σ(x-μ)²/(n-1).
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean assuming i.i.d.
+// observations. Simulation streams are autocorrelated, so use the
+// BatchMeans type for honest intervals; this is a quick lower bound.
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.SampleVariance() / float64(w.n))
+}
+
+// Cov accumulates the covariance of paired observations (x, y).
+type Cov struct {
+	n        int64
+	meanX    float64
+	meanY    float64
+	comoment float64
+	m2x, m2y float64
+}
+
+// Add folds one pair into the accumulator.
+func (c *Cov) Add(x, y float64) {
+	c.n++
+	dx := x - c.meanX
+	c.meanX += dx / float64(c.n)
+	dy := y - c.meanY
+	c.meanY += dy / float64(c.n)
+	c.comoment += dx * (y - c.meanY)
+	c.m2x += dx * (x - c.meanX)
+	c.m2y += dy * (y - c.meanY)
+}
+
+// N returns the number of pairs.
+func (c *Cov) N() int64 { return c.n }
+
+// Covariance returns the population covariance.
+func (c *Cov) Covariance() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return c.comoment / float64(c.n)
+}
+
+// Correlation returns the Pearson correlation coefficient, or 0 when either
+// marginal is degenerate.
+func (c *Cov) Correlation() float64 {
+	if c.n == 0 || c.m2x == 0 || c.m2y == 0 {
+		return 0
+	}
+	return c.comoment / math.Sqrt(c.m2x*c.m2y)
+}
+
+// CovMatrix accumulates the full covariance/correlation matrix of a fixed-
+// dimension vector stream — the per-stage waiting-time vector of each
+// message, for Table VI.
+type CovMatrix struct {
+	dim  int
+	n    int64
+	mean []float64
+	com  []float64 // upper triangle, row-major: com[i*dim+j] for j >= i
+}
+
+// NewCovMatrix returns a collector for dim-dimensional observations.
+func NewCovMatrix(dim int) *CovMatrix {
+	if dim <= 0 {
+		panic("stats: covariance matrix dimension must be positive")
+	}
+	return &CovMatrix{
+		dim:  dim,
+		mean: make([]float64, dim),
+		com:  make([]float64, dim*dim),
+	}
+}
+
+// Dim returns the dimension.
+func (m *CovMatrix) Dim() int { return m.dim }
+
+// N returns the number of vector observations.
+func (m *CovMatrix) N() int64 { return m.n }
+
+// Add folds one observation vector (length must equal Dim).
+func (m *CovMatrix) Add(x []float64) {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("stats: observation dimension %d != %d", len(x), m.dim))
+	}
+	m.n++
+	inv := 1 / float64(m.n)
+	// One-pass update: delta before update for i, after update for j.
+	// Using the standard co-moment recurrence
+	// C += (x_i - mean_i^{new}) (x_j - mean_j^{old}) pattern per pair.
+	old := make([]float64, m.dim)
+	copy(old, m.mean)
+	for i := 0; i < m.dim; i++ {
+		m.mean[i] += (x[i] - m.mean[i]) * inv
+	}
+	for i := 0; i < m.dim; i++ {
+		di := x[i] - m.mean[i]
+		for j := i; j < m.dim; j++ {
+			m.com[i*m.dim+j] += di * (x[j] - old[j])
+		}
+	}
+}
+
+// Covariance returns Cov(X_i, X_j).
+func (m *CovMatrix) Covariance(i, j int) float64 {
+	if m.n == 0 {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return m.com[i*m.dim+j] / float64(m.n)
+}
+
+// Variance returns Var(X_i).
+func (m *CovMatrix) Variance(i int) float64 { return m.Covariance(i, i) }
+
+// Mean returns E(X_i).
+func (m *CovMatrix) Mean(i int) float64 { return m.mean[i] }
+
+// Correlation returns Corr(X_i, X_j), or 0 for degenerate marginals.
+func (m *CovMatrix) Correlation(i, j int) float64 {
+	vi, vj := m.Variance(i), m.Variance(j)
+	if vi == 0 || vj == 0 {
+		return 0
+	}
+	return m.Covariance(i, j) / math.Sqrt(vi*vj)
+}
+
+// CorrelationMatrix materializes the full correlation matrix.
+func (m *CovMatrix) CorrelationMatrix() [][]float64 {
+	out := make([][]float64, m.dim)
+	for i := range out {
+		out[i] = make([]float64, m.dim)
+		for j := range out[i] {
+			out[i][j] = m.Correlation(i, j)
+		}
+	}
+	return out
+}
+
+// Hist is a dense histogram over the nonnegative integers that grows on
+// demand. It records total waiting times for the paper's figures.
+type Hist struct {
+	counts []int64
+	total  int64
+	sum    float64
+	sumSq  float64
+}
+
+// Add records one observation of value v ≥ 0.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		panic("stats: negative histogram value")
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+		if cap(h.counts) > len(h.counts) {
+			h.counts = h.counts[:cap(h.counts)]
+		}
+	}
+	h.counts[v]++
+	h.total++
+	fv := float64(v)
+	h.sum += fv
+	h.sumSq += fv * fv
+}
+
+// N returns the number of observations.
+func (h *Hist) N() int64 { return h.total }
+
+// Count returns the number of observations equal to v.
+func (h *Hist) Count(v int) int64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Max returns the largest observed value (-1 when empty).
+func (h *Hist) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Prob returns the empirical probability of value v.
+func (h *Hist) Prob(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// Mean returns the empirical mean.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Variance returns the empirical (population) variance.
+func (h *Hist) Variance() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	m := h.Mean()
+	return h.sumSq/float64(h.total) - m*m
+}
+
+// Tail returns the empirical P(X > v).
+func (h *Hist) Tail(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var acc int64
+	for j := v + 1; j < len(h.counts); j++ {
+		acc += h.counts[j]
+	}
+	return float64(acc) / float64(h.total)
+}
+
+// Counts returns a copy of the dense count vector up to Max().
+func (h *Hist) Counts() []int64 {
+	m := h.Max()
+	out := make([]int64, m+1)
+	copy(out, h.counts[:m+1])
+	return out
+}
+
+// Merge adds another histogram's contents into this one.
+func (h *Hist) Merge(o *Hist) {
+	for v, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		for v >= len(h.counts) {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[v] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	h.sumSq += o.sumSq
+}
+
+// AutoCorr returns the lag-l sample autocorrelation of a series
+// (Pearson form with the overall mean), or 0 for degenerate input. It is
+// the burstiness and mixing diagnostic used by the simulation analysis.
+func AutoCorr(x []float64, lag int) float64 {
+	n := len(x)
+	if lag < 0 || lag >= n {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i+lag < n; i++ {
+		num += (x[i] - mean) * (x[i+lag] - mean)
+	}
+	for _, v := range x {
+		den += (v - mean) * (v - mean)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// IntegratedAutocorrTime estimates the integrated autocorrelation time
+// τ = 1 + 2Σρ_l, summing lags until the estimate turns nonpositive or
+// maxLag is reached. The effective sample size of a correlated stream is
+// n/τ — the correction the distribution-level tests need.
+func IntegratedAutocorrTime(x []float64, maxLag int) float64 {
+	tau := 1.0
+	for l := 1; l <= maxLag && l < len(x); l++ {
+		r := AutoCorr(x, l)
+		if r <= 0 {
+			break
+		}
+		tau += 2 * r
+	}
+	return tau
+}
+
+// BatchMeans estimates a confidence interval for a steady-state mean from
+// an autocorrelated stream by the method of nonoverlapping batch means.
+type BatchMeans struct {
+	batchSize int64
+	cur       Welford
+	batches   Welford
+}
+
+// NewBatchMeans returns an estimator using the given batch size.
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add folds an observation into the current batch.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if b.cur.N() == b.batchSize {
+		b.batches.Add(b.cur.Mean())
+		b.cur = Welford{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.N() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// HalfWidth returns the half-width of an approximate 95% confidence
+// interval for the mean (normal critical value; fine for ≥ 20 batches).
+func (b *BatchMeans) HalfWidth() float64 {
+	if b.batches.N() < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * math.Sqrt(b.batches.SampleVariance()/float64(b.batches.N()))
+}

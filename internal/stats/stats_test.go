@@ -1,0 +1,287 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+// direct computes mean and population variance naively.
+func direct(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	return
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	m, v := direct(xs)
+	almost(t, w.Mean(), m, 1e-10, "mean")
+	almost(t, w.Variance(), v, 1e-10, "variance")
+	almost(t, w.SampleVariance(), v*1000/999, 1e-10, "sample variance")
+	if w.N() != 1000 {
+		t.Fatalf("N = %d", w.N())
+	}
+	almost(t, w.StdDev(), math.Sqrt(v), 1e-10, "stddev")
+	if w.StdErr() <= 0 {
+		t.Fatal("stderr must be positive")
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	almost(t, w.Mean(), 0, 0, "empty mean")
+	almost(t, w.Variance(), 0, 0, "empty variance")
+	almost(t, w.SampleVariance(), 0, 0, "empty sample variance")
+	almost(t, w.StdErr(), 0, 0, "empty stderr")
+}
+
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var all, a, b Welford
+	for i := 0; i < 500; i++ {
+		x := rng.ExpFloat64()
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	almost(t, a.Mean(), all.Mean(), 1e-10, "merged mean")
+	almost(t, a.Variance(), all.Variance(), 1e-10, "merged variance")
+
+	var empty Welford
+	empty.Merge(a)
+	almost(t, empty.Mean(), a.Mean(), 0, "merge into empty")
+	pre := a
+	a.Merge(Welford{})
+	almost(t, a.Mean(), pre.Mean(), 0, "merge empty is no-op")
+}
+
+func TestWelfordAddN(t *testing.T) {
+	var a, b Welford
+	for i := 0; i < 5; i++ {
+		a.Add(2)
+	}
+	a.Add(7)
+	b.AddN(2, 5)
+	b.AddN(7, 1)
+	b.AddN(9, 0) // no-op
+	almost(t, b.Mean(), a.Mean(), 1e-12, "AddN mean")
+	almost(t, b.Variance(), a.Variance(), 1e-12, "AddN variance")
+}
+
+func TestCov(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var c Cov
+	n := 20000
+	// y = 2x + noise: cov = 2·var(x).
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		y := 2*x + 0.5*rng.NormFloat64()
+		c.Add(x, y)
+	}
+	almost(t, c.Covariance(), 2, 0.06, "covariance")
+	wantCorr := 2 / math.Sqrt(4+0.25)
+	almost(t, c.Correlation(), wantCorr, 0.01, "correlation")
+	if c.N() != int64(n) {
+		t.Fatalf("N = %d", c.N())
+	}
+}
+
+func TestCovDegenerate(t *testing.T) {
+	var c Cov
+	c.Add(1, 2)
+	c.Add(1, 3)
+	almost(t, c.Correlation(), 0, 0, "degenerate x correlation")
+}
+
+func TestCovMatrixMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const dim = 4
+	m := NewCovMatrix(dim)
+	var pair [dim][dim]Cov
+	for i := 0; i < 3000; i++ {
+		var x [dim]float64
+		base := rng.NormFloat64()
+		for j := 0; j < dim; j++ {
+			x[j] = base*float64(j) + rng.NormFloat64()
+		}
+		m.Add(x[:])
+		for a := 0; a < dim; a++ {
+			for b := 0; b < dim; b++ {
+				pair[a][b].Add(x[a], x[b])
+			}
+		}
+	}
+	for a := 0; a < dim; a++ {
+		almost(t, m.Mean(a), pairMean(&pair[a][a]), 1e-9, "matrix mean")
+		for b := 0; b < dim; b++ {
+			almost(t, m.Covariance(a, b), pair[a][b].Covariance(), 1e-8, "matrix covariance")
+			almost(t, m.Correlation(a, b), pair[a][b].Correlation(), 1e-8, "matrix correlation")
+		}
+	}
+	cm := m.CorrelationMatrix()
+	for a := 0; a < dim; a++ {
+		almost(t, cm[a][a], 1, 1e-9, "diagonal correlation")
+	}
+	if m.Dim() != dim {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+}
+
+func pairMean(c *Cov) float64 { return c.meanX }
+
+func TestCovMatrixPanics(t *testing.T) {
+	m := NewCovMatrix(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	m.Add([]float64{1})
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	for _, v := range []int{0, 1, 1, 3, 3, 3, 7} {
+		h.Add(v)
+	}
+	if h.N() != 7 || h.Count(3) != 3 || h.Count(2) != 0 || h.Count(99) != 0 {
+		t.Fatalf("counts wrong: %v", h.Counts())
+	}
+	if h.Max() != 7 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	almost(t, h.Prob(1), 2.0/7, 1e-12, "prob")
+	almost(t, h.Mean(), 18.0/7, 1e-12, "mean")
+	m, v := direct([]float64{0, 1, 1, 3, 3, 3, 7})
+	almost(t, h.Mean(), m, 1e-12, "mean vs direct")
+	almost(t, h.Variance(), v, 1e-12, "variance vs direct")
+	almost(t, h.Tail(3), 1.0/7, 1e-12, "tail")
+
+	var h2 Hist
+	h2.Add(2)
+	h2.Merge(&h)
+	if h2.N() != 8 || h2.Count(3) != 3 {
+		t.Fatal("merge wrong")
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Max() != -1 || h.N() != 0 {
+		t.Fatal("empty hist state")
+	}
+	almost(t, h.Mean(), 0, 0, "empty mean")
+	almost(t, h.Tail(0), 0, 0, "empty tail")
+}
+
+func TestBatchMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := NewBatchMeans(100)
+	for i := 0; i < 10000; i++ {
+		b.Add(5 + rng.NormFloat64())
+	}
+	if b.Batches() != 100 {
+		t.Fatalf("batches = %d", b.Batches())
+	}
+	almost(t, b.Mean(), 5, 0.1, "grand mean")
+	hw := b.HalfWidth()
+	if hw <= 0 || hw > 0.2 {
+		t.Fatalf("half width %g implausible", hw)
+	}
+	if math.Abs(b.Mean()-5) > 3*hw {
+		t.Fatalf("true mean outside 3× interval: %g ± %g", b.Mean(), hw)
+	}
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 15; i++ {
+		b.Add(1)
+	}
+	if !math.IsInf(b.HalfWidth(), 1) {
+		t.Fatal("one batch must give infinite half width")
+	}
+}
+
+func TestAutoCorr(t *testing.T) {
+	// AR(1) with coefficient φ has lag-l autocorrelation ≈ φ^l.
+	rng := rand.New(rand.NewSource(7))
+	const phi = 0.6
+	x := make([]float64, 200000)
+	for i := 1; i < len(x); i++ {
+		x[i] = phi*x[i-1] + rng.NormFloat64()
+	}
+	almost(t, AutoCorr(x, 1), phi, 0.01, "lag-1")
+	almost(t, AutoCorr(x, 2), phi*phi, 0.015, "lag-2")
+	almost(t, AutoCorr(x, 0), 1, 1e-12, "lag-0")
+	if AutoCorr(x, -1) != 0 || AutoCorr(x, len(x)) != 0 {
+		t.Fatal("out-of-range lags must be 0")
+	}
+	if AutoCorr([]float64{3, 3, 3}, 1) != 0 {
+		t.Fatal("degenerate series must be 0")
+	}
+	// τ for AR(1): (1+φ)/(1-φ) = 4.
+	tau := IntegratedAutocorrTime(x, 100)
+	almost(t, tau, (1+phi)/(1-phi), 0.2, "integrated autocorrelation time")
+	// White noise: τ ≈ 1.
+	w := make([]float64, 100000)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	tauW := IntegratedAutocorrTime(w, 100)
+	almost(t, tauW, 1, 0.1, "white-noise τ")
+}
+
+// Property: Welford is permutation-invariant and matches the direct
+// formulas for arbitrary finite inputs.
+func TestWelfordQuick(t *testing.T) {
+	f := func(raw [16]float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			xs = append(xs, math.Mod(v, 1e6))
+		}
+		var w, rev Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		for i := len(xs) - 1; i >= 0; i-- {
+			rev.Add(xs[i])
+		}
+		m, v := direct(xs)
+		scale := 1 + math.Abs(m)
+		return math.Abs(w.Mean()-m) < 1e-8*scale &&
+			math.Abs(w.Variance()-v) < 1e-6*(1+v) &&
+			math.Abs(w.Mean()-rev.Mean()) < 1e-8*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package tandem
+
+import (
+	"math"
+	"testing"
+
+	"banyan/internal/core"
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %.8g, want %.8g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(0, 16, 16, 100, 1e-9); err == nil {
+		t.Fatal("expected p validation")
+	}
+	if _, err := Solve(1, 16, 16, 100, 1e-9); err == nil {
+		t.Fatal("expected p validation")
+	}
+	if _, err := Solve(0.5, 2, 16, 100, 1e-9); err == nil {
+		t.Fatal("expected truncation validation")
+	}
+	if _, err := Solve(0.5, 16, 16, 0, 1e-9); err == nil {
+		t.Fatal("expected sweeps validation")
+	}
+}
+
+// TestStage1Consistency: the chain's stage-1 marginal must reproduce the
+// closed-form first-stage wait p/(4(1-p)).
+func TestStage1Consistency(t *testing.T) {
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		r, err := Solve(p, 40, 48, 8000, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.UniformServiceOneMeanWait(2, 2, p)
+		almost(t, r.MeanWait1, want, 1e-6*(1+want), "stage-1 wait from chain")
+		if r.Residual > 1e-10 {
+			t.Fatalf("p=%g: residual %g did not converge", p, r.Residual)
+		}
+	}
+}
+
+// TestStage2MatchesSimulation: the exact chain and the fast simulator
+// must agree on the stage-2 waiting-time mean and variance.
+func TestStage2MatchesSimulation(t *testing.T) {
+	for _, p := range []float64{0.3, 0.5, 0.7} {
+		r, err := Solve(p, 40, 48, 8000, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := &simnet.Config{K: 2, Stages: 2, P: p, Cycles: 60000, Warmup: 3000, Seed: 64}
+		res, err := simnet.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := res.StageWait[1]
+		se := 4 * sim.StdDev() / math.Sqrt(float64(sim.N()))
+		almost(t, r.MeanWait2, sim.Mean(), se+0.01*(1+sim.Mean()), "stage-2 mean vs sim")
+		almost(t, r.VarWait2, sim.Variance(), 0.05*(1+sim.Variance()), "stage-2 var vs sim")
+	}
+}
+
+// TestStage2AgainstApproximation: the exact stage-2 wait sits between the
+// stage-1 value and the w∞ limit, and close to the Section IV stage-2
+// interpolation w₂ = w₁ + (w∞-w₁)(1-α).
+func TestStage2AgainstApproximation(t *testing.T) {
+	md := stages.DefaultModel()
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		r, err := Solve(p, 48, 64, 12000, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := stages.Params{K: 2, M: 1, P: p}
+		w1 := md.FirstStageMean(pr)
+		winf := md.LimitMeanWait(pr)
+		if r.MeanWait2 <= w1 || r.MeanWait2 >= winf {
+			t.Fatalf("p=%g: exact stage-2 %g not in (w1=%g, w∞=%g)", p, r.MeanWait2, w1, winf)
+		}
+		approx := md.StageMeanWait(pr, 2)
+		almost(t, r.MeanWait2, approx, 0.05*approx, "stage-2 vs Section IV interpolation")
+	}
+}
+
+// TestWait2Distribution: the exact stage-2 waiting-time distribution is a
+// proper distribution with a geometric-ish tail.
+func TestWait2Distribution(t *testing.T) {
+	r, err := Solve(0.5, 40, 48, 8000, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for j := 0; j < r.Wait2.Support(); j++ {
+		sum += r.Wait2.Prob(j)
+	}
+	almost(t, sum, 1, 1e-9, "wait2 mass")
+	if r.Wait2.Prob(0) < 0.5 || r.Wait2.Prob(0) > 0.9 {
+		t.Fatalf("P(w2=0) = %g implausible at ρ=0.5", r.Wait2.Prob(0))
+	}
+	// Monotone decreasing tail.
+	for j := 2; j < 12; j++ {
+		if r.Wait2.Prob(j) > r.Wait2.Prob(j-1)+1e-12 {
+			t.Fatalf("wait2 pmf not decreasing at %d", j)
+		}
+	}
+}
+
+// TestTruncationInsensitive: enlarging the truncation does not move the
+// answer (the clipped mass is negligible).
+func TestTruncationInsensitive(t *testing.T) {
+	a, err := Solve(0.5, 24, 32, 6000, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(0.5, 40, 56, 6000, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, a.MeanWait2, b.MeanWait2, 1e-8, "truncation stability (mean)")
+	almost(t, a.VarWait2, b.VarWait2, 1e-7, "truncation stability (variance)")
+}

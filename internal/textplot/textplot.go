@@ -1,0 +1,158 @@
+// Package textplot renders the paper's figures in a terminal: probability
+// histograms with an overlaid fitted curve (the gamma approximation of
+// Figures 3–8), plus CSV export for external plotting.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Histogram renders a vertical-bar (one row per lattice value) histogram
+// of sim probabilities with the model's predicted probabilities overlaid
+// as a marker, the way the paper overlays the gamma curve on simulated
+// waiting-time histograms.
+//
+// sim and model are parallel dense probability vectors indexed by waiting
+// time; rows after the last value with sim or model mass above cutProb
+// are suppressed (with a trailing ellipsis line).
+func Histogram(w io.Writer, title string, sim, model []float64, width int, cutProb float64) error {
+	if width < 10 {
+		width = 60
+	}
+	n := len(sim)
+	if len(model) > n {
+		n = len(model)
+	}
+	last := 0
+	maxP := 0.0
+	for j := 0; j < n; j++ {
+		s, g := at(sim, j), at(model, j)
+		if s > cutProb || g > cutProb {
+			last = j
+		}
+		if s > maxP {
+			maxP = s
+		}
+		if g > maxP {
+			maxP = g
+		}
+	}
+	if maxP == 0 {
+		return fmt.Errorf("textplot: nothing to plot")
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	scale := float64(width) / maxP
+	for j := 0; j <= last; j++ {
+		s, g := at(sim, j), at(model, j)
+		bar := int(s*scale + 0.5)
+		mark := int(g*scale + 0.5)
+		line := []rune(strings.Repeat("█", bar) + strings.Repeat(" ", width+2-bar))
+		if mark >= 0 && mark < len(line) {
+			if line[mark] == '█' {
+				line[mark] = '▓'
+			} else {
+				line[mark] = '·'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%4d │%s│ sim %.4f  model %.4f\n", j, string(line), s, g); err != nil {
+			return err
+		}
+	}
+	tailSim, tailModel := 0.0, 0.0
+	for j := last + 1; j < n; j++ {
+		tailSim += at(sim, j)
+		tailModel += at(model, j)
+	}
+	if tailSim > 0 || tailModel > 0 {
+		if _, err := fmt.Fprintf(w, "   > │ tail: sim %.4f  model %.4f\n", tailSim, tailModel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func at(v []float64, j int) float64 {
+	if j < 0 || j >= len(v) {
+		return 0
+	}
+	return v[j]
+}
+
+// CSV writes parallel series as comma-separated rows with a header:
+// index, then one column per series.
+func CSV(w io.Writer, header []string, series ...[]float64) error {
+	if len(series) == 0 {
+		return fmt.Errorf("textplot: no series")
+	}
+	if len(header) != len(series)+1 {
+		return fmt.Errorf("textplot: header needs %d entries, got %d", len(series)+1, len(header))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	for j := 0; j < n; j++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%d", j))
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.6g", at(s, j)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders a simple aligned text table.
+func Table(w io.Writer, title string, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(header); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	var b strings.Builder
+	sim := []float64{0.5, 0.3, 0.15, 0.04, 0.01, 0.0001}
+	model := []float64{0.45, 0.35, 0.12, 0.05, 0.02, 0.0002}
+	if err := Histogram(&b, "test hist", sim, model, 40, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "test hist") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "█") {
+		t.Fatal("missing bars")
+	}
+	if !strings.Contains(out, "sim 0.5000") || !strings.Contains(out, "model 0.4500") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// Values below cutProb are folded into the tail line.
+	if !strings.Contains(out, "tail") {
+		t.Fatalf("missing tail line:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 6 || lines > 8 {
+		t.Fatalf("unexpected line count %d:\n%s", lines, out)
+	}
+}
+
+func TestHistogramMismatchedLengths(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, "t", []float64{0.9, 0.1}, []float64{0.8, 0.1, 0.05, 0.05}, 20, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "model 0.0500") {
+		t.Fatal("longer model series not rendered")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, "t", []float64{0, 0}, []float64{0, 0}, 20, 1e-4); err == nil {
+		t.Fatal("expected nothing-to-plot error")
+	}
+}
+
+func TestHistogramDefaultWidth(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, "t", []float64{1}, []float64{1}, 3, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.String()) < 60 {
+		t.Fatal("narrow width not clamped to default")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"wait", "sim", "model"}, []float64{0.5, 0.5}, []float64{0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if lines[0] != "wait,sim,model" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if lines[1] != "0,0.5,0.4" {
+		t.Fatalf("row: %s", lines[1])
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, []string{"x"}); err == nil {
+		t.Fatal("expected no-series error")
+	}
+	if err := CSV(&b, []string{"x"}, []float64{1}); err == nil {
+		t.Fatal("expected header-mismatch error")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, "title", []string{"a", "long-header"},
+		[][]string{{"1", "2"}, {"333333", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "long-header") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	// Columns aligned: separator row present.
+	if !strings.Contains(out, "------") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+}

@@ -1,0 +1,182 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// This file analyzes permutation routing on the omega network — the
+// combinatorial side of the banyan family the paper's introduction cites
+// (Lawrie's Ω network, Goke & Lipovski's banyans): an N-input omega
+// network has a unique path per (source, destination) pair, so a full
+// permutation is routable without conflicts iff no two paths demand the
+// same output port at any stage. Only N^(N/2)-ish of the N! permutations
+// pass (the network is blocking); the queueing analysis of the rest of
+// this repository quantifies what the blocked ones cost in delay.
+
+// Conflict describes the first link conflict found while routing a
+// permutation: two sources that need the same output port of the same
+// stage in the same pass.
+type Conflict struct {
+	Stage int // 1-based stage
+	Row   int // contended output-port row
+	SrcA  int
+	SrcB  int
+}
+
+func (c Conflict) Error() string {
+	return fmt.Sprintf("topology: sources %d and %d both need stage-%d port %d",
+		c.SrcA, c.SrcB, c.Stage, c.Row)
+}
+
+// CheckPermutation reports whether the permutation perm (perm[src] =
+// dest) is routable in a single conflict-free pass. It returns nil if so,
+// or the first Conflict found. perm must be a permutation of 0…N-1.
+func (t *Network) CheckPermutation(perm []int) error {
+	if err := t.validatePerm(perm); err != nil {
+		return err
+	}
+	owner := make([]int, t.size)
+	rows := make([]int, t.size)
+	for src := range perm {
+		rows[src] = src
+	}
+	for stage := 1; stage <= t.n; stage++ {
+		for i := range owner {
+			owner[i] = -1
+		}
+		for src, dest := range perm {
+			r := t.NextRow(rows[src], t.Digit(dest, stage))
+			if prev := owner[r]; prev >= 0 {
+				return Conflict{Stage: stage, Row: r, SrcA: prev, SrcB: src}
+			}
+			owner[r] = src
+			rows[src] = r
+		}
+	}
+	return nil
+}
+
+// PassCount returns the number of conflict-free passes needed to route
+// the permutation greedily: each pass routes every not-yet-delivered
+// source whose whole path is conflict-free given the earlier sources of
+// the same pass. It is the classic store-and-forward lower-bound proxy
+// for how badly a permutation fits the network (identity = 1 pass).
+func (t *Network) PassCount(perm []int) (int, error) {
+	if err := t.validatePerm(perm); err != nil {
+		return 0, err
+	}
+	remaining := make([]int, 0, len(perm))
+	for src := range perm {
+		remaining = append(remaining, src)
+	}
+	passes := 0
+	occupied := make([][]bool, t.n)
+	for i := range occupied {
+		occupied[i] = make([]bool, t.size)
+	}
+	for len(remaining) > 0 {
+		passes++
+		if passes > t.size*t.n+1 {
+			return 0, fmt.Errorf("topology: pass counting failed to terminate")
+		}
+		for s := range occupied {
+			for r := range occupied[s] {
+				occupied[s][r] = false
+			}
+		}
+		var blocked []int
+		for _, src := range remaining {
+			route := t.Route(src, perm[src])
+			ok := true
+			for s, r := range route {
+				if occupied[s][r] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				blocked = append(blocked, src)
+				continue
+			}
+			for s, r := range route {
+				occupied[s][r] = true
+			}
+		}
+		remaining = blocked
+	}
+	return passes, nil
+}
+
+// validatePerm checks perm is a permutation of 0…N-1.
+func (t *Network) validatePerm(perm []int) error {
+	if len(perm) != t.size {
+		return fmt.Errorf("topology: permutation length %d, want %d", len(perm), t.size)
+	}
+	seen := make([]bool, t.size)
+	for src, dest := range perm {
+		if dest < 0 || dest >= t.size {
+			return fmt.Errorf("topology: perm[%d] = %d out of range", src, dest)
+		}
+		if seen[dest] {
+			return fmt.Errorf("topology: destination %d appears twice", dest)
+		}
+		seen[dest] = true
+	}
+	return nil
+}
+
+// IdentityPerm returns the identity permutation.
+func (t *Network) IdentityPerm() []int {
+	p := make([]int, t.size)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// BitReversalPerm returns the bit-reversal permutation (digit-reversal
+// for radix k) — the FFT access pattern and a classic routability test
+// case.
+func (t *Network) BitReversalPerm() []int {
+	p := make([]int, t.size)
+	for src := range p {
+		rev := 0
+		v := src
+		for d := 0; d < t.n; d++ {
+			rev = rev*t.k + v%t.k
+			v /= t.k
+		}
+		p[src] = rev
+	}
+	return p
+}
+
+// PerfectShufflePerm returns the perfect-shuffle permutation σ(i) =
+// Shuffle(i).
+func (t *Network) PerfectShufflePerm() []int {
+	p := make([]int, t.size)
+	for i := range p {
+		p[i] = t.Shuffle(i)
+	}
+	return p
+}
+
+// TransposePerm returns the matrix-transpose permutation (swap the high
+// and low halves of the digit string; n must be even): the canonical
+// *hard* permutation for omega networks.
+func (t *Network) TransposePerm() ([]int, error) {
+	if t.n%2 != 0 {
+		return nil, fmt.Errorf("topology: transpose needs an even number of stages, have %d", t.n)
+	}
+	half := 1
+	for i := 0; i < t.n/2; i++ {
+		half *= t.k
+	}
+	p := make([]int, t.size)
+	for i := range p {
+		hi := i / half
+		lo := i % half
+		p[i] = lo*half + hi
+	}
+	return p, nil
+}

@@ -1,0 +1,168 @@
+package topology
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityRoutable(t *testing.T) {
+	for _, cfg := range []struct{ k, n int }{{2, 4}, {2, 6}, {4, 3}} {
+		net := MustNew(cfg.k, cfg.n)
+		if err := net.CheckPermutation(net.IdentityPerm()); err != nil {
+			t.Fatalf("k=%d n=%d: identity not routable: %v", cfg.k, cfg.n, err)
+		}
+		passes, err := net.PassCount(net.IdentityPerm())
+		if err != nil || passes != 1 {
+			t.Fatalf("identity passes = %d, %v", passes, err)
+		}
+	}
+}
+
+func TestCyclicShiftsRoutable(t *testing.T) {
+	// Lawrie's classic result: the omega network routes every uniform
+	// cyclic shift σ(i) = (i + c) mod N without conflict.
+	net := MustNew(2, 5)
+	for c := 0; c < net.Size(); c++ {
+		perm := make([]int, net.Size())
+		for i := range perm {
+			perm[i] = (i + c) % net.Size()
+		}
+		if err := net.CheckPermutation(perm); err != nil {
+			t.Fatalf("shift by %d not omega-routable: %v", c, err)
+		}
+	}
+}
+
+func TestShufflePermBlocks(t *testing.T) {
+	// The perfect shuffle itself is NOT omega-routable in one pass:
+	// sources 0 and N/2 both demand stage-1 port 0.
+	net := MustNew(2, 5)
+	if err := net.CheckPermutation(net.PerfectShufflePerm()); err == nil {
+		t.Fatal("shuffle unexpectedly routable")
+	}
+}
+
+func TestBitReversalPerm(t *testing.T) {
+	net := MustNew(2, 4)
+	p := net.BitReversalPerm()
+	if p[0b0001] != 0b1000 || p[0b1011] != 0b1101 || p[0] != 0 {
+		t.Fatalf("bit reversal wrong: %v", p)
+	}
+	// Bit reversal is an involution and a permutation.
+	for i, d := range p {
+		if p[d] != i {
+			t.Fatalf("bit reversal not an involution at %d", i)
+		}
+	}
+}
+
+func TestTransposeBlocks(t *testing.T) {
+	net := MustNew(2, 6)
+	perm, err := net.TransposePerm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = net.CheckPermutation(perm)
+	if err == nil {
+		t.Fatal("transpose should not be omega-routable in one pass")
+	}
+	var c Conflict
+	if !errors.As(err, &c) {
+		t.Fatalf("expected a Conflict, got %v", err)
+	}
+	if c.Error() == "" || c.Stage < 1 || c.Stage > 6 {
+		t.Fatalf("conflict malformed: %+v", c)
+	}
+	// It needs multiple passes — the classic √N-ish congestion.
+	passes, err := net.PassCount(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes < 3 {
+		t.Fatalf("transpose routed in %d passes; expected heavy blocking", passes)
+	}
+	// Odd stage counts reject transpose.
+	odd := MustNew(2, 5)
+	if _, err := odd.TransposePerm(); err == nil {
+		t.Fatal("expected even-stage requirement")
+	}
+}
+
+func TestPassCountRandomPermutations(t *testing.T) {
+	net := MustNew(2, 6)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(net.Size())
+		passes, err := net.PassCount(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if passes < 1 || passes > net.Size() {
+			t.Fatalf("passes %d out of range", passes)
+		}
+		// Consistency: 1 pass iff conflict-free.
+		confErr := net.CheckPermutation(perm)
+		if (confErr == nil) != (passes == 1) {
+			t.Fatalf("pass count %d inconsistent with conflict check %v", passes, confErr)
+		}
+	}
+}
+
+// TestRoutableCount: the omega network's one-pass-routable permutations
+// are exactly the distinct settings of its n·N/k switches, 2^(n·N/2)
+// for k = 2 — the classical count (16 for N=4, 4096 for N=8), verified
+// by brute force over all N! permutations.
+func TestRoutableCount(t *testing.T) {
+	for _, cfg := range []struct {
+		n    int
+		want int
+	}{{2, 16}, {3, 4096}} {
+		net := MustNew(2, cfg.n)
+		size := net.Size()
+		perm := make([]int, size)
+		used := make([]bool, size)
+		count := 0
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == size {
+				if net.CheckPermutation(perm) == nil {
+					count++
+				}
+				return
+			}
+			for d := 0; d < size; d++ {
+				if used[d] {
+					continue
+				}
+				used[d] = true
+				perm[pos] = d
+				rec(pos + 1)
+				used[d] = false
+			}
+		}
+		rec(0)
+		if count != cfg.want {
+			t.Fatalf("N=%d: %d routable permutations, want %d", size, count, cfg.want)
+		}
+	}
+}
+
+func TestPermValidation(t *testing.T) {
+	net := MustNew(2, 3)
+	if err := net.CheckPermutation([]int{0, 1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	bad := net.IdentityPerm()
+	bad[0] = 1 // duplicate
+	if err := net.CheckPermutation(bad); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	bad[0] = 99
+	if err := net.CheckPermutation(bad); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := net.PassCount([]int{0}); err == nil {
+		t.Fatal("expected pass-count validation")
+	}
+}

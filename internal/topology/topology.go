@@ -1,0 +1,134 @@
+// Package topology models the multistage banyan (omega) interconnection
+// networks of the paper: N = k^n inputs connected to N outputs through n
+// stages of k×k buffered crossbar switches, with a perfect-shuffle
+// permutation between consecutive stages (Lawrie's omega network, a member
+// of the banyan family of Goke and Lipovski — Fig. 1 of the paper).
+//
+// A network is fully described by the radix k and the stage count n.
+// Rows (link indices) at each stage are numbered 0…N-1; switch s at a
+// stage owns rows sk…sk+k-1. Routing is digit-controlled: writing the
+// destination address d in base k as d_{n-1}…d_1 d_0 (most significant
+// digit first), the switch at stage j (1-based) forwards the message to
+// its local output port d_{n-j}. The omega wiring makes the row index
+// after stage j equal to (k·r + d_{n-j}) mod N, which is the only fact the
+// simulator needs.
+package topology
+
+import (
+	"fmt"
+)
+
+// Network describes a k-ary n-stage omega (banyan) network.
+type Network struct {
+	k    int // switch radix (k×k switches)
+	n    int // number of stages
+	size int // k^n inputs and outputs
+}
+
+// New validates and returns a Network with radix k and n stages.
+// Size k^n must fit in an int; practical networks are far smaller.
+func New(k, n int) (*Network, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: switch radix k = %d must be at least 2", k)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topology: stage count n = %d must be at least 1", n)
+	}
+	size := 1
+	for i := 0; i < n; i++ {
+		if size > (1<<40)/k {
+			return nil, fmt.Errorf("topology: network k=%d n=%d too large", k, n)
+		}
+		size *= k
+	}
+	return &Network{k: k, n: n, size: size}, nil
+}
+
+// MustNew is New that panics on invalid parameters.
+func MustNew(k, n int) *Network {
+	t, err := New(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Radix returns k.
+func (t *Network) Radix() int { return t.k }
+
+// Stages returns n.
+func (t *Network) Stages() int { return t.n }
+
+// Size returns the number of inputs (= outputs = rows per stage) k^n.
+func (t *Network) Size() int { return t.size }
+
+// SwitchesPerStage returns k^n / k.
+func (t *Network) SwitchesPerStage() int { return t.size / t.k }
+
+// PortsPerStage returns the number of output queues per stage (= Size).
+func (t *Network) PortsPerStage() int { return t.size }
+
+// Digit returns the base-k digit of dest consumed at stage (1-based),
+// i.e. digit n-stage of dest written most-significant-first.
+func (t *Network) Digit(dest, stage int) int {
+	if stage < 1 || stage > t.n {
+		panic(fmt.Sprintf("topology: stage %d out of 1..%d", stage, t.n))
+	}
+	d := dest
+	for i := 0; i < t.n-stage; i++ {
+		d /= t.k
+	}
+	return d % t.k
+}
+
+// NextRow returns the row index after routing a message currently on row r
+// through a stage, given the routing digit for that stage:
+// (k·r + digit) mod N. The output-queue index a message joins at stage j
+// is exactly NextRow(row before stage j, digit for stage j).
+func (t *Network) NextRow(r, digit int) int {
+	if r < 0 || r >= t.size {
+		panic(fmt.Sprintf("topology: row %d out of 0..%d", r, t.size-1))
+	}
+	if digit < 0 || digit >= t.k {
+		panic(fmt.Sprintf("topology: digit %d out of 0..%d", digit, t.k-1))
+	}
+	return (t.k*r + digit) % t.size
+}
+
+// Route returns the sequence of output-queue row indices a message visits
+// traversing the network from input src to output dest, one entry per
+// stage. It is the reference implementation the fast simulator is tested
+// against.
+func (t *Network) Route(src, dest int) []int {
+	if src < 0 || src >= t.size {
+		panic(fmt.Sprintf("topology: source %d out of range", src))
+	}
+	if dest < 0 || dest >= t.size {
+		panic(fmt.Sprintf("topology: destination %d out of range", dest))
+	}
+	rows := make([]int, t.n)
+	r := src
+	for stage := 1; stage <= t.n; stage++ {
+		r = t.NextRow(r, t.Digit(dest, stage))
+		rows[stage-1] = r
+	}
+	return rows
+}
+
+// SwitchOf returns the switch index owning row r (rows sk…sk+k-1).
+func (t *Network) SwitchOf(r int) int { return r / t.k }
+
+// PortOf returns the local output-port index of row r within its switch.
+func (t *Network) PortOf(r int) int { return r % t.k }
+
+// Shuffle returns the perfect k-shuffle of row r: the inter-stage wiring
+// permutation r → (k·r) mod N + r div k^{n-1} … equivalently the left
+// rotate of r's base-k digit string.
+func (t *Network) Shuffle(r int) int {
+	return (t.k*r)%t.size + (t.k*r)/t.size
+}
+
+// InverseShuffle returns the inverse of Shuffle (right rotate of digits).
+func (t *Network) InverseShuffle(r int) int {
+	return r/t.k + (r%t.k)*(t.size/t.k)
+}

@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 3); err == nil {
+		t.Fatal("expected radix error")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Fatal("expected stage error")
+	}
+	if _, err := New(2, 60); err == nil {
+		t.Fatal("expected size error")
+	}
+	n, err := New(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 64 || n.Radix() != 2 || n.Stages() != 6 {
+		t.Fatalf("network misconfigured: %d %d %d", n.Size(), n.Radix(), n.Stages())
+	}
+	if n.SwitchesPerStage() != 32 || n.PortsPerStage() != 64 {
+		t.Fatalf("switch counts wrong")
+	}
+}
+
+func TestDigits(t *testing.T) {
+	n := MustNew(2, 4) // 16 endpoints
+	// dest 13 = 1101₂: digits consumed stage 1→4 are 1,1,0,1.
+	want := []int{1, 1, 0, 1}
+	for stage := 1; stage <= 4; stage++ {
+		if got := n.Digit(13, stage); got != want[stage-1] {
+			t.Fatalf("Digit(13,%d) = %d, want %d", stage, got, want[stage-1])
+		}
+	}
+	k4 := MustNew(4, 3) // 64 endpoints, base-4 digits
+	// dest 57 = 321₄.
+	want4 := []int{3, 2, 1}
+	for stage := 1; stage <= 3; stage++ {
+		if got := k4.Digit(57, stage); got != want4[stage-1] {
+			t.Fatalf("base-4 Digit(57,%d) = %d, want %d", stage, got, want4[stage-1])
+		}
+	}
+}
+
+func TestRouteReachesDestination(t *testing.T) {
+	// Fundamental banyan property: after consuming all n digits, the row
+	// equals the destination, from any source.
+	for _, cfg := range []struct{ k, n int }{{2, 4}, {2, 8}, {4, 3}, {8, 2}, {3, 3}} {
+		net := MustNew(cfg.k, cfg.n)
+		for src := 0; src < net.Size(); src++ {
+			for dest := 0; dest < net.Size(); dest++ {
+				rows := net.Route(src, dest)
+				if len(rows) != cfg.n {
+					t.Fatalf("route length %d", len(rows))
+				}
+				if rows[cfg.n-1] != dest {
+					t.Fatalf("k=%d n=%d: route %d→%d ends at %d", cfg.k, cfg.n, src, dest, rows[cfg.n-1])
+				}
+			}
+		}
+	}
+}
+
+func TestRouteUnique(t *testing.T) {
+	// Banyan = unique path: routes from two sources to the same dest
+	// merge and never diverge afterwards.
+	net := MustNew(2, 5)
+	dest := 19
+	r1 := net.Route(3, dest)
+	r2 := net.Route(28, dest)
+	merged := false
+	for i := range r1 {
+		if r1[i] == r2[i] {
+			merged = true
+		} else if merged {
+			t.Fatalf("paths diverged after merging at stage %d", i+1)
+		}
+	}
+	if !merged {
+		t.Fatal("paths to the same destination never merged")
+	}
+}
+
+func TestShuffleInverse(t *testing.T) {
+	for _, cfg := range []struct{ k, n int }{{2, 5}, {4, 3}, {8, 2}} {
+		net := MustNew(cfg.k, cfg.n)
+		seen := make(map[int]bool)
+		for r := 0; r < net.Size(); r++ {
+			s := net.Shuffle(r)
+			if s < 0 || s >= net.Size() {
+				t.Fatalf("shuffle out of range: %d → %d", r, s)
+			}
+			if seen[s] {
+				t.Fatalf("shuffle not a permutation at %d", s)
+			}
+			seen[s] = true
+			if back := net.InverseShuffle(s); back != r {
+				t.Fatalf("inverse shuffle: %d → %d → %d", r, s, back)
+			}
+		}
+	}
+}
+
+func TestShuffleIsDigitRotation(t *testing.T) {
+	net := MustNew(2, 4)
+	// Shuffle of abcd₂ is bcda₂: shuffle(0b1011) = 0b0111.
+	if got := net.Shuffle(0b1011); got != 0b0111 {
+		t.Fatalf("shuffle(1011) = %04b", got)
+	}
+	if got := net.Shuffle(0b1000); got != 0b0001 {
+		t.Fatalf("shuffle(1000) = %04b", got)
+	}
+}
+
+func TestNextRowMatchesRoute(t *testing.T) {
+	net := MustNew(4, 3)
+	src, dest := 17, 42
+	r := src
+	for stage := 1; stage <= 3; stage++ {
+		r = net.NextRow(r, net.Digit(dest, stage))
+	}
+	rows := net.Route(src, dest)
+	if r != rows[2] {
+		t.Fatalf("iterated NextRow %d != Route %d", r, rows[2])
+	}
+}
+
+func TestSwitchPortOf(t *testing.T) {
+	net := MustNew(4, 2)
+	if net.SwitchOf(13) != 3 || net.PortOf(13) != 1 {
+		t.Fatalf("switch/port of 13: %d/%d", net.SwitchOf(13), net.PortOf(13))
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	net := MustNew(2, 3)
+	for name, f := range map[string]func(){
+		"digit stage 0":  func() { net.Digit(0, 0) },
+		"digit stage n+": func() { net.Digit(0, 4) },
+		"next row neg":   func() { net.NextRow(-1, 0) },
+		"next digit big": func() { net.NextRow(0, 2) },
+		"route src":      func() { net.Route(-1, 0) },
+		"route dest":     func() { net.Route(0, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: every (src, dest) route is stage-consistent — each hop is the
+// shuffle-exchange image of the previous row.
+func TestRouteConsistencyQuick(t *testing.T) {
+	net := MustNew(2, 10)
+	f := func(src, dest uint16) bool {
+		s := int(src) % net.Size()
+		d := int(dest) % net.Size()
+		rows := net.Route(s, d)
+		r := s
+		for stage := 1; stage <= net.Stages(); stage++ {
+			r = net.NextRow(r, net.Digit(d, stage))
+			if rows[stage-1] != r {
+				return false
+			}
+		}
+		return r == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

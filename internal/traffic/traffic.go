@@ -1,0 +1,342 @@
+// Package traffic defines the arrival and service models of the paper's
+// Sections II–III, in the exact form the analysis consumes: the law of the
+// number of messages arriving to one output queue per clock cycle (the PGF
+// R(z)) and the law of a message's service time in cycles (the PGF U(z)).
+//
+// Every model exposes an exact PMF, so factorial moments R”(1), R”'(1),
+// U”(1), U”'(1) — the only inputs to the paper's moment formulas — are
+// computed from first principles rather than transcribed, and the full
+// transform machinery in internal/core can extract complete waiting-time
+// distributions.
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"banyan/internal/dist"
+)
+
+// Arrivals is the per-cycle message-arrival law at a single output queue
+// of a first-stage switch.
+type Arrivals struct {
+	pmf  dist.PMF
+	desc string
+}
+
+// PMF returns the arrival-count distribution.
+func (a Arrivals) PMF() dist.PMF { return a.pmf }
+
+// PGF returns R(z) truncated to n terms.
+func (a Arrivals) PGF(n int) dist.Series { return a.pmf.PGF(n) }
+
+// Rate returns λ = R'(1), the mean number of messages per cycle.
+func (a Arrivals) Rate() float64 { return a.pmf.Mean() }
+
+// FactorialMoment returns R^{(r)}(1) = E[A(A-1)…(A-r+1)].
+func (a Arrivals) FactorialMoment(r int) float64 { return a.pmf.FactorialMoment(r) }
+
+// String describes the model.
+func (a Arrivals) String() string { return a.desc }
+
+// CustomArrivals wraps an arbitrary arrival-count PMF.
+func CustomArrivals(p dist.PMF) Arrivals {
+	return Arrivals{pmf: p, desc: fmt.Sprintf("custom arrivals (support %d)", p.Support())}
+}
+
+// Uniform returns the Section III-A-1 model: each of k input ports of a
+// k×s switch receives a message with probability p per cycle, and each
+// message picks each of the s output ports with equal probability, so the
+// per-port count is Binomial(k, p/s) and R(z) = (1 - p/s + p z/s)^k.
+func Uniform(k, s int, p float64) (Arrivals, error) {
+	if err := checkSwitch(k, s); err != nil {
+		return Arrivals{}, err
+	}
+	if p < 0 || p > 1 {
+		return Arrivals{}, fmt.Errorf("traffic: arrival probability p = %g out of [0,1]", p)
+	}
+	return Arrivals{
+		pmf:  dist.Binomial(k, p/float64(s)),
+		desc: fmt.Sprintf("uniform traffic k=%d s=%d p=%g", k, s, p),
+	}, nil
+}
+
+// Bulk returns the Section III-A-2 model: arrivals are batches of exactly
+// b unit messages (a b-packet message arriving in one bulk). The number of
+// batches per port per cycle is Binomial(k, p/s); each batch contributes b
+// messages, so R(z) = (1 - p/s + p z^b/s)^k and λ = bpk/s.
+func Bulk(k, s int, p float64, b int) (Arrivals, error) {
+	if err := checkSwitch(k, s); err != nil {
+		return Arrivals{}, err
+	}
+	if p < 0 || p > 1 {
+		return Arrivals{}, fmt.Errorf("traffic: arrival probability p = %g out of [0,1]", p)
+	}
+	if b < 1 {
+		return Arrivals{}, fmt.Errorf("traffic: batch size b = %d must be at least 1", b)
+	}
+	batches := dist.Binomial(k, p/float64(s))
+	probs := make([]float64, (batches.Support()-1)*b+1)
+	for j := 0; j < batches.Support(); j++ {
+		probs[j*b] = batches.Prob(j)
+	}
+	pm, err := dist.NewPMF(probs)
+	if err != nil {
+		return Arrivals{}, err
+	}
+	return Arrivals{
+		pmf:  pm,
+		desc: fmt.Sprintf("bulk traffic k=%d s=%d p=%g b=%d", k, s, p, b),
+	}, nil
+}
+
+// Nonuniform returns the Section III-A-3 model with k = s: each input has
+// a distinct favorite output. An input sends an arriving batch (of b
+// messages) to its favorite with probability q and to each of the k ports
+// (including the favorite) with probability (1-q)/k otherwise. The count
+// at a port is the independent sum of the favored stream
+// (Bernoulli(p·q) batches from its dedicated input) and the normal stream
+// (Binomial(k, p(1-q)/k) batches), so R(z) is the product of the two PGFs,
+// exactly as in the paper.
+func Nonuniform(k int, p, q float64, b int) (Arrivals, error) {
+	if err := checkSwitch(k, k); err != nil {
+		return Arrivals{}, err
+	}
+	if p < 0 || p > 1 {
+		return Arrivals{}, fmt.Errorf("traffic: arrival probability p = %g out of [0,1]", p)
+	}
+	if q < 0 || q > 1 {
+		return Arrivals{}, fmt.Errorf("traffic: favorite-output probability q = %g out of [0,1]", q)
+	}
+	if b < 1 {
+		return Arrivals{}, fmt.Errorf("traffic: batch size b = %d must be at least 1", b)
+	}
+	normal := dist.Binomial(k, p*(1-q)/float64(k))
+	favored := dist.MustPMF([]float64{1 - p*q, p * q})
+	counts := dist.Convolve(normal, favored)
+	probs := make([]float64, (counts.Support()-1)*b+1)
+	for j := 0; j < counts.Support(); j++ {
+		probs[j*b] = counts.Prob(j)
+	}
+	pm, err := dist.NewPMF(probs)
+	if err != nil {
+		return Arrivals{}, err
+	}
+	return Arrivals{
+		pmf:  pm,
+		desc: fmt.Sprintf("nonuniform traffic k=%d p=%g q=%g b=%d", k, p, q, b),
+	}, nil
+}
+
+// NonuniformExclusive returns the physically exact favorite-output law of
+// a k×k switch in which each input emits at most one batch per cycle: the
+// port that is input j's favorite receives a batch from j with probability
+// a = p(q + (1-q)/k) (favored or normally routed there) and a batch from
+// each of the other k-1 inputs with probability c = p(1-q)/k, so
+// R(z) = (1-a+a·z^b)(1-c+c·z^b)^{k-1}.
+//
+// The paper's Section III-A-3 product form (see Nonuniform) instead
+// multiplies an independent Bernoulli(pq) favored stream into the full
+// Binomial normal stream, which double-counts the favorite input's cycle —
+// an idealization that overstates first-stage queueing slightly (by ~18%
+// in E[w] at k=2, p=0.5, q=0.1). The simulator realizes the exclusive
+// law; both are provided so the difference can be measured.
+func NonuniformExclusive(k int, p, q float64, b int) (Arrivals, error) {
+	if err := checkSwitch(k, k); err != nil {
+		return Arrivals{}, err
+	}
+	if p < 0 || p > 1 {
+		return Arrivals{}, fmt.Errorf("traffic: arrival probability p = %g out of [0,1]", p)
+	}
+	if q < 0 || q > 1 {
+		return Arrivals{}, fmt.Errorf("traffic: favorite-output probability q = %g out of [0,1]", q)
+	}
+	if b < 1 {
+		return Arrivals{}, fmt.Errorf("traffic: batch size b = %d must be at least 1", b)
+	}
+	a := p * (q + (1-q)/float64(k))
+	c := p * (1 - q) / float64(k)
+	counts := dist.Convolve(dist.MustPMF([]float64{1 - a, a}), dist.Binomial(k-1, c))
+	probs := make([]float64, (counts.Support()-1)*b+1)
+	for j := 0; j < counts.Support(); j++ {
+		probs[j*b] = counts.Prob(j)
+	}
+	pm, err := dist.NewPMF(probs)
+	if err != nil {
+		return Arrivals{}, err
+	}
+	return Arrivals{
+		pmf:  pm,
+		desc: fmt.Sprintf("nonuniform traffic (exclusive) k=%d p=%g q=%g b=%d", k, p, q, b),
+	}, nil
+}
+
+// HotModule returns the first-stage arrival law at an output port on the
+// path to a single shared hot memory module: every input addresses the
+// hot module with probability h and sprays uniformly otherwise, so each
+// of the k inputs of a first-stage switch feeds the hot-path port with
+// probability p(h + (1-h)/k) per cycle — Binomial(k, p(h+(1-h)/k)), with
+// batches of b. (This is the "hot spot" of the RP3 literature, distinct
+// from the paper's favorite-output model where every input has its own
+// favorite; deeper stages aggregate hot traffic geometrically and
+// saturate — tree saturation — which the simulator exhibits.)
+func HotModule(k int, p, h float64, b int) (Arrivals, error) {
+	if err := checkSwitch(k, k); err != nil {
+		return Arrivals{}, err
+	}
+	if p < 0 || p > 1 {
+		return Arrivals{}, fmt.Errorf("traffic: arrival probability p = %g out of [0,1]", p)
+	}
+	if h < 0 || h > 1 {
+		return Arrivals{}, fmt.Errorf("traffic: hot-module probability h = %g out of [0,1]", h)
+	}
+	if b < 1 {
+		return Arrivals{}, fmt.Errorf("traffic: batch size b = %d must be at least 1", b)
+	}
+	counts := dist.Binomial(k, p*(h+(1-h)/float64(k)))
+	probs := make([]float64, (counts.Support()-1)*b+1)
+	for j := 0; j < counts.Support(); j++ {
+		probs[j*b] = counts.Prob(j)
+	}
+	pm, err := dist.NewPMF(probs)
+	if err != nil {
+		return Arrivals{}, err
+	}
+	return Arrivals{
+		pmf:  pm,
+		desc: fmt.Sprintf("hot-module traffic k=%d p=%g h=%g b=%d", k, p, h, b),
+	}, nil
+}
+
+// Poisson returns a Poisson(λ) arrival law truncated to nTrunc terms. It
+// is the continuous-time limit used by the M/M/1 and M/D/1 consistency
+// checks of Sections III-C and IV-B.
+func Poisson(lambda float64, nTrunc int) (Arrivals, error) {
+	if lambda < 0 {
+		return Arrivals{}, fmt.Errorf("traffic: Poisson rate %g must be nonnegative", lambda)
+	}
+	return Arrivals{
+		pmf:  dist.PoissonPMF(lambda, nTrunc),
+		desc: fmt.Sprintf("Poisson arrivals λ=%g", lambda),
+	}, nil
+}
+
+func checkSwitch(k, s int) error {
+	if k < 1 {
+		return fmt.Errorf("traffic: switch inputs k = %d must be at least 1", k)
+	}
+	if s < 1 {
+		return fmt.Errorf("traffic: switch outputs s = %d must be at least 1", s)
+	}
+	return nil
+}
+
+// Service is the law of a message's service time (cycles needed to forward
+// it through one switch stage). Service times are at least one cycle.
+type Service struct {
+	pmf  dist.PMF
+	desc string
+}
+
+// PMF returns the service-time distribution.
+func (sv Service) PMF() dist.PMF { return sv.pmf }
+
+// PGF returns U(z) truncated to n terms.
+func (sv Service) PGF(n int) dist.Series { return sv.pmf.PGF(n) }
+
+// Mean returns m = U'(1).
+func (sv Service) Mean() float64 { return sv.pmf.Mean() }
+
+// FactorialMoment returns U^{(r)}(1).
+func (sv Service) FactorialMoment(r int) float64 { return sv.pmf.FactorialMoment(r) }
+
+// String describes the model.
+func (sv Service) String() string { return sv.desc }
+
+// validateService enforces service times ≥ 1 (synchronous switches forward
+// at most one packet per cycle, so zero service is meaningless and would
+// also break the transform assembly, which divides by 1 - U(z)).
+func validateService(p dist.PMF, desc string) (Service, error) {
+	if p.Prob(0) != 0 {
+		return Service{}, fmt.Errorf("traffic: %s assigns probability %g to zero service time", desc, p.Prob(0))
+	}
+	return Service{pmf: p, desc: desc}, nil
+}
+
+// UnitService returns the deterministic one-cycle service of Section
+// III-A (U(z) = z).
+func UnitService() Service {
+	return Service{pmf: dist.PointPMF(1), desc: "unit service"}
+}
+
+// ConstService returns the deterministic m-cycle service of Section
+// III-D-1 (U(z) = z^m): a message of m packets forwarded on consecutive
+// cycles.
+func ConstService(m int) (Service, error) {
+	if m < 1 {
+		return Service{}, fmt.Errorf("traffic: constant service time m = %d must be at least 1", m)
+	}
+	return Service{pmf: dist.PointPMF(m), desc: fmt.Sprintf("constant service m=%d", m)}, nil
+}
+
+// SizeMix is one component of a multi-size service distribution.
+type SizeMix struct {
+	Size int     // service time m_i in cycles
+	Prob float64 // probability g_i
+}
+
+// MultiService returns the Section III-D-2 model: service time m_i with
+// probability g_i (e.g. short read requests mixed with long writes).
+func MultiService(mix []SizeMix) (Service, error) {
+	if len(mix) == 0 {
+		return Service{}, fmt.Errorf("traffic: empty service mix")
+	}
+	maxSize := 0
+	sum := 0.0
+	for _, c := range mix {
+		if c.Size < 1 {
+			return Service{}, fmt.Errorf("traffic: service size %d must be at least 1", c.Size)
+		}
+		if c.Prob < 0 {
+			return Service{}, fmt.Errorf("traffic: negative mix probability %g", c.Prob)
+		}
+		if c.Size > maxSize {
+			maxSize = c.Size
+		}
+		sum += c.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return Service{}, fmt.Errorf("traffic: service mix probabilities sum to %g, want 1", sum)
+	}
+	probs := make([]float64, maxSize+1)
+	for _, c := range mix {
+		probs[c.Size] += c.Prob
+	}
+	pm, err := dist.NewPMF(probs)
+	if err != nil {
+		return Service{}, err
+	}
+	return validateService(pm, fmt.Sprintf("multi-size service (%d sizes)", len(mix)))
+}
+
+// GeomService returns the Section III-B model: service geometrically
+// distributed on {1,2,…} with parameter μ (mean 1/μ), truncated at nTrunc
+// with the tail folded into the last value.
+func GeomService(mu float64, nTrunc int) (Service, error) {
+	if mu <= 0 || mu > 1 {
+		return Service{}, fmt.Errorf("traffic: geometric service parameter μ = %g out of (0,1]", mu)
+	}
+	return validateService(dist.GeometricPMF(mu, nTrunc), fmt.Sprintf("geometric service μ=%g", mu))
+}
+
+// CustomService wraps an arbitrary service-time PMF (must have no mass at
+// zero).
+func CustomService(p dist.PMF) (Service, error) {
+	return validateService(p, fmt.Sprintf("custom service (support %d)", p.Support()))
+}
+
+// Intensity returns the traffic intensity ρ = m·λ of an arrival/service
+// pair; the queue is stable iff ρ < 1.
+func Intensity(a Arrivals, sv Service) float64 {
+	return a.Rate() * sv.Mean()
+}

@@ -1,0 +1,286 @@
+package traffic
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"banyan/internal/dist"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	for _, c := range []struct {
+		k, s int
+		p    float64
+	}{{2, 2, 0.5}, {4, 4, 0.3}, {8, 8, 0.9}, {4, 8, 0.6}, {2, 2, 0}} {
+		a, err := Uniform(c.k, c.s, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := float64(c.k) * c.p / float64(c.s)
+		kk := float64(c.k)
+		almost(t, a.Rate(), lambda, 1e-12, "rate")
+		almost(t, a.FactorialMoment(2), lambda*lambda*(1-1/kk), 1e-12, "R''(1)")
+		almost(t, a.FactorialMoment(3), lambda*lambda*lambda*(1-1/kk)*(1-2/kk), 1e-12, "R'''(1)")
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := Uniform(0, 2, 0.5); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, err := Uniform(2, 0, 0.5); err == nil {
+		t.Fatal("expected s error")
+	}
+	if _, err := Uniform(2, 2, 1.5); err == nil {
+		t.Fatal("expected p error")
+	}
+}
+
+func TestBulkMoments(t *testing.T) {
+	k, s, p, b := 2, 2, 0.2, 3
+	a, err := Bulk(k, s, p, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := float64(b*k) * p / float64(s)
+	almost(t, a.Rate(), lambda, 1e-12, "bulk rate")
+	// Paper form: R''(1) = λ(b-1) + λ²(1-1/k).
+	almost(t, a.FactorialMoment(2), lambda*(float64(b)-1)+lambda*lambda*0.5, 1e-12, "bulk R''(1)")
+	// Support only at multiples of b.
+	pm := a.PMF()
+	for j := 0; j < pm.Support(); j++ {
+		if j%b != 0 && pm.Prob(j) != 0 {
+			t.Fatalf("bulk mass at non-multiple %d", j)
+		}
+	}
+	// b=1 degenerates to Uniform.
+	a1, _ := Bulk(k, s, p, 1)
+	u, _ := Uniform(k, s, p)
+	if tv := dist.TotalVariation(a1.PMF(), u.PMF()); tv > 1e-12 {
+		t.Fatalf("bulk b=1 != uniform: TV %g", tv)
+	}
+}
+
+func TestBulkValidation(t *testing.T) {
+	if _, err := Bulk(2, 2, 0.5, 0); err == nil {
+		t.Fatal("expected batch error")
+	}
+	if _, err := Bulk(2, 2, -0.1, 2); err == nil {
+		t.Fatal("expected p error")
+	}
+}
+
+func TestNonuniformPaperModel(t *testing.T) {
+	k, p, q := 2, 0.5, 0.3
+	a, err := Nonuniform(k, p, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, a.Rate(), p, 1e-12, "rate is p (favored + normal)")
+	// Paper product form: R''(1) = p²(1-q)²(1-1/k) + 2p²q(1-q).
+	want := p*p*(1-q)*(1-q)*0.5 + 2*p*p*q*(1-q)
+	almost(t, a.FactorialMoment(2), want, 1e-12, "paper R''(1)")
+	// q=0 degenerates to Uniform.
+	a0, _ := Nonuniform(k, p, 0, 1)
+	u, _ := Uniform(k, k, p)
+	if tv := dist.TotalVariation(a0.PMF(), u.PMF()); tv > 1e-12 {
+		t.Fatalf("nonuniform q=0 != uniform: TV %g", tv)
+	}
+}
+
+func TestNonuniformExclusiveModel(t *testing.T) {
+	k, p, q := 2, 0.5, 0.3
+	a, err := NonuniformExclusive(k, p, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, a.Rate(), p, 1e-12, "exclusive rate is p")
+	// R''(1) = 2ac with a = p(q+(1-q)/2), c = p(1-q)/2.
+	av := p * (q + (1-q)/2)
+	cv := p * (1 - q) / 2
+	almost(t, a.FactorialMoment(2), 2*av*cv, 1e-12, "exclusive R''(1)")
+	// At most k arrivals per cycle — the exclusivity property.
+	if a.PMF().Support() > k+1 {
+		t.Fatalf("exclusive law has support %d > k+1", a.PMF().Support())
+	}
+	// q=1: dedicated port, Bernoulli(p), zero second factorial moment.
+	a1, _ := NonuniformExclusive(k, p, 1, 1)
+	almost(t, a1.FactorialMoment(2), 0, 1e-12, "q=1 never collides")
+	// q=0 degenerates to Uniform.
+	a0, _ := NonuniformExclusive(k, p, 0, 1)
+	u, _ := Uniform(k, k, p)
+	if tv := dist.TotalVariation(a0.PMF(), u.PMF()); tv > 1e-12 {
+		t.Fatalf("exclusive q=0 != uniform: TV %g", tv)
+	}
+}
+
+func TestNonuniformPaperOverstates(t *testing.T) {
+	// The paper's product form counts the favorite input twice, so its
+	// R''(1) (hence E[w]) must dominate the exclusive law's for q in
+	// (0,1).
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.9} {
+		paper, _ := Nonuniform(2, 0.5, q, 1)
+		excl, _ := NonuniformExclusive(2, 0.5, q, 1)
+		if paper.FactorialMoment(2) <= excl.FactorialMoment(2) {
+			t.Fatalf("q=%g: paper R''=%g not above exclusive %g",
+				q, paper.FactorialMoment(2), excl.FactorialMoment(2))
+		}
+	}
+}
+
+func TestHotModuleLaw(t *testing.T) {
+	k, p, h := 2, 0.4, 0.02
+	a, err := HotModule(k, p, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p * (h + (1-h)/float64(k))
+	almost(t, a.Rate(), float64(k)*want, 1e-12, "hot-path port rate")
+	// h=0 degenerates to uniform.
+	a0, err := HotModule(k, p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := Uniform(k, k, p)
+	if tv := dist.TotalVariation(a0.PMF(), u.PMF()); tv > 1e-12 {
+		t.Fatalf("hot h=0 != uniform: TV %g", tv)
+	}
+	// h=1: every input feeds the hot port, Binomial(k, p).
+	a1, err := HotModule(k, p, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := dist.TotalVariation(a1.PMF(), dist.Binomial(k, p)); tv > 1e-12 {
+		t.Fatalf("hot h=1 law wrong: TV %g", tv)
+	}
+	// Validation.
+	if _, err := HotModule(2, 0.5, -0.1, 1); err == nil {
+		t.Fatal("expected h validation")
+	}
+	if _, err := HotModule(2, 0.5, 0.5, 0); err == nil {
+		t.Fatal("expected batch validation")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	a, err := Poisson(0.7, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, a.Rate(), 0.7, 1e-9, "poisson rate")
+	if _, err := Poisson(-1, 10); err == nil {
+		t.Fatal("expected rate error")
+	}
+}
+
+func TestServiceModels(t *testing.T) {
+	u := UnitService()
+	almost(t, u.Mean(), 1, 0, "unit mean")
+	almost(t, u.FactorialMoment(2), 0, 0, "unit U''")
+
+	c, err := ConstService(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, c.Mean(), 5, 0, "const mean")
+	almost(t, c.FactorialMoment(2), 20, 0, "const U''")
+	almost(t, c.FactorialMoment(3), 60, 0, "const U'''")
+	if _, err := ConstService(0); err == nil {
+		t.Fatal("expected m error")
+	}
+
+	g, err := GeomService(0.25, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, g.Mean(), 4, 1e-6, "geom mean")
+	// U''(1) = 2(1-μ)/μ².
+	almost(t, g.FactorialMoment(2), 2*0.75/(0.25*0.25), 1e-3, "geom U''")
+	if _, err := GeomService(0, 16); err == nil {
+		t.Fatal("expected μ error")
+	}
+	if _, err := GeomService(1.5, 16); err == nil {
+		t.Fatal("expected μ range error")
+	}
+}
+
+func TestMultiService(t *testing.T) {
+	sv, err := MultiService([]SizeMix{{Size: 4, Prob: 0.75}, {Size: 8, Prob: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, sv.Mean(), 5, 1e-12, "multi mean")
+	almost(t, sv.FactorialMoment(2), 0.75*12+0.25*56, 1e-12, "multi U''")
+	if !strings.Contains(sv.String(), "multi-size") {
+		t.Fatalf("description: %s", sv.String())
+	}
+	if _, err := MultiService(nil); err == nil {
+		t.Fatal("expected empty-mix error")
+	}
+	if _, err := MultiService([]SizeMix{{Size: 0, Prob: 1}}); err == nil {
+		t.Fatal("expected size error")
+	}
+	if _, err := MultiService([]SizeMix{{Size: 1, Prob: 0.5}}); err == nil {
+		t.Fatal("expected probability-sum error")
+	}
+	if _, err := MultiService([]SizeMix{{Size: 1, Prob: -1}, {Size: 2, Prob: 2}}); err == nil {
+		t.Fatal("expected negative-probability error")
+	}
+}
+
+func TestCustomService(t *testing.T) {
+	if _, err := CustomService(dist.PointPMF(0)); err == nil {
+		t.Fatal("expected zero-service rejection")
+	}
+	sv, err := CustomService(dist.MustPMF([]float64{0, 0.5, 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, sv.Mean(), 1.5, 1e-12, "custom mean")
+}
+
+func TestIntensity(t *testing.T) {
+	a, _ := Uniform(2, 2, 0.5)
+	sv, _ := ConstService(4)
+	almost(t, Intensity(a, sv), 2, 1e-12, "intensity")
+}
+
+func TestArrivalPGFMatchesPMF(t *testing.T) {
+	a, _ := Bulk(4, 4, 0.3, 2)
+	s := a.PGF(32)
+	pm := a.PMF()
+	for j := 0; j < pm.Support(); j++ {
+		almost(t, s.Coeff(j), pm.Prob(j), 1e-15, "PGF coefficient")
+	}
+	almost(t, s.Sum(), 1, 1e-12, "PGF mass")
+}
+
+// Property: for all valid (k, p, q), the exclusive law's total rate is p
+// and its PMF is a valid distribution.
+func TestNonuniformExclusiveQuick(t *testing.T) {
+	f := func(kRaw uint8, pRaw, qRaw float64) bool {
+		k := int(kRaw%7) + 2
+		p := math.Mod(math.Abs(pRaw), 1)
+		q := math.Mod(math.Abs(qRaw), 1)
+		if math.IsNaN(p) || math.IsNaN(q) {
+			return true
+		}
+		a, err := NonuniformExclusive(k, p, q, 1)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.Rate()-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
