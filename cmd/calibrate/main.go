@@ -7,19 +7,26 @@
 // (several of the paper's own constants are OCR-damaged in the available
 // text; see DESIGN.md §3).
 //
+// All simulation points are collected up front and executed as one batch
+// on the sweep engine, so repeated operating points (the p = 0.5 columns
+// appear in both the a(k) fit and the grid cross-check) run once, and
+// -parallelism spreads the batch over cores without changing any number.
+//
 // Usage:
 //
-//	calibrate [-cycles 60000] [-warmup 6000] [-seed 1234]
+//	calibrate [-cycles 60000] [-warmup 6000] [-seed 1234] [-parallelism N] [-progress]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"banyan/internal/core"
 	"banyan/internal/simnet"
 	"banyan/internal/stages"
+	"banyan/internal/sweep"
 	"banyan/internal/traffic"
 )
 
@@ -28,14 +35,35 @@ func main() {
 	log.SetPrefix("calibrate: ")
 	cycles := flag.Int("cycles", 60000, "measured cycles per run")
 	warmup := flag.Int("warmup", 6000, "warmup cycles per run")
-	seed := flag.Uint64("seed", 1234, "base random seed")
+	seed := flag.Uint64("seed", 1234, "root random seed")
+	parallelism := flag.Int("parallelism", 0, "simulation worker count (0 = all cores); results are identical at every setting")
+	progress := flag.Bool("progress", false, "log per-point sweep progress to stderr")
 	flag.Parse()
 
-	// deepRatios measures w∞/w₁ and v∞/v₁ (averaging the last two
-	// simulated stages) for one operating point. The cycle count is
-	// capped so that no run exceeds ~12M messages regardless of the
-	// network width.
-	deepRatios := func(k, n int, p, q float64) (wr, vr float64) {
+	runner := &sweep.Runner{
+		Parallelism: *parallelism,
+		RootSeed:    *seed,
+		Cache:       sweep.NewCache(),
+	}
+	if *progress {
+		runner.Reporter = sweep.NewLogReporter(os.Stderr)
+	}
+
+	// Phase 1: collect every operating point the calibration needs.
+	// deepPoint builds one deep-network run; the cycle count is capped so
+	// that no run exceeds ~12M messages regardless of the network width.
+	var pts []sweep.Point
+	seen := map[string]bool{}
+	add := func(p sweep.Point) {
+		if !seen[p.Label] {
+			seen[p.Label] = true
+			pts = append(pts, p)
+		}
+	}
+	deepLabel := func(k int, p, q float64) string {
+		return fmt.Sprintf("deep/k=%d/p=%g/q=%g", k, p, q)
+	}
+	deepPoint := func(k, n int, p, q float64) sweep.Point {
 		rows := 1
 		for i := 0; i < n && rows < 4096; i++ {
 			rows *= k
@@ -44,12 +72,64 @@ func main() {
 		if cap := int(12e6 / (float64(rows) * p)); cyc > cap {
 			cyc = cap
 		}
-		cfg := &simnet.Config{K: k, Stages: n, P: p, Q: q,
-			Cycles: cyc, Warmup: *warmup, Seed: *seed}
-		res, err := simnet.Run(cfg)
+		return sweep.Point{
+			Label: deepLabel(k, p, q),
+			Cfg: simnet.Config{K: k, Stages: n, P: p, Q: q,
+				Cycles: cyc, Warmup: *warmup},
+		}
+	}
+	mvarLabel := func(rho float64) string { return fmt.Sprintf("mvar/rho=%g", rho) }
+	mvarPoint := func(rho float64) sweep.Point {
+		m := 4
+		p := rho / float64(m)
+		svc, err := traffic.ConstService(m)
 		if err != nil {
 			log.Fatal(err)
 		}
+		cyc := *cycles
+		if cap := int(12e6 / (256 * p)); cyc > cap {
+			cyc = cap
+		}
+		return sweep.Point{
+			Label: mvarLabel(rho),
+			Cfg: simnet.Config{K: 2, Stages: 8, P: p, Service: svc,
+				Cycles: cyc, Warmup: *warmup},
+		}
+	}
+
+	stagesFor := map[int]int{2: 8, 4: 6, 8: 4}
+	for _, k := range []int{2, 4, 8} {
+		add(deepPoint(k, stagesFor[k], 0.5, 0)) // a(k) fit
+		for _, p := range []float64{0.2, 0.5, 0.8} {
+			add(deepPoint(k, stagesFor[k], p, 0)) // grid cross-check
+		}
+	}
+	add(deepPoint(2, 8, 0.35, 0)) // (C1, C2) fit
+	add(deepPoint(2, 8, 0.65, 0))
+	qs := [2]float64{1.0 / 3, 0.9}
+	for _, q := range qs {
+		add(deepPoint(2, 8, 0.5, q)) // q-factor fit
+	}
+	rhos := []float64{0.2, 0.5, 0.8}
+	for _, rho := range rhos {
+		add(mvarPoint(rho)) // m ≥ 2 variance factor
+	}
+
+	// Phase 2: one batch over the whole grid.
+	prs, err := runner.Run(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byLabel := make(map[string]*simnet.Result, len(prs))
+	for _, pr := range prs {
+		byLabel[pr.Point.Label] = pr.Result()
+	}
+
+	// Phase 3: read the fits off the completed batch.
+	// deepRatios measures w∞/w₁ and v∞/v₁ (averaging the last two
+	// simulated stages) for one operating point.
+	deepRatios := func(k, n int, p, q float64) (wr, vr float64) {
+		res := byLabel[deepLabel(k, p, q)]
 		last := n - 1
 		wInf := (res.StageWait[last].Mean() + res.StageWait[last-1].Mean()) / 2
 		vInf := (res.StageWait[last].Variance() + res.StageWait[last-1].Variance()) / 2
@@ -63,8 +143,6 @@ func main() {
 		}
 		return wInf / w1, vInf / v1
 	}
-
-	stagesFor := map[int]int{2: 8, 4: 6, 8: 4}
 
 	// 1. Wait coefficient a(k): the paper fits r(p) = 1 + a·p at p = 0.5
 	// (Section IV-A), then observes a ≈ 4/(5k).
@@ -110,7 +188,6 @@ func main() {
 	fmt.Println("\n== nonuniform q factors at k = 2, p = 0.5 ==")
 	baseW := 1 + md.WaitA(2)*0.5
 	baseV := 1 + (md.VarC1*0.5+md.VarC2*0.25)/2
-	qs := [2]float64{1.0 / 3, 0.9}
 	var fw, fv [2]float64
 	for i, q := range qs {
 		wr, vr := deepRatios(2, 8, 0.5, q)
@@ -133,27 +210,12 @@ func main() {
 	// v∞/(m²·v̄₁(ρ)) at m = 4, k = 2 across loads and compare with the
 	// shipped VarM0 + VarMSlope·ρ + (VarMC1·ρ + VarMC2·ρ²)/k surface.
 	fmt.Println("\n== m ≥ 2 variance factor at m = 4, k = 2 ==")
-	for _, rho := range []float64{0.2, 0.5, 0.8} {
-		m := 4
-		p := rho / float64(m)
-		svc, err := traffic.ConstService(m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cyc := *cycles
-		if cap := int(12e6 / (256 * p)); cyc > cap {
-			cyc = cap
-		}
-		cfg := &simnet.Config{K: 2, Stages: 8, P: p, Service: svc,
-			Cycles: cyc, Warmup: *warmup, Seed: *seed}
-		res, err := simnet.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, rho := range rhos {
+		res := byLabel[mvarLabel(rho)]
 		v := (res.StageWait[7].Variance() + res.StageWait[6].Variance()) / 2
 		vbar := 0.5 * rho * (6 - 5*rho*1.5 + 2*rho*rho*1.5) / (12 * (1 - rho) * (1 - rho))
 		sim := v / (16 * vbar)
-		model := md.LimitVarWait(stages.Params{K: 2, M: m, P: p}) / (16 * vbar)
+		model := md.LimitVarWait(stages.Params{K: 2, M: 4, P: rho / 4}) / (16 * vbar)
 		fmt.Printf("ρ=%.2f: sim factor %.4f, model %.4f\n", rho, sim, model)
 	}
 

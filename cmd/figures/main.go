@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	figures [-quick] [-only "Figure 5"] [-csv DIR] [-seed N]
+//	figures [-quick] [-only "Figure 5"] [-csv DIR] [-seed N] [-parallelism N] [-progress]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"banyan/internal/experiments"
+	"banyan/internal/sweep"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 	only := flag.String("only", "", "regenerate a single figure (e.g. \"Figure 5\" or \"5\")")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	seed := flag.Uint64("seed", 0, "override the base random seed")
+	parallelism := flag.Int("parallelism", 0, "simulation worker count (0 = all cores); results are identical at every setting")
+	progress := flag.Bool("progress", false, "log per-point sweep progress to stderr")
 	flag.Parse()
 
 	sc := experiments.Full()
@@ -36,6 +39,11 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	sc.Parallelism = *parallelism
+	sc.Runner = sc.NewRunner()
+	if *progress {
+		sc.Runner.Reporter = sweep.NewLogReporter(os.Stderr)
 	}
 
 	matched := false

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tables [-quick] [-only TableIX] [-seed N]
+//	tables [-quick] [-only TableIX] [-seed N] [-parallelism N] [-progress]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"banyan/internal/experiments"
+	"banyan/internal/sweep"
 )
 
 type renderer interface {
@@ -31,6 +32,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use the small test-sized simulation scale")
 	only := flag.String("only", "", "regenerate a single table (e.g. \"Table IX\" or \"IX\")")
 	seed := flag.Uint64("seed", 0, "override the base random seed")
+	parallelism := flag.Int("parallelism", 0, "simulation worker count (0 = all cores); results are identical at every setting")
+	progress := flag.Bool("progress", false, "log per-point sweep progress to stderr")
 	flag.Parse()
 
 	sc := experiments.Full()
@@ -39,6 +42,13 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	sc.Parallelism = *parallelism
+	// One shared runner: its cache dedupes operating points reused across
+	// tables, and its counters span the whole regeneration.
+	sc.Runner = sc.NewRunner()
+	if *progress {
+		sc.Runner.Reporter = sweep.NewLogReporter(os.Stderr)
 	}
 
 	jobs := []struct {

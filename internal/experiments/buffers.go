@@ -7,6 +7,7 @@ import (
 
 	"banyan/internal/core"
 	"banyan/internal/simnet"
+	"banyan/internal/sweep"
 	"banyan/internal/textplot"
 	"banyan/internal/traffic"
 )
@@ -80,36 +81,27 @@ func BufferExperiment(sc Scale, k int, p float64, m, nStages int, caps []int) (*
 		return nil, err
 	}
 
-	mk := func(capMsgs int, track bool) (*simnet.Result, error) {
-		cfg := simnet.Config{
+	// One batch: the infinite-buffer reference run (occupancy tracked)
+	// followed by each finite capacity. All run on the literal engine —
+	// sc.point routes BufferCap/TrackOccupancy configs there.
+	mkPoint := func(capMsgs int, track bool) sweep.Point {
+		return sc.point(fmt.Sprintf("buffers/cap=%d", capMsgs), simnet.Config{
 			K: k, Stages: nStages, P: p, Service: svc,
 			BufferCap: capMsgs, TrackOccupancy: track,
-		}
-		rows := 1
-		for i := 0; i < nStages && rows < 4096; i++ {
-			rows *= k
-		}
-		cfg.Cycles = sc.cyclesFor(rows, p, 1)
-		cfg.Warmup = sc.WarmupCycles
-		cfg.Seed = sc.derive(fmt.Sprintf("buffers/%d/%v", capMsgs, track))
-		tr, err := simnet.GenerateTrace(&cfg)
-		if err != nil {
-			return nil, err
-		}
-		return simnet.RunLiteral(&cfg, tr)
+		})
 	}
-
-	// Infinite-buffer reference run with occupancy tracking.
-	ref, err := mk(0, true)
+	pts := []sweep.Point{mkPoint(0, true)}
+	for _, c := range caps {
+		pts = append(pts, mkPoint(c, false))
+	}
+	results, err := sc.runBatch(pts)
 	if err != nil {
 		return nil, err
 	}
+	ref := results[0]
 
-	for _, c := range caps {
-		res, err := mk(c, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, c := range caps {
+		res := results[i+1]
 		// Analytic bound on per-stage blocking: arrivals block against
 		// the queue's pre-service peak, which exceeds the stationary
 		// work s by at most the k·m work a single cycle can deliver.

@@ -6,6 +6,7 @@ import (
 
 	"banyan/internal/core"
 	"banyan/internal/simnet"
+	"banyan/internal/sweep"
 	"banyan/internal/textplot"
 )
 
@@ -46,6 +47,7 @@ func BurstyExperiment(sc Scale, k int, p float64, burstLens []float64) (*Bursty,
 	}
 	iid := core.UniformServiceOneMeanWait(k, k, p)
 	const n = 6
+	var pts []sweep.Point
 	for _, L := range burstLens {
 		if L < 1 {
 			return nil, fmt.Errorf("experiments: burst length %g must be ≥ 1", L)
@@ -54,10 +56,14 @@ func BurstyExperiment(sc Scale, k int, p float64, burstLens []float64) (*Bursty,
 			K: k, Stages: n, P: p,
 			Burst: &simnet.BurstParams{POnRate: 1 / L, POffRate: 1 / L},
 		}
-		res, err := sc.run(fmt.Sprintf("bursty/L=%g", L), cfg)
-		if err != nil {
-			return nil, err
-		}
+		pts = append(pts, sc.point(fmt.Sprintf("bursty/L=%g", L), cfg))
+	}
+	results, err := sc.runBatch(pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, L := range burstLens {
+		res := results[i]
 		b.Rows = append(b.Rows, BurstyRow{
 			MeanBurst: L,
 			SimW1:     res.StageWait[0].Mean(),

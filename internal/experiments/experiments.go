@@ -9,10 +9,10 @@ package experiments
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"banyan/internal/simnet"
 	"banyan/internal/stages"
+	"banyan/internal/sweep"
 	"banyan/internal/traffic"
 )
 
@@ -23,8 +23,17 @@ type Scale struct {
 	TargetMessages int
 	// WarmupCycles are simulated before measurement starts.
 	WarmupCycles int
-	// Seed is the base random seed; each run derives its own from it.
+	// Seed is the root random seed; every run's seed is derived from it
+	// and the run's configuration by the sweep engine.
 	Seed uint64
+	// Parallelism bounds the sweep worker pool (0 = GOMAXPROCS). Results
+	// are byte-identical at every setting.
+	Parallelism int
+	// Runner, when non-nil, executes all of the scale's simulations —
+	// letting callers share a point cache and progress counters across
+	// experiments. When nil each batch gets a transient runner configured
+	// from the fields above.
+	Runner *sweep.Runner
 }
 
 // Quick returns a scale suitable for tests and benchmarks (seconds).
@@ -38,11 +47,24 @@ func Full() Scale {
 	return Scale{TargetMessages: 2_000_000, WarmupCycles: 5000, Seed: 0x5eed}
 }
 
-// derive returns a per-run seed from the base seed and a label.
-func (sc Scale) derive(label string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(label))
-	return sc.Seed ^ h.Sum64()
+// NewRunner builds a sweep runner configured from the scale, with a
+// fresh point cache. Assign it to Scale.Runner to share simulation work
+// across experiments (the total tables and figures, for instance, run
+// identical points).
+func (sc Scale) NewRunner() *sweep.Runner {
+	return &sweep.Runner{
+		Parallelism: sc.Parallelism,
+		RootSeed:    sc.Seed,
+		Cache:       sweep.NewCache(),
+	}
+}
+
+// runner returns the scale's shared runner, or a transient one.
+func (sc Scale) runner() *sweep.Runner {
+	if sc.Runner != nil {
+		return sc.Runner
+	}
+	return &sweep.Runner{Parallelism: sc.Parallelism, RootSeed: sc.Seed}
 }
 
 // cyclesFor sizes a run to reach the target measured-message count.
@@ -58,8 +80,12 @@ func (sc Scale) cyclesFor(rows int, p float64, bulk int) int {
 	return c
 }
 
-// runCfg builds and runs one simulation.
-func (sc Scale) run(label string, cfg simnet.Config) (*simnet.Result, error) {
+// point sizes cfg to the scale's effort and wraps it as a sweep point.
+// Cfg.Cycles and Cfg.Warmup are derived unless the caller pre-set them
+// (heavy-traffic runs need longer warmups, for example). Points whose
+// configuration needs the literal engine (finite buffers or occupancy
+// tracking) are routed there automatically.
+func (sc Scale) point(label string, cfg simnet.Config) sweep.Point {
 	rows := 1
 	for i := 0; i < cfg.Stages; i++ {
 		rows *= cfg.K
@@ -68,14 +94,40 @@ func (sc Scale) run(label string, cfg simnet.Config) (*simnet.Result, error) {
 			break
 		}
 	}
-	cfg.Cycles = sc.cyclesFor(rows, cfg.P, cfg.Bulk)
-	cfg.Warmup = sc.WarmupCycles
-	cfg.Seed = sc.derive(label)
-	res, err := simnet.Run(&cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", label, err)
+	if cfg.Cycles == 0 {
+		cfg.Cycles = sc.cyclesFor(rows, cfg.P, cfg.Bulk)
 	}
-	return res, nil
+	if cfg.Warmup == 0 {
+		cfg.Warmup = sc.WarmupCycles
+	}
+	eng := sweep.Fast
+	if cfg.BufferCap > 0 || cfg.TrackOccupancy {
+		eng = sweep.Literal
+	}
+	return sweep.Point{Label: label, Cfg: cfg, Engine: eng}
+}
+
+// runBatch executes a batch of points on the scale's runner and unwraps
+// the per-point results, preserving batch order.
+func (sc Scale) runBatch(points []sweep.Point) ([]*simnet.Result, error) {
+	prs, err := sc.runner().Run(points)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	out := make([]*simnet.Result, len(prs))
+	for i, pr := range prs {
+		out[i] = pr.Result()
+	}
+	return out, nil
+}
+
+// run executes one simulation through the sweep engine.
+func (sc Scale) run(label string, cfg simnet.Config) (*simnet.Result, error) {
+	res, err := sc.runBatch([]sweep.Point{sc.point(label, cfg)})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
 }
 
 // model returns the Section IV approximation model used by all ESTIMATE

@@ -4,6 +4,9 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"banyan/internal/simnet"
+	"banyan/internal/sweep"
 )
 
 // testScale keeps the experiment tests fast while leaving enough samples
@@ -241,8 +244,10 @@ func TestFigureShape(t *testing.T) {
 
 func TestScaleDerivation(t *testing.T) {
 	sc := Quick()
-	if sc.derive("a") == sc.derive("b") {
-		t.Fatal("labels must derive distinct seeds")
+	pa := sc.point("a", simnet.Config{K: 2, Stages: 4, P: 0.3})
+	pb := sc.point("b", simnet.Config{K: 2, Stages: 4, P: 0.4})
+	if sweep.SeedFor(pa, sc.Seed) == sweep.SeedFor(pb, sc.Seed) {
+		t.Fatal("distinct configs must derive distinct seeds")
 	}
 	if c := sc.cyclesFor(256, 0.5, 1); c < 1000 {
 		t.Fatalf("cycles %d too small for target", c)

@@ -48,11 +48,12 @@ func FigureFor(sc Scale, tc TotalCase) (*Figure, error) {
 			tc.K, tc.P, tc.M),
 		Case: tc,
 	}
-	for _, n := range []int{3, 6, 9, 12} {
-		res, err := runTotalCase(sc, tc, n, false)
-		if err != nil {
-			return nil, err
-		}
+	results, err := sc.runBatch(totalPoints(sc, tc, false))
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range totalDepths {
+		res := results[i]
 		nw := predictor(tc, n)
 		g, err := nw.GammaApprox()
 		if err != nil {

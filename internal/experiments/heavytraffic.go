@@ -7,6 +7,7 @@ import (
 	"banyan/internal/core"
 	"banyan/internal/simnet"
 	"banyan/internal/stages"
+	"banyan/internal/sweep"
 	"banyan/internal/textplot"
 )
 
@@ -44,6 +45,7 @@ func HeavyTrafficExperiment(sc Scale, k int, loads []float64) (*HeavyTraffic, er
 	}
 	md := model()
 	n := 8
+	var pts []sweep.Point
 	for _, p := range loads {
 		if p >= 1 {
 			return nil, fmt.Errorf("experiments: heavy-traffic load %g must be < 1", p)
@@ -51,12 +53,15 @@ func HeavyTrafficExperiment(sc Scale, k int, loads []float64) (*HeavyTraffic, er
 		cfg := simnet.Config{K: k, Stages: n, P: p}
 		// Saturation needs longer warmup: transients decay like
 		// 1/(1-p)².
-		scHeavy := sc
-		scHeavy.WarmupCycles = sc.WarmupCycles + int(20/((1-p)*(1-p)))
-		res, err := scHeavy.run(fmt.Sprintf("heavy/p=%g", p), cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfg.Warmup = sc.WarmupCycles + int(20/((1-p)*(1-p)))
+		pts = append(pts, sc.point(fmt.Sprintf("heavy/p=%g", p), cfg))
+	}
+	results, err := sc.runBatch(pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range loads {
+		res := results[i]
 		wInf := (res.StageWait[n-1].Mean() + res.StageWait[n-2].Mean()) / 2
 		w1 := core.UniformServiceOneMeanWait(k, k, p)
 		pr := stages.Params{K: k, M: 1, P: p}

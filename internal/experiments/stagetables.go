@@ -7,6 +7,7 @@ import (
 	"banyan/internal/core"
 	"banyan/internal/simnet"
 	"banyan/internal/stages"
+	"banyan/internal/sweep"
 	"banyan/internal/textplot"
 	"banyan/internal/traffic"
 )
@@ -84,13 +85,17 @@ func stageColumnFromResult(label string, res *simnet.Result) StageColumn {
 func TableI(sc Scale) (*StageTable, error) {
 	t := &StageTable{Name: "Table I", Caption: "waiting times and variances: p varying (k=2, m=1, q=0)"}
 	md := model()
-	for _, p := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
-		label := fmt.Sprintf("p=%.2f", p)
-		res, err := sc.run("tableI/"+label, simnet.Config{K: 2, Stages: 8, P: p})
-		if err != nil {
-			return nil, err
-		}
-		col := stageColumnFromResult(label, res)
+	ps := []float64{0.2, 0.35, 0.5, 0.65, 0.8}
+	var pts []sweep.Point
+	for _, p := range ps {
+		pts = append(pts, sc.point(fmt.Sprintf("tableI/p=%.2f", p), simnet.Config{K: 2, Stages: 8, P: p}))
+	}
+	results, err := sc.runBatch(pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range ps {
+		col := stageColumnFromResult(fmt.Sprintf("p=%.2f", p), results[i])
 		pr := stages.Params{K: 2, M: 1, P: p}
 		col.AnalysisW = md.FirstStageMean(pr)
 		col.AnalysisV = md.FirstStageVar(pr)
@@ -107,13 +112,17 @@ func TableI(sc Scale) (*StageTable, error) {
 func TableII(sc Scale) (*StageTable, error) {
 	t := &StageTable{Name: "Table II", Caption: "waiting times and variances: k varying (p=0.5, m=1, q=0)"}
 	md := model()
-	for _, kc := range []struct{ k, n int }{{2, 8}, {4, 6}, {8, 4}} {
-		label := fmt.Sprintf("k=%d", kc.k)
-		res, err := sc.run("tableII/"+label, simnet.Config{K: kc.k, Stages: kc.n, P: 0.5})
-		if err != nil {
-			return nil, err
-		}
-		col := stageColumnFromResult(label, res)
+	kcs := []struct{ k, n int }{{2, 8}, {4, 6}, {8, 4}}
+	var pts []sweep.Point
+	for _, kc := range kcs {
+		pts = append(pts, sc.point(fmt.Sprintf("tableII/k=%d", kc.k), simnet.Config{K: kc.k, Stages: kc.n, P: 0.5}))
+	}
+	results, err := sc.runBatch(pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, kc := range kcs {
+		col := stageColumnFromResult(fmt.Sprintf("k=%d", kc.k), results[i])
 		pr := stages.Params{K: kc.k, M: 1, P: 0.5}
 		col.AnalysisW = md.FirstStageMean(pr)
 		col.AnalysisV = md.FirstStageVar(pr)
@@ -129,14 +138,20 @@ func TableII(sc Scale) (*StageTable, error) {
 func TableIII(sc Scale) (*StageTable, error) {
 	t := &StageTable{Name: "Table III", Caption: "waiting times and variances: p and m varying with ρ=0.5 (k=2, q=0)"}
 	md := model()
-	for _, m := range []int{2, 4, 8, 16} {
+	ms := []int{2, 4, 8, 16}
+	var pts []sweep.Point
+	for _, m := range ms {
 		p := 0.5 / float64(m)
-		label := fmt.Sprintf("m=%d", m)
-		res, err := sc.run("tableIII/"+label, simnet.Config{K: 2, Stages: 8, P: p, Service: mustConst(m)})
-		if err != nil {
-			return nil, err
-		}
-		col := stageColumnFromResult(label, res)
+		pts = append(pts, sc.point(fmt.Sprintf("tableIII/m=%d", m),
+			simnet.Config{K: 2, Stages: 8, P: p, Service: mustConst(m)}))
+	}
+	results, err := sc.runBatch(pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		p := 0.5 / float64(m)
+		col := stageColumnFromResult(fmt.Sprintf("m=%d", m), results[i])
 		pr := stages.Params{K: 2, M: m, P: p}
 		col.AnalysisW = md.FirstStageMean(pr)
 		col.AnalysisV = md.FirstStageVar(pr)
@@ -153,26 +168,35 @@ func TableIV(sc Scale) (*StageTable, error) {
 	t := &StageTable{Name: "Table IV", Caption: "waiting times and variances: m1=4, m2=8; p, g1, g2 varying with ρ=0.5 (k=2, q=0)"}
 	md := model()
 	sizes := []int{4, 8}
-	for _, g1 := range []float64{1, 2.0 / 3, 1.0 / 3, 0} {
+	g1s := []float64{1, 2.0 / 3, 1.0 / 3, 0}
+	svcs := make([]traffic.Service, len(g1s))
+	var pts []sweep.Point
+	for i, g1 := range g1s {
 		g2 := 1 - g1
 		mbar := 4*g1 + 8*g2
 		p := 0.5 / mbar
-		label := fmt.Sprintf("g1=%.2f", g1)
 		svc, err := traffic.MultiService([]traffic.SizeMix{{Size: 4, Prob: g1}, {Size: 8, Prob: g2}})
 		if err != nil {
 			return nil, err
 		}
-		res, err := sc.run("tableIV/"+label, simnet.Config{K: 2, Stages: 8, P: p, Service: svc})
-		if err != nil {
-			return nil, err
-		}
-		col := stageColumnFromResult(label, res)
+		svcs[i] = svc
+		pts = append(pts, sc.point(fmt.Sprintf("tableIV/g1=%.2f", g1),
+			simnet.Config{K: 2, Stages: 8, P: p, Service: svc}))
+	}
+	results, err := sc.runBatch(pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, g1 := range g1s {
+		g2 := 1 - g1
+		p := 0.5 / (4*g1 + 8*g2)
+		col := stageColumnFromResult(fmt.Sprintf("g1=%.2f", g1), results[i])
 		probs := []float64{g1, g2}
 		arr, err := traffic.Uniform(2, 2, p)
 		if err != nil {
 			return nil, err
 		}
-		an, err := core.New(arr, svc)
+		an, err := core.New(arr, svcs[i])
 		if err != nil {
 			return nil, err
 		}
@@ -190,13 +214,18 @@ func TableIV(sc Scale) (*StageTable, error) {
 func TableV(sc Scale) (*StageTable, error) {
 	t := &StageTable{Name: "Table V", Caption: "waiting times and variances: q varying (p=0.5, k=2, m=1)"}
 	md := model()
-	for _, q := range []float64{0, 0.1, 0.3, 0.6} {
-		label := fmt.Sprintf("q=%.1f", q)
-		res, err := sc.run("tableV/"+label, simnet.Config{K: 2, Stages: 8, P: 0.5, Q: q})
-		if err != nil {
-			return nil, err
-		}
-		col := stageColumnFromResult(label, res)
+	qs := []float64{0, 0.1, 0.3, 0.6}
+	var pts []sweep.Point
+	for _, q := range qs {
+		pts = append(pts, sc.point(fmt.Sprintf("tableV/q=%.1f", q),
+			simnet.Config{K: 2, Stages: 8, P: 0.5, Q: q}))
+	}
+	results, err := sc.runBatch(pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range qs {
+		col := stageColumnFromResult(fmt.Sprintf("q=%.1f", q), results[i])
 		pr := stages.Params{K: 2, M: 1, P: 0.5, Q: q}
 		col.AnalysisW = md.FirstStageMean(pr)
 		col.AnalysisV = md.FirstStageVar(pr)

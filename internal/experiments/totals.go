@@ -7,6 +7,7 @@ import (
 	"banyan/internal/delay"
 	"banyan/internal/simnet"
 	"banyan/internal/stages"
+	"banyan/internal/sweep"
 	"banyan/internal/textplot"
 )
 
@@ -49,14 +50,23 @@ type TotalTable struct {
 	Rows    []TotalRow
 }
 
-// runTotalCase simulates one operating point at one depth.
-func runTotalCase(sc Scale, tc TotalCase, n int, track bool) (*simnet.Result, error) {
-	cfg := simnet.Config{K: tc.K, Stages: n, P: tc.P}
-	if tc.M > 1 {
-		cfg.Service = mustConst(tc.M)
+// totalDepths are the network depths of the total-delay experiments.
+var totalDepths = []int{3, 6, 9, 12}
+
+// totalPoints builds the sweep batch for one operating point, one point
+// per depth. The tables and figures build identical batches, so a shared
+// Scale.Runner cache simulates each operating point once for both.
+func totalPoints(sc Scale, tc TotalCase, track bool) []sweep.Point {
+	pts := make([]sweep.Point, 0, len(totalDepths))
+	for _, n := range totalDepths {
+		cfg := simnet.Config{K: tc.K, Stages: n, P: tc.P}
+		if tc.M > 1 {
+			cfg.Service = mustConst(tc.M)
+		}
+		cfg.TrackStageWaits = track
+		pts = append(pts, sc.point(fmt.Sprintf("total/%s/n=%d", tc.Table, n), cfg))
 	}
-	cfg.TrackStageWaits = track
-	return sc.run(fmt.Sprintf("total/%s/n=%d", tc.Table, n), cfg)
+	return pts
 }
 
 // predictor builds the Section V delay predictor for a case and depth.
@@ -75,11 +85,12 @@ func TotalTableFor(sc Scale, tc TotalCase) (*TotalTable, error) {
 			tc.K, tc.P, tc.M, tc.P*float64(tc.M)),
 		Case: tc,
 	}
-	for _, n := range []int{3, 6, 9, 12} {
-		res, err := runTotalCase(sc, tc, n, false)
-		if err != nil {
-			return nil, err
-		}
+	results, err := sc.runBatch(totalPoints(sc, tc, false))
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range totalDepths {
+		res := results[i]
 		nw := predictor(tc, n)
 		t.Rows = append(t.Rows, TotalRow{
 			NStages: n,

@@ -26,7 +26,6 @@ package simnet
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"banyan/internal/dist"
 	"banyan/internal/traffic"
@@ -222,6 +221,12 @@ func (c *Config) Validate() error {
 	if c.Stages*bitsFor(c.K) > 31 {
 		return fmt.Errorf("simnet: destination space k^n = %d^%d exceeds 2^31", c.K, c.Stages)
 	}
+	// Arrival cycles are carried as int32 in traces and engine state; an
+	// unchecked Warmup+Cycles horizon would silently wrap.
+	if int64(c.Warmup)+int64(c.Cycles) >= 1<<31 {
+		return fmt.Errorf("simnet: horizon %d+%d cycles exceeds the int32 arrival-cycle range 2^31",
+			c.Warmup, c.Cycles)
+	}
 	if c.Burst != nil {
 		if _, err := c.Burst.validate(c.P); err != nil {
 			return err
@@ -298,105 +303,51 @@ func (tr *Trace) NextRow(row int32, digit int) int32 {
 	return int32((int(row)*tr.K + digit) % tr.Rows)
 }
 
-// GenerateTrace draws the stage-1 arrival schedule for cfg.
-func GenerateTrace(cfg *Config) (*Trace, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+// meta returns the trace's fixed context in the form the engines consume.
+func (tr *Trace) meta() TraceMeta {
+	return TraceMeta{
+		K: tr.K, Stages: tr.Stages, Rows: tr.Rows, Wrapped: tr.Wrapped,
+		Horizon: tr.Horizon, digitDiv: tr.digitDiv,
 	}
-	rows, wrapped, err := cfg.rows()
+}
+
+// GenerateTrace draws the stage-1 arrival schedule for cfg, materialized
+// in memory. It is the accumulate-everything wrapper over NewTraceStream:
+// the chunked generator and this function draw from identical random
+// streams, so at the same seed they produce byte-identical schedules.
+// Long runs that do not need the whole trace at once should prefer the
+// streaming path (Run, or NewTraceStream plus RunSource), whose peak
+// memory is bounded by the in-flight message count instead of the
+// schedule length.
+func GenerateTrace(cfg *Config) (*Trace, error) {
+	s, err := NewTraceStream(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
-	b := cfg.bulk()
-	svc := cfg.service()
-	svcPMF := svc.PMF()
-	constSvc := -1
-	if len(svcPMF.SortedSupport(0)) == 1 {
-		constSvc = svcPMF.SortedSupport(0)[0]
-	}
-	var sampler *dist.Sampler
-	if constSvc < 0 {
-		sampler = dist.NewSampler(svcPMF)
-	}
-	destSpace := uint64(intPow(cfg.K, cfg.Stages))
-
-	horizon := cfg.Warmup + cfg.Cycles
-	expected := int(float64(rows) * cfg.P * float64(b) * float64(horizon) * 1.05)
+	m := s.Meta()
+	expected := int(float64(m.Rows) * cfg.P * float64(cfg.bulk()) * float64(m.Horizon) * 1.05)
 	tr := &Trace{
-		K: cfg.K, Stages: cfg.Stages, Rows: rows, Wrapped: wrapped,
-		Horizon: horizon,
-		T:       make([]int32, 0, expected),
-		In:      make([]int32, 0, expected),
-		Dest:    make([]uint32, 0, expected),
-		Svc:     make([]int16, 0, expected),
-		Meas:    make([]bool, 0, expected),
+		K: m.K, Stages: m.Stages, Rows: m.Rows, Wrapped: m.Wrapped,
+		Horizon:  m.Horizon,
+		T:        make([]int32, 0, expected),
+		In:       make([]int32, 0, expected),
+		Dest:     make([]uint32, 0, expected),
+		Svc:      make([]int16, 0, expected),
+		Meas:     make([]bool, 0, expected),
+		digitDiv: m.digitDiv,
 	}
-	tr.digitDiv = make([]uint32, cfg.Stages)
-	d := destSpace
-	for j := 0; j < cfg.Stages; j++ {
-		d /= uint64(cfg.K)
-		tr.digitDiv[j] = uint32(d)
-	}
-
-	// Bursty sources: per-input ON/OFF modulation, initialized from the
-	// stationary law so the warmup does not have to absorb a cold start.
-	var on []bool
-	pGen := cfg.P
-	if cfg.Burst != nil {
-		pOn, err := cfg.Burst.validate(cfg.P)
+	for {
+		blk, err := s.Next()
 		if err != nil {
 			return nil, err
 		}
-		pGen = pOn
-		frac := cfg.Burst.onFraction()
-		on = make([]bool, rows)
-		for i := range on {
-			on[i] = rng.Float64() < frac
+		if blk == nil {
+			return tr, nil
 		}
+		tr.T = append(tr.T, blk.T...)
+		tr.In = append(tr.In, blk.In...)
+		tr.Dest = append(tr.Dest, blk.Dest...)
+		tr.Svc = append(tr.Svc, blk.Svc...)
+		tr.Meas = append(tr.Meas, blk.Meas...)
 	}
-
-	for t := 0; t < horizon; t++ {
-		meas := t >= cfg.Warmup
-		for in := 0; in < rows; in++ {
-			if on != nil {
-				if on[in] {
-					if rng.Float64() < cfg.Burst.POffRate {
-						on[in] = false
-					}
-				} else if rng.Float64() < cfg.Burst.POnRate {
-					on[in] = true
-				}
-				if !on[in] {
-					continue
-				}
-			}
-			if rng.Float64() >= pGen {
-				continue
-			}
-			var dest uint32
-			switch {
-			case cfg.Q > 0 && rng.Float64() < cfg.Q:
-				dest = uint32(in) // favorite: the output with the input's own index
-			case cfg.HotModule > 0 && rng.Float64() < cfg.HotModule:
-				dest = 0 // the shared hot module
-			default:
-				dest = uint32(rng.Uint64N(destSpace))
-			}
-			s := int16(1)
-			if constSvc > 0 {
-				s = int16(constSvc)
-			} else {
-				s = int16(sampler.Sample(rng.Float64(), rng.Float64()))
-			}
-			for j := 0; j < b; j++ {
-				tr.T = append(tr.T, int32(t))
-				tr.In = append(tr.In, int32(in))
-				tr.Dest = append(tr.Dest, dest)
-				tr.Svc = append(tr.Svc, s)
-				tr.Meas = append(tr.Meas, meas)
-			}
-		}
-	}
-	return tr, nil
 }

@@ -54,39 +54,124 @@ func (r *Result) MeanTotalWait() float64 { return r.TotalWait.Mean() }
 // VarTotalWait returns the empirical variance of the total waiting time.
 func (r *Result) VarTotalWait() float64 { return r.TotalWait.Variance() }
 
-// Run generates a trace for cfg and executes the fast message-level
-// engine on it.
+// Run executes the fast message-level engine on a streamed trace: the
+// arrival schedule is generated in chunks and consumed incrementally, so
+// peak memory is bounded by the in-flight message count rather than the
+// schedule length.
 func Run(cfg *Config) (*Result, error) {
-	tr, err := GenerateTrace(cfg)
+	src, err := NewTraceStream(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
-	return RunTrace(cfg, tr)
+	return RunSource(cfg, src)
 }
 
-// RunTrace executes the fast message-level engine on a prepared trace.
-//
-// The engine processes the network one stage at a time. Within a stage,
-// messages are visited in arrival-time order (simultaneous arrivals in
-// uniformly random order, which realizes the random batch-order service
-// discipline assumed by the analysis); each message joins the output
-// queue selected by its routing digit, begins service at
-// s = max(arrival, port-free time), advances the port-free time by its
-// service requirement, and is handed to the next stage with arrival time
-// s+1. With infinite buffers and FIFO queues this reproduces the
-// cycle-level dynamics exactly while doing work proportional to the
-// number of message-stage events only.
+// RunTrace executes the fast message-level engine on a prepared
+// materialized trace (e.g. to drive both engines from identical
+// traffic). Run and RunTrace produce identical statistics at the same
+// seed: the engine consumes the same message sequence either way.
 func RunTrace(cfg *Config, tr *Trace) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Stages
-	m := tr.Len()
+	return RunSource(cfg, tr.Source())
+}
+
+// fastMsg is the per-in-flight-message state of the fast engine. Slots
+// are recycled through a free list as messages leave the network.
+type fastMsg struct {
+	row   int32  // row of the port the message last departed (input row at stage 1)
+	dest  uint32 // destination address
+	wsum  int32  // accumulated waiting time
+	svc   int16  // service requirement, cycles
+	meas  bool   // counts toward statistics
+	waits []int16
+}
+
+// cycleBuckets buckets in-flight message slots by absolute arrival cycle
+// for one stage: a growable power-of-two ring indexed by cycle. take
+// hands ownership of a bucket to the caller (so future pushes cannot
+// alias a bucket still being iterated); recycle returns the backing
+// array for reuse.
+type cycleBuckets struct {
+	buckets [][]int32
+	mask    int64
+	floor   int64 // cycles below floor have been taken already
+	spare   [][]int32
+}
+
+func newCycleBuckets() *cycleBuckets {
+	return &cycleBuckets{buckets: make([][]int32, 64), mask: 63}
+}
+
+func (cb *cycleBuckets) push(t int64, v int32) {
+	if t-cb.floor >= int64(len(cb.buckets)) {
+		cb.grow(t)
+	}
+	i := t & cb.mask
+	if cb.buckets[i] == nil && len(cb.spare) > 0 {
+		cb.buckets[i] = cb.spare[len(cb.spare)-1]
+		cb.spare = cb.spare[:len(cb.spare)-1]
+	}
+	cb.buckets[i] = append(cb.buckets[i], v)
+}
+
+// grow re-homes the ring so that cycle t fits alongside cb.floor.
+func (cb *cycleBuckets) grow(t int64) {
+	size := int64(len(cb.buckets))
+	for t-cb.floor >= size {
+		size *= 2
+	}
+	nb := make([][]int32, size)
+	for c := cb.floor; c < cb.floor+int64(len(cb.buckets)); c++ {
+		if b := cb.buckets[c&cb.mask]; b != nil {
+			nb[c&(size-1)] = b
+		}
+	}
+	cb.buckets, cb.mask = nb, size-1
+}
+
+// take removes and returns the bucket for cycle t (which must be ≥ the
+// previous take's cycle). The caller owns the returned slice until it
+// hands it back via recycle.
+func (cb *cycleBuckets) take(t int64) []int32 {
+	i := t & cb.mask
+	b := cb.buckets[i]
+	cb.buckets[i] = nil
+	cb.floor = t + 1
+	return b
+}
+
+func (cb *cycleBuckets) recycle(b []int32) {
+	if cap(b) > 0 {
+		cb.spare = append(cb.spare, b[:0])
+	}
+}
+
+// RunSource executes the fast message-level engine against an arrival
+// source, pulling schedule blocks on demand.
+//
+// The engine advances a global clock cycle by cycle. At each cycle every
+// stage's batch of arriving messages is visited (simultaneous arrivals
+// in uniformly random order, which realizes the random batch-order
+// service discipline assumed by the analysis); each message joins the
+// output queue selected by its routing digit, begins service at
+// s = max(arrival, port-free time), advances the port-free time by its
+// service requirement, and is handed to the next stage with arrival time
+// s+1. With infinite buffers and FIFO queues this reproduces the
+// cycle-level dynamics exactly while doing work proportional to the
+// number of message-stage events only, and holding state proportional to
+// the number of in-flight messages only.
+func RunSource(cfg *Config, src ArrivalSource) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	meta := src.Meta()
+	n := meta.Stages
 	res := &Result{
-		Rows:      tr.Rows,
-		Wrapped:   tr.Wrapped,
+		Rows:      meta.Rows,
+		Wrapped:   meta.Wrapped,
 		StageWait: make([]stats.Welford, n),
-		Offered:   int64(m),
 	}
 	if cfg.TrackStageWaits {
 		res.StageCov = stats.NewCovMatrix(n)
@@ -95,102 +180,118 @@ func RunTrace(cfg *Config, tr *Trace) (*Result, error) {
 		res.HotWait = make([]stats.Welford, n)
 	}
 
-	// Per-message mutable state.
-	arr := make([]int32, m) // arrival time at the current stage
-	row := make([]int32, m) // current row
-	wsum := make([]int32, m)
-	copy(arr, tr.T)
-	copy(row, tr.In)
-
-	var stageWaits [][]int16
-	if cfg.TrackStageWaits {
-		stageWaits = make([][]int16, m)
-		for i := range stageWaits {
-			stageWaits[i] = make([]int16, n)
-		}
-	}
-
 	rng := rand.New(rand.NewPCG(cfg.Seed^0xa5a5a5a5a5a5a5a5, cfg.Seed+1))
 	resample := cfg.serviceSampler()
-	free := make([]int64, tr.Rows) // per-port next-free cycle, reused per stage
-	var buckets [][]int32          // message indices by arrival time
-	maxT := int32(0)
-	for _, t := range arr {
-		if t > maxT {
-			maxT = t
-		}
+	free := make([]int64, n*meta.Rows) // per-stage, per-port next-free cycle
+	pending := make([]*cycleBuckets, n)
+	for s := range pending {
+		pending[s] = newCycleBuckets()
 	}
 
-	for stage := 1; stage <= n; stage++ {
-		// Rebuild time buckets for this stage.
-		need := int(maxT) + 2
-		if cap(buckets) < need {
-			buckets = make([][]int32, need)
+	var slots []fastMsg
+	var freeSlots []int32
+	alloc := func() int32 {
+		if len(freeSlots) > 0 {
+			i := freeSlots[len(freeSlots)-1]
+			freeSlots = freeSlots[:len(freeSlots)-1]
+			return i
 		}
-		buckets = buckets[:need]
-		for i := range buckets {
-			buckets[i] = buckets[i][:0]
+		slots = append(slots, fastMsg{})
+		return int32(len(slots) - 1)
+	}
+
+	inFlight := int64(0)
+	exhausted := false
+	covered := int64(0) // arrivals at cycles < covered are all enqueued
+	vec := make([]float64, n)
+
+	for t := int64(0); ; t++ {
+		// Pull schedule blocks until cycle t is fully covered.
+		for !exhausted && covered <= t {
+			blk, err := src.Next()
+			if err != nil {
+				return nil, err
+			}
+			if blk == nil {
+				exhausted = true
+				break
+			}
+			covered = int64(blk.End)
+			res.Offered += int64(blk.Len())
+			for i := 0; i < blk.Len(); i++ {
+				si := alloc()
+				m := &slots[si]
+				m.row, m.dest, m.svc, m.meas = blk.In[i], blk.Dest[i], blk.Svc[i], blk.Meas[i]
+				m.wsum = 0
+				if cfg.TrackStageWaits {
+					if cap(m.waits) < n {
+						m.waits = make([]int16, n)
+					}
+					m.waits = m.waits[:n]
+				}
+				pending[0].push(int64(blk.T[i]), si)
+				inFlight++
+			}
 		}
-		for i := 0; i < m; i++ {
-			buckets[arr[i]] = append(buckets[arr[i]], int32(i))
+		if inFlight == 0 {
+			if exhausted {
+				break
+			}
+			continue
 		}
-		for i := range free {
-			free[i] = 0
-		}
-		newMax := int32(0)
-		for t := 0; t < len(buckets); t++ {
-			bk := buckets[t]
+
+		for stage := 0; stage < n; stage++ {
+			bk := pending[stage].take(t)
 			if len(bk) == 0 {
+				pending[stage].recycle(bk)
 				continue
 			}
 			// Random service order among simultaneous arrivals.
 			rng.Shuffle(len(bk), func(a, b int) { bk[a], bk[b] = bk[b], bk[a] })
-			for _, idx := range bk {
-				i := int(idx)
-				digit := tr.Digit(i, stage)
-				port := tr.NextRow(row[i], digit)
-				s := int64(t)
-				if f := free[port]; f > s {
+			stageFree := free[stage*meta.Rows : (stage+1)*meta.Rows]
+			for _, si := range bk {
+				m := &slots[si]
+				digit := meta.DigitOf(m.dest, stage+1)
+				port := meta.NextRow(m.row, digit)
+				s := t
+				if f := stageFree[port]; f > s {
 					s = f
 				}
-				svc := int64(tr.Svc[i])
+				svc := int64(m.svc)
 				if resample != nil {
 					svc = int64(resample.Sample(rng.Float64(), rng.Float64()))
 				}
-				free[port] = s + svc
-				w := int32(s) - int32(t)
-				wsum[i] += w
-				if tr.Meas[i] {
-					res.StageWait[stage-1].Add(float64(w))
-					if res.HotWait != nil && tr.Dest[i] == 0 {
-						res.HotWait[stage-1].Add(float64(w))
+				stageFree[port] = s + svc
+				w := int32(s - t)
+				m.wsum += w
+				if m.meas {
+					res.StageWait[stage].Add(float64(w))
+					if res.HotWait != nil && m.dest == 0 {
+						res.HotWait[stage].Add(float64(w))
 					}
 				}
-				if stageWaits != nil {
-					stageWaits[i][stage-1] = int16(w)
+				if m.waits != nil {
+					m.waits[stage] = int16(w)
 				}
-				arr[i] = int32(s) + 1
-				row[i] = port
-				if arr[i] > newMax {
-					newMax = arr[i]
+				if stage+1 < n {
+					m.row = port
+					pending[stage+1].push(s+1, si)
+				} else {
+					if m.meas {
+						res.Messages++
+						res.TotalWait.Add(int(m.wsum))
+						if res.StageCov != nil {
+							for j := 0; j < n; j++ {
+								vec[j] = float64(m.waits[j])
+							}
+							res.StageCov.Add(vec)
+						}
+					}
+					freeSlots = append(freeSlots, si)
+					inFlight--
 				}
 			}
-		}
-		maxT = newMax
-	}
-
-	vec := make([]float64, n)
-	for i := 0; i < m; i++ {
-		if !tr.Meas[i] {
-			continue
-		}
-		res.Messages++
-		res.TotalWait.Add(int(wsum[i]))
-		if stageWaits != nil {
-			for j := 0; j < n; j++ {
-				vec[j] = float64(stageWaits[i][j])
-			}
-			res.StageCov.Add(vec)
+			pending[stage].recycle(bk)
 		}
 	}
 	if res.Messages == 0 {

@@ -1,0 +1,102 @@
+package simnet
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// golden pins exact recorded statistics at fixed seeds. Any change to
+// RNG consumption order, trace generation, or engine scheduling shows up
+// here as a hard failure — the repo's seed-stability contract. If a
+// change is *intended* to alter sample paths (and cross-validation still
+// passes), regenerate the literals with
+//
+//	SIMNET_GOLDEN_PRINT=1 go test ./internal/simnet/ -run TestGolden -v
+type golden struct {
+	messages int64
+	offered  int64
+	dropped  int64
+	meanW    string // fmt %.10g of MeanTotalWait
+	varW     string
+	stage1W  string // fmt %.10g of StageWait[0].Mean()
+}
+
+func goldenCases(t *testing.T) []struct {
+	name string
+	cfg  Config
+} {
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"uniform", Config{K: 2, Stages: 6, P: 0.5, Cycles: 3000, Warmup: 400, Seed: 0x601d}},
+		{"bulk", Config{K: 2, Stages: 4, P: 0.15, Bulk: 2, Service: mustConstSvc(t, 3),
+			Cycles: 2500, Warmup: 300, Seed: 0xb011}},
+		{"favorite", Config{K: 2, Stages: 8, P: 0.5, Q: 0.3, Cycles: 1500, Warmup: 200,
+			Seed: 0xfa7e}},
+		{"bursty", Config{K: 2, Stages: 4, P: 0.3, Cycles: 2000, Warmup: 250, Seed: 0xb42,
+			Burst: &BurstParams{POnRate: 0.125, POffRate: 0.125}}},
+	}
+}
+
+func snapshot(res *Result) golden {
+	return golden{
+		messages: res.Messages,
+		offered:  res.Offered,
+		dropped:  res.Dropped,
+		meanW:    fmt.Sprintf("%.10g", res.MeanTotalWait()),
+		varW:     fmt.Sprintf("%.10g", res.VarTotalWait()),
+		stage1W:  fmt.Sprintf("%.10g", res.StageWait[0].Mean()),
+	}
+}
+
+func checkGolden(t *testing.T, name string, res *Result, want map[string]golden) {
+	t.Helper()
+	got := snapshot(res)
+	if os.Getenv("SIMNET_GOLDEN_PRINT") != "" {
+		t.Logf("%q: {messages: %d, offered: %d, dropped: %d, meanW: %q, varW: %q, stage1W: %q},",
+			name, got.messages, got.offered, got.dropped, got.meanW, got.varW, got.stage1W)
+		return
+	}
+	w, ok := want[name]
+	if !ok {
+		t.Fatalf("%s: no golden entry", name)
+	}
+	if got != w {
+		t.Errorf("%s:\ngot  %+v\nwant %+v", name, got, w)
+	}
+}
+
+func TestGoldenFastEngine(t *testing.T) {
+	want := map[string]golden{
+		"uniform":  {messages: 95879, offered: 108641, dropped: 0, meanW: "1.710218087", varW: "2.429465257", stage1W: "0.2552800926"},
+		"bulk":     {messages: 12178, offered: 13630, dropped: 0, meanW: "75.99343078", varW: "1862.091269", stage1W: "26.06413204"},
+		"favorite": {messages: 191600, offered: 217241, dropped: 0, meanW: "2.056471816", varW: "2.900349556", stage1W: "0.2291336117"},
+		"bursty":   {messages: 9670, offered: 10920, dropped: 0, meanW: "0.5433298862", varW: "0.6545341032", stage1W: "0.1539813857"},
+	}
+	for _, c := range goldenCases(t) {
+		cfg := c.cfg
+		res, err := Run(&cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		checkGolden(t, c.name, res, want)
+	}
+}
+
+func TestGoldenLiteralEngine(t *testing.T) {
+	want := map[string]golden{
+		"literal cap=2": {messages: 14380, offered: 18973, dropped: 2635, meanW: "1.234840056", varW: "0.9884523736", stage1W: "0.3346640883"},
+	}
+	cfg := Config{K: 2, Stages: 4, P: 0.7, Cycles: 1500, Warmup: 200, Seed: 0x117, BufferCap: 2}
+	src, err := NewTraceStream(&cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLiteralSource(&cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "literal cap=2", res, want)
+}

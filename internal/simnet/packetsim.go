@@ -9,7 +9,7 @@ import (
 
 // literalQueue is one output-port FIFO of the literal engine.
 type literalQueue struct {
-	items  []int32 // message indices, FIFO
+	items  []int32 // in-flight slot indices, FIFO
 	head   int
 	freeAt int64 // first cycle the server may start the next message
 }
@@ -29,51 +29,78 @@ func (q *literalQueue) pop() int32 {
 	return v
 }
 
+// literalMsg is the per-in-flight-message state of the literal engine.
+// Slots are recycled through a free list as messages finish or drop.
+type literalMsg struct {
+	arrivedAt int32  // arrival cycle at the current stage's queue
+	row       int32  // row of the queue the message occupies
+	stage     int8   // 1-based stage the message occupies
+	wsum      int32  // accumulated waiting time
+	dest      uint32 // destination address
+	svc       int16  // service requirement, cycles
+	meas      bool
+	waits     []int16
+}
+
 // RunLiteral executes the cycle-driven packet-level engine on a prepared
-// trace. It models every output queue explicitly, cycle by cycle: trace
-// messages enter their stage-1 queue at their arrival cycle, a queue whose
-// server is free starts its head-of-line message (recording the wait), and
-// a message starting service at cycle s is delivered to its next-stage
-// queue at cycle s+1 (cut-through). Simultaneous arrivals at a queue are
-// ordered uniformly at random, realizing the random batch-service
-// discipline assumed by the analysis.
+// materialized trace. RunLiteral and RunLiteralSource produce identical
+// statistics at the same seed.
+func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return RunLiteralSource(cfg, tr.Source())
+}
+
+// RunLiteralSource executes the cycle-driven packet-level engine against
+// an arrival source, pulling schedule blocks on demand so peak memory is
+// bounded by the in-flight message count. It models every output queue
+// explicitly, cycle by cycle: trace messages enter their stage-1 queue at
+// their arrival cycle, a queue whose server is free starts its
+// head-of-line message (recording the wait), and a message starting
+// service at cycle s is delivered to its next-stage queue at cycle s+1
+// (cut-through). Simultaneous arrivals at a queue are ordered uniformly
+// at random, realizing the random batch-service discipline assumed by the
+// analysis.
 //
 // With Config.BufferCap > 0, a message arriving at a queue already holding
 // BufferCap messages is dropped and counted in Result.Dropped — the
 // finite-buffer extension the paper leaves as future work. With
 // BufferCap == 0 this engine is statistically identical to the fast
 // engine; the test suite drives both from one trace and compares.
-func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
+func RunLiteralSource(cfg *Config, src ArrivalSource) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Stages
-	m := tr.Len()
+	meta := src.Meta()
+	n := meta.Stages
 	res := &Result{
-		Rows:      tr.Rows,
-		Wrapped:   tr.Wrapped,
+		Rows:      meta.Rows,
+		Wrapped:   meta.Wrapped,
 		StageWait: make([]stats.Welford, n),
-		Offered:   int64(m),
 	}
 	if cfg.TrackStageWaits {
 		res.StageCov = stats.NewCovMatrix(n)
 	}
+	if cfg.HotModule > 0 {
+		res.HotWait = make([]stats.Welford, n)
+	}
 
 	queues := make([][]literalQueue, n)
 	for s := range queues {
-		queues[s] = make([]literalQueue, tr.Rows)
+		queues[s] = make([]literalQueue, meta.Rows)
 	}
 
-	arrivedAt := make([]int32, m) // arrival cycle at the current stage's queue
-	rowOf := make([]int32, m)     // row of the queue the message occupies
-	stageOf := make([]int8, m)    // 1-based stage the message occupies
-	wsum := make([]int32, m)
-	var stageWaits [][]int16
-	if cfg.TrackStageWaits {
-		stageWaits = make([][]int16, m)
-		for i := range stageWaits {
-			stageWaits[i] = make([]int16, n)
+	var slots []literalMsg
+	var freeSlots []int32
+	alloc := func() int32 {
+		if len(freeSlots) > 0 {
+			i := freeSlots[len(freeSlots)-1]
+			freeSlots = freeSlots[:len(freeSlots)-1]
+			return i
 		}
+		slots = append(slots, literalMsg{})
+		return int32(len(slots) - 1)
 	}
 
 	rng := rand.New(rand.NewPCG(cfg.Seed^0xa5a5a5a5a5a5a5a5, cfg.Seed+1))
@@ -83,66 +110,96 @@ func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
 		res.MaxQueueDepth = make([]int, n)
 	}
 
-	// enter places message i into its stage-st queue (1-based) at cycle t.
-	enter := func(i int, st int, t int64) {
-		var prevRow int32
-		if st == 1 {
-			prevRow = tr.In[i]
-		} else {
-			prevRow = rowOf[i]
-		}
-		row := tr.NextRow(prevRow, tr.Digit(i, st))
+	// enter places slot si into its stage-st queue (1-based) at cycle t.
+	// It reports whether the message was dropped at a full buffer.
+	enter := func(si int32, st int, t int64) (dropped bool) {
+		m := &slots[si]
+		row := meta.NextRow(m.row, meta.DigitOf(m.dest, st))
 		q := &queues[st-1][row]
 		if cfg.BufferCap > 0 && q.size() >= cfg.BufferCap {
 			res.Dropped++
-			stageOf[i] = int8(n + 1) // dropped messages leave the network
-			return
+			freeSlots = append(freeSlots, si)
+			return true
 		}
-		stageOf[i] = int8(st)
-		rowOf[i] = row
-		arrivedAt[i] = int32(t)
-		q.push(int32(i))
+		m.stage = int8(st)
+		m.row = row
+		m.arrivedAt = int32(t)
+		q.push(si)
+		return false
 	}
 
-	completed := int64(0)
-	finish := func(i int) {
-		completed++
-		if !tr.Meas[i] {
-			return
-		}
-		res.Messages++
-		res.TotalWait.Add(int(wsum[i]))
-		if stageWaits != nil {
-			vec := make([]float64, n)
-			for j := 0; j < n; j++ {
-				vec[j] = float64(stageWaits[i][j])
+	finish := func(si int32) {
+		m := &slots[si]
+		if m.meas {
+			res.Messages++
+			res.TotalWait.Add(int(m.wsum))
+			if res.StageCov != nil {
+				vec := make([]float64, n)
+				for j := 0; j < n; j++ {
+					vec[j] = float64(m.waits[j])
+				}
+				res.StageCov.Add(vec)
 			}
-			res.StageCov.Add(vec)
 		}
+		freeSlots = append(freeSlots, si)
 	}
 
-	nextInj := 0            // next trace index to inject
+	var batch []int32       // stage-1 entrants this cycle
 	var delivery [2][]int32 // two-slot ring of next-cycle deliveries
 	inNetwork := int64(0)
+	exhausted := false
+	covered := int64(0)    // arrivals at cycles < covered are all buffered
+	var buffered []int32   // slots awaiting injection, trace order
+	bufHead := 0
 	for t := int64(0); ; t++ {
+		// Pull schedule blocks until cycle t is fully covered, staging
+		// arrivals (in trace order) for injection.
+		for !exhausted && covered <= t {
+			blk, err := src.Next()
+			if err != nil {
+				return nil, err
+			}
+			if blk == nil {
+				exhausted = true
+				break
+			}
+			covered = int64(blk.End)
+			res.Offered += int64(blk.Len())
+			for i := 0; i < blk.Len(); i++ {
+				si := alloc()
+				m := &slots[si]
+				m.arrivedAt = blk.T[i]
+				m.row = blk.In[i]
+				m.stage = 0
+				m.wsum = 0
+				m.dest = blk.Dest[i]
+				m.svc = blk.Svc[i]
+				m.meas = blk.Meas[i]
+				if cfg.TrackStageWaits {
+					if cap(m.waits) < n {
+						m.waits = make([]int16, n)
+					}
+					m.waits = m.waits[:n]
+				}
+				buffered = append(buffered, si)
+			}
+		}
+
 		// 1. New trace arrivals enter stage 1 (random order within the
 		// cycle).
-		start := nextInj
-		for nextInj < m && int64(tr.T[nextInj]) == t {
-			nextInj++
+		batch = batch[:0]
+		for bufHead < len(buffered) && int64(slots[buffered[bufHead]].arrivedAt) == t {
+			batch = append(batch, buffered[bufHead])
+			bufHead++
 		}
-		if nextInj > start {
-			batch := make([]int32, nextInj-start)
-			for j := range batch {
-				batch[j] = int32(start + j)
-			}
-			rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
-			for _, idx := range batch {
+		if bufHead == len(buffered) {
+			buffered = buffered[:0]
+			bufHead = 0
+		}
+		rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
+		for _, si := range batch {
+			if !enter(si, 1, t) {
 				inNetwork++
-				enter(int(idx), 1, t)
-				if stageOf[idx] == int8(n+1) { // dropped at stage 1
-					inNetwork--
-				}
 			}
 		}
 
@@ -150,12 +207,10 @@ func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
 		slot := delivery[t&1]
 		delivery[t&1] = delivery[t&1][:0]
 		rng.Shuffle(len(slot), func(a, b int) { slot[a], slot[b] = slot[b], slot[a] })
-		for _, idx := range slot {
-			i := int(idx)
-			st := int(stageOf[i]) + 1
-			enter(i, st, t)
-			if stageOf[i] == int8(n+1) { // dropped mid-network
-				inNetwork--
+		for _, si := range slot {
+			st := int(slots[si].stage) + 1
+			if enter(si, st, t) {
+				inNetwork-- // dropped mid-network
 			}
 		}
 
@@ -167,24 +222,28 @@ func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
 				if q.freeAt > t || q.size() == 0 {
 					continue
 				}
-				i := int(q.pop())
-				w := int32(t) - arrivedAt[i]
-				wsum[i] += w
-				if tr.Meas[i] {
+				si := q.pop()
+				m := &slots[si]
+				w := int32(t) - m.arrivedAt
+				m.wsum += w
+				if m.meas {
 					res.StageWait[s].Add(float64(w))
+					if res.HotWait != nil && m.dest == 0 {
+						res.HotWait[s].Add(float64(w))
+					}
 				}
-				if stageWaits != nil {
-					stageWaits[i][s] = int16(w)
+				if m.waits != nil {
+					m.waits[s] = int16(w)
 				}
-				svc := int64(tr.Svc[i])
+				svc := int64(m.svc)
 				if resample != nil {
 					svc = int64(resample.Sample(rng.Float64(), rng.Float64()))
 				}
 				q.freeAt = t + svc
 				if s+1 < n {
-					delivery[(t+1)&1] = append(delivery[(t+1)&1], int32(i))
+					delivery[(t+1)&1] = append(delivery[(t+1)&1], si)
 				} else {
-					finish(i)
+					finish(si)
 					inNetwork--
 				}
 			}
@@ -192,7 +251,7 @@ func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
 
 		// 4. Occupancy sampling at end of cycle: queued messages plus an
 		// in-service message whose packets are still draining.
-		if cfg.TrackOccupancy && t >= int64(cfg.Warmup) && t < int64(tr.Horizon) {
+		if cfg.TrackOccupancy && t >= int64(cfg.Warmup) && t < int64(meta.Horizon) {
 			for s := 0; s < n; s++ {
 				qs := queues[s]
 				for r := range qs {
@@ -208,10 +267,10 @@ func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
 			}
 		}
 
-		if nextInj == m && inNetwork == 0 {
+		if exhausted && bufHead == len(buffered) && inNetwork == 0 {
 			break
 		}
-		if t > int64(tr.Horizon)*1000+1000 {
+		if t > int64(meta.Horizon)*1000+1000 {
 			return nil, fmt.Errorf("simnet: literal engine failed to drain by cycle %d", t)
 		}
 	}

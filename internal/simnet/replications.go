@@ -60,7 +60,7 @@ func RunReplications(cfg *Config, r, parallelism int) (*Replicated, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			c := *cfg // copy; each replication gets its own seed
-			c.Seed = splitSeed(cfg.Seed, uint64(i))
+			c.Seed = SplitSeed(cfg.Seed, uint64(i))
 			results[i], errs[i] = Run(&c)
 		}(i)
 	}
@@ -71,9 +71,16 @@ func RunReplications(cfg *Config, r, parallelism int) (*Replicated, error) {
 		}
 	}
 
+	return Aggregate(results, cfg.Stages), nil
+}
+
+// Aggregate pools per-replication results into a Replicated summary.
+// Results must be in replication order: the pooled statistics are then
+// bit-identical regardless of how the replications were scheduled.
+func Aggregate(results []*Result, stages int) *Replicated {
 	agg := &Replicated{
 		Runs:       results,
-		StageMeanW: make([]stats.Welford, cfg.Stages),
+		StageMeanW: make([]stats.Welford, stages),
 	}
 	for _, res := range results {
 		agg.TotalMeanW.Add(res.MeanTotalWait())
@@ -83,11 +90,13 @@ func RunReplications(cfg *Config, r, parallelism int) (*Replicated, error) {
 		}
 		agg.Merged.Merge(&res.TotalWait)
 	}
-	return agg, nil
+	return agg
 }
 
-// splitSeed derives statistically independent seeds (SplitMix64 step).
-func splitSeed(base, i uint64) uint64 {
+// SplitSeed derives statistically independent seeds (SplitMix64 step);
+// it is the seed-derivation rule shared by RunReplications and the sweep
+// engine.
+func SplitSeed(base, i uint64) uint64 {
 	z := base + (i+1)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

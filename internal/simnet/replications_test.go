@@ -85,7 +85,7 @@ func TestRunReplicationsValidation(t *testing.T) {
 func TestSplitSeed(t *testing.T) {
 	seen := map[uint64]bool{}
 	for i := uint64(0); i < 100; i++ {
-		s := splitSeed(42, i)
+		s := SplitSeed(42, i)
 		if seen[s] {
 			t.Fatal("seed collision")
 		}

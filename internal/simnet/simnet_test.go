@@ -34,6 +34,8 @@ func TestConfigValidation(t *testing.T) {
 		{"unstable", func(c *Config) { c.P = 0.5; c.Bulk = 4 }},
 		{"dest space", func(c *Config) { c.Stages = 40 }},
 		{"wrapped q", func(c *Config) { c.Stages = 14; c.Q = 0.5 }},
+		{"horizon overflow", func(c *Config) { c.Cycles = 1 << 31; c.Warmup = 0 }},
+		{"horizon overflow split", func(c *Config) { c.Cycles = 1 << 30; c.Warmup = 1 << 30 }},
 	}
 	for _, cse := range cases {
 		cfg := base()

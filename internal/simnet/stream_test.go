@@ -1,0 +1,219 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+
+	"banyan/internal/traffic"
+)
+
+// collect drains a stream into one materialized trace via the block API.
+func collect(t *testing.T, cfg *Config, blockCycles int) *Trace {
+	t.Helper()
+	s, err := NewTraceStream(cfg, blockCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Meta()
+	tr := &Trace{
+		K: m.K, Stages: m.Stages, Rows: m.Rows, Wrapped: m.Wrapped,
+		Horizon: m.Horizon,
+	}
+	prevEnd := 0
+	for {
+		blk, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk == nil {
+			break
+		}
+		if blk.Start != prevEnd {
+			t.Fatalf("block starts at %d, want %d (blocks must tile the horizon)", blk.Start, prevEnd)
+		}
+		if blockCycles > 0 && blk.End-blk.Start > blockCycles {
+			t.Fatalf("block spans %d cycles, cap is %d", blk.End-blk.Start, blockCycles)
+		}
+		prevEnd = blk.End
+		// Blocks reuse their backing arrays, so copy out.
+		tr.T = append(tr.T, blk.T...)
+		tr.In = append(tr.In, blk.In...)
+		tr.Dest = append(tr.Dest, blk.Dest...)
+		tr.Svc = append(tr.Svc, blk.Svc...)
+		tr.Meas = append(tr.Meas, blk.Meas...)
+	}
+	if prevEnd != m.Horizon {
+		t.Fatalf("blocks end at %d, want horizon %d", prevEnd, m.Horizon)
+	}
+	return tr
+}
+
+func sameTrace(t *testing.T, got, want *Trace, label string) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d messages, want %d", label, got.Len(), want.Len())
+	}
+	if !reflect.DeepEqual(got.T, want.T) || !reflect.DeepEqual(got.In, want.In) ||
+		!reflect.DeepEqual(got.Dest, want.Dest) || !reflect.DeepEqual(got.Svc, want.Svc) ||
+		!reflect.DeepEqual(got.Meas, want.Meas) {
+		t.Fatalf("%s: schedules differ", label)
+	}
+}
+
+// TestStreamingMatchesMaterialized proves the tentpole identity: the
+// chunked generator produces byte-identical schedules to the
+// materializing wrapper at every block size, including degenerate ones.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	cfgs := map[string]Config{
+		"uniform": {K: 2, Stages: 6, P: 0.5, Cycles: 2000, Warmup: 300, Seed: 42},
+		"bulk service": {K: 4, Stages: 3, P: 0.1, Bulk: 2,
+			Service: mustConstSvc(t, 3), Cycles: 1500, Warmup: 200, Seed: 7},
+		"favorite": {K: 2, Stages: 8, P: 0.4, Q: 0.3, Cycles: 1000, Warmup: 100, Seed: 99},
+		"bursty": {K: 2, Stages: 4, P: 0.3, Cycles: 1200, Warmup: 150, Seed: 5,
+			Burst: &BurstParams{POnRate: 0.1, POffRate: 0.1}},
+	}
+	for name, cfg := range cfgs {
+		want, err := GenerateTrace(&cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, bc := range []int{1, 7, 64, DefaultBlockCycles} {
+			got := collect(t, &cfg, bc)
+			sameTrace(t, got, want, name)
+		}
+	}
+}
+
+// sameResult asserts exact equality of every recorded statistic.
+func sameResult(t *testing.T, got, want *Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: results differ\ngot  %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestRunMatchesRunTrace: the streaming engine path and the materialized
+// trace path are the same engine over the same data, so their statistics
+// are bit-identical at every seed.
+func TestRunMatchesRunTrace(t *testing.T) {
+	cfgs := map[string]Config{
+		"uniform": {K: 2, Stages: 6, P: 0.5, Cycles: 2000, Warmup: 300, Seed: 42},
+		"tracked": {K: 2, Stages: 4, P: 0.6, Cycles: 1500, Warmup: 200, Seed: 3,
+			TrackStageWaits: true},
+		"hot": {K: 2, Stages: 5, P: 0.4, HotModule: 0.05, Cycles: 1500, Warmup: 200, Seed: 8},
+		"resample": {K: 2, Stages: 4, P: 0.1, Cycles: 2000, Warmup: 200, Seed: 11,
+			Service: mixSvc(t), ResampleService: true},
+	}
+	for name, cfg := range cfgs {
+		streamed, err := Run(&cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := GenerateTrace(&cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		materialized, err := RunTrace(&cfg, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameResult(t, streamed, materialized, name)
+	}
+}
+
+// TestLiteralStreamingMatchesMaterialized: same identity for the literal
+// engine, with and without finite buffers.
+func TestLiteralStreamingMatchesMaterialized(t *testing.T) {
+	cfgs := map[string]Config{
+		"infinite": {K: 2, Stages: 4, P: 0.5, Cycles: 1200, Warmup: 200, Seed: 42},
+		"finite": {K: 2, Stages: 4, P: 0.7, Cycles: 1200, Warmup: 200, Seed: 13,
+			BufferCap: 2},
+		"occupancy": {K: 2, Stages: 3, P: 0.5, Cycles: 800, Warmup: 100, Seed: 77,
+			TrackOccupancy: true},
+	}
+	for name, cfg := range cfgs {
+		src, err := NewTraceStream(&cfg, 256)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		streamed, err := RunLiteralSource(&cfg, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := GenerateTrace(&cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		materialized, err := RunLiteral(&cfg, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameResult(t, streamed, materialized, name)
+	}
+}
+
+// TestBlockSizeIndependence: the fast engine's statistics cannot depend
+// on how the arrival stream is chunked.
+func TestBlockSizeIndependence(t *testing.T) {
+	cfg := Config{K: 2, Stages: 6, P: 0.6, Cycles: 2000, Warmup: 300, Seed: 1}
+	var want *Result
+	for _, bc := range []int{1, 3, 100, 0} {
+		src, err := NewTraceStream(&cfg, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSource(&cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		sameResult(t, res, want, "block size")
+	}
+}
+
+func mixSvc(t *testing.T) traffic.Service {
+	t.Helper()
+	svc, err := traffic.MultiService([]traffic.SizeMix{{Size: 1, Prob: 0.5}, {Size: 4, Prob: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// benchCfg sizes a fast-engine run to roughly nMsgs measured messages.
+func benchCfg(nMsgs int) Config {
+	rows := 256 // k=2, 8 stages
+	cycles := nMsgs / (rows / 2)
+	return Config{K: 2, Stages: 8, P: 0.5, Cycles: cycles, Warmup: 500, Seed: 9}
+}
+
+// BenchmarkStreamingTrace compares the streaming fast-engine path with
+// the materialize-then-run path at ~1M messages. The point is B/op:
+// streaming holds only in-flight messages, the materialized path holds
+// the whole schedule.
+func BenchmarkStreamingTrace(b *testing.B) {
+	cfg := benchCfg(1_000_000)
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(&cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := GenerateTrace(&cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := RunTrace(&cfg, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

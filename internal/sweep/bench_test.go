@@ -1,0 +1,45 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchGrid is a medium batch: 8 points × 2 replications of a k=2,
+// 6-stage network at mixed loads (~0.5M measured messages total).
+func benchGrid() []Point {
+	g := Grid{
+		Ks: []int{2}, Ns: []int{6},
+		Ps:     []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85},
+		Cycles: 2000, Warmup: 300,
+		Reps: 2,
+	}
+	pts, err := g.Points()
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+func runBench(b *testing.B, parallelism int) {
+	pts := benchGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &Runner{Parallelism: parallelism, RootSeed: 0x5eed}
+		if _, err := r.Run(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { runBench(b, 1) }
+
+// BenchmarkSweepParallel uses all cores; on an N-core machine the
+// speedup over BenchmarkSweepSequential should approach min(N, jobs)
+// since the points are independent and the pool works at replication
+// granularity.
+func BenchmarkSweepParallel(b *testing.B) {
+	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	runBench(b, 0)
+}

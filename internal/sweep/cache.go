@@ -1,0 +1,45 @@
+package sweep
+
+import "sync"
+
+// Cache stores completed sweep points by canonical config hash so that
+// overlapping batches (or repeated Run calls on one Runner) simulate
+// each distinct configuration once. Safe for concurrent use.
+type Cache struct {
+	mu   sync.Mutex
+	m    map[uint64]*PointResult
+	hits int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[uint64]*PointResult)} }
+
+func (c *Cache) get(key uint64) (*PointResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pr, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return pr, ok
+}
+
+func (c *Cache) put(key uint64, pr *PointResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = pr
+}
+
+// Len returns the number of cached points.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Hits returns the number of cache lookups that found a stored point.
+func (c *Cache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"banyan/internal/simnet"
+)
+
+// pointKey hashes a point's complete configuration — every field that
+// affects the simulated statistics, plus engine, replication count and
+// the runner's root seed — into the 64-bit canonical key used both for
+// caching and per-point seed derivation. Cfg.Seed is deliberately
+// excluded (the runner overrides it); Label is excluded too, so
+// identically-configured points dedupe even under different names.
+func pointKey(p *Point, rootSeed uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wi := func(v int) { wu(uint64(int64(v))) }
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	wb := func(v bool) {
+		if v {
+			wu(1)
+		} else {
+			wu(0)
+		}
+	}
+
+	wu(rootSeed)
+	wi(int(p.Engine))
+	wi(p.reps())
+
+	cfg := &p.Cfg
+	wi(cfg.K)
+	wi(cfg.Stages)
+	wf(cfg.P)
+	wi(cfg.Bulk)
+	wf(cfg.Q)
+	wf(cfg.HotModule)
+	// The service law is identified by its PMF, so two Service values
+	// built differently but describing the same distribution hash alike.
+	probs := cfg.Service.PMF().Probs()
+	wi(len(probs))
+	for _, pr := range probs {
+		wf(pr)
+	}
+	wb(cfg.ResampleService)
+	wi(cfg.Cycles)
+	wi(cfg.Warmup)
+	if cfg.Burst != nil {
+		wu(1)
+		wf(cfg.Burst.POnRate)
+		wf(cfg.Burst.POffRate)
+	} else {
+		wu(0)
+	}
+	wi(cfg.MaxRows)
+	wb(cfg.TrackStageWaits)
+	wb(cfg.TrackOccupancy)
+	wi(cfg.BufferCap)
+	return h.Sum64()
+}
+
+// Key exposes the canonical hash of a point under a given root seed —
+// the value PointResult.Key reports and the Cache is addressed by.
+func Key(p Point, rootSeed uint64) uint64 { return pointKey(&p, rootSeed) }
+
+// SeedFor returns the base seed the runner would assign the point: the
+// root seed split by the canonical key. Replication r then runs with
+// simnet.SplitSeed(SeedFor(...), r).
+func SeedFor(p Point, rootSeed uint64) uint64 {
+	return simnet.SplitSeed(rootSeed, pointKey(&p, rootSeed))
+}

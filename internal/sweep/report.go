@@ -1,0 +1,38 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Reporter observes sweep progress. PointDone may be called from any
+// worker goroutine; implementations must be safe for concurrent use.
+type Reporter interface {
+	PointDone(pr *PointResult, p Progress)
+}
+
+// LogReporter writes one line per completed point to an io.Writer —
+// label, progress fraction, and cumulative throughput.
+type LogReporter struct {
+	W io.Writer
+
+	mu sync.Mutex
+}
+
+// NewLogReporter returns a reporter logging to w.
+func NewLogReporter(w io.Writer) *LogReporter { return &LogReporter{W: w} }
+
+// PointDone implements Reporter.
+func (lr *LogReporter) PointDone(pr *PointResult, p Progress) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	fmt.Fprintf(lr.W, "sweep: [%d/%d] %s (%d msgs, %.0f msg/s)\n",
+		p.PointsDone, p.PointsTotal, pr.Point.Label, p.Messages, p.MessagesPerSec)
+}
+
+// FuncReporter adapts a function to the Reporter interface.
+type FuncReporter func(pr *PointResult, p Progress)
+
+// PointDone implements Reporter.
+func (f FuncReporter) PointDone(pr *PointResult, p Progress) { f(pr, p) }

@@ -1,0 +1,335 @@
+// Package sweep runs deterministic parameter sweeps of the banyan
+// simulators across a worker pool.
+//
+// The paper's evaluation — and any calibration or capacity-planning study
+// built on it — is a grid of simulation points over
+// (k, n, p, m, bulk, q, BufferCap) × replications. This package turns
+// such a grid into a batch of jobs executed by a bounded pool of
+// goroutines, with three guarantees:
+//
+//   - Determinism: every point's seed is derived from the runner's root
+//     seed and a canonical hash of the point's configuration, and
+//     replications are aggregated in replication order. Results are
+//     therefore byte-identical regardless of worker count or scheduling
+//     order, and independent of the position of a point within the batch.
+//
+//   - Caching: completed points are stored in an optional Cache keyed by
+//     the same canonical hash, so overlapping grids (e.g. the total-delay
+//     tables and the corresponding figures) pay for each point once.
+//
+//   - Observability: progress and throughput counters (points done,
+//     measured messages per second, drops) are maintained atomically and
+//     exposed through a pluggable Reporter.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"banyan/internal/simnet"
+)
+
+// Engine selects which simulator executes a point.
+type Engine int
+
+const (
+	// Fast is the message-level engine (infinite buffers, streaming).
+	Fast Engine = iota
+	// Literal is the cycle-driven engine (finite buffers, occupancy).
+	Literal
+)
+
+func (e Engine) String() string {
+	if e == Literal {
+		return "literal"
+	}
+	return "fast"
+}
+
+// Point is one parameter point of a sweep. Cfg.Seed is ignored: the
+// runner derives per-point seeds from its root seed so that results do
+// not depend on how the batch is scheduled.
+type Point struct {
+	Label  string
+	Cfg    simnet.Config
+	Engine Engine
+	Reps   int // replications; 0 means 1
+}
+
+func (p *Point) reps() int {
+	if p.Reps <= 0 {
+		return 1
+	}
+	return p.Reps
+}
+
+// PointResult carries one completed sweep point.
+type PointResult struct {
+	Point Point
+	Key   uint64 // canonical config hash (cache key)
+	Seed  uint64 // base seed the replication seeds were split from
+
+	// Runs holds the per-replication results in replication order.
+	Runs []*simnet.Result
+	// Agg pools the replications (non-nil even for Reps == 1).
+	Agg *simnet.Replicated
+}
+
+// Result returns the first replication's result — the common case for
+// single-replication sweeps.
+func (pr *PointResult) Result() *simnet.Result { return pr.Runs[0] }
+
+// Runner executes sweep batches. The zero value is usable: it runs with
+// GOMAXPROCS workers, root seed 0, no cache and no reporter. A Runner
+// may be shared by several batches (and goroutines) to pool its cache
+// and counters.
+type Runner struct {
+	// Parallelism bounds the worker pool; 0 means GOMAXPROCS.
+	Parallelism int
+	// RootSeed is the seed every per-point seed is derived from.
+	RootSeed uint64
+	// Cache, when non-nil, stores completed points across Run calls.
+	Cache *Cache
+	// Reporter, when non-nil, observes point completions.
+	Reporter Reporter
+
+	ctr Counters
+}
+
+// Counters returns the runner's cumulative progress counters.
+func (r *Runner) Counters() *Counters { return &r.ctr }
+
+func (r *Runner) parallelism() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every point of the batch and returns results in batch
+// order. Identical points (same canonical hash) within the batch are
+// simulated once and share their result; cached points are returned
+// without simulation. Any validation or simulation error aborts the
+// batch.
+func (r *Runner) Run(points []Point) ([]*PointResult, error) {
+	out := make([]*PointResult, len(points))
+	if len(points) == 0 {
+		return out, nil
+	}
+	r.ctr.begin(len(points))
+
+	// Resolve keys, seeds, cache hits and in-batch duplicates up front,
+	// so the job list is fixed before any worker starts.
+	type pointState struct {
+		pr      *PointResult
+		pending int // replications still running; -1 = alias or cache hit
+		aliasOf int // index of the identical earlier point, or -1
+	}
+	states := make([]pointState, len(points))
+	byKey := make(map[uint64]int, len(points))
+	type job struct{ pi, rep int }
+	var jobs []job
+	for i := range points {
+		p := &points[i]
+		if err := p.Cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: point %q: %w", p.Label, err)
+		}
+		key := pointKey(p, r.RootSeed)
+		states[i].aliasOf = -1
+		if j, ok := byKey[key]; ok {
+			states[i].aliasOf = j
+			states[i].pending = -1
+			continue
+		}
+		byKey[key] = i
+		pr := &PointResult{
+			Point: *p,
+			Key:   key,
+			Seed:  simnet.SplitSeed(r.RootSeed, key),
+			Runs:  make([]*simnet.Result, p.reps()),
+		}
+		states[i].pr = pr
+		if r.Cache != nil {
+			if hit, ok := r.Cache.get(key); ok {
+				states[i].pr = hit
+				states[i].pending = -1
+				r.ctr.pointDone(hit)
+				r.report(hit)
+				continue
+			}
+		}
+		states[i].pending = p.reps()
+		for rep := 0; rep < p.reps(); rep++ {
+			jobs = append(jobs, job{pi: i, rep: rep})
+		}
+	}
+
+	// Bounded worker pool over (point, replication) jobs: replication
+	// granularity keeps the pool busy even when the batch has fewer
+	// points than workers.
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	jobCh := make(chan job)
+	workers := r.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				st := &states[j.pi]
+				cfg := st.pr.Point.Cfg
+				cfg.Seed = simnet.SplitSeed(st.pr.Seed, uint64(j.rep))
+				res, err := runEngine(st.pr.Point.Engine, &cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sweep: point %q rep %d: %w", st.pr.Point.Label, j.rep, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				st.pr.Runs[j.rep] = res
+				r.ctr.repDone(res)
+				mu.Lock()
+				st.pending--
+				last := st.pending == 0
+				mu.Unlock()
+				if last {
+					// Aggregation iterates replications in order, so the
+					// pooled statistics do not depend on which worker
+					// finished last.
+					st.pr.Agg = simnet.Aggregate(st.pr.Runs, st.pr.Point.Cfg.Stages)
+					if r.Cache != nil {
+						r.Cache.put(st.pr.Key, st.pr)
+					}
+					r.ctr.pointDone(st.pr)
+					r.report(st.pr)
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i := range points {
+		st := &states[i]
+		if st.aliasOf >= 0 {
+			// Identical configuration: deterministic seeds make the
+			// result identical too, so share it (relabelled).
+			shared := *states[st.aliasOf].pr
+			shared.Point = points[i]
+			out[i] = &shared
+			continue
+		}
+		out[i] = st.pr
+	}
+	return out, nil
+}
+
+func (r *Runner) report(pr *PointResult) {
+	if r.Reporter != nil {
+		r.Reporter.PointDone(pr, r.ctr.Snapshot())
+	}
+}
+
+// runEngine executes one replication on the selected engine, always via
+// the streaming arrival path.
+func runEngine(e Engine, cfg *simnet.Config) (*simnet.Result, error) {
+	if e == Literal {
+		src, err := simnet.NewTraceStream(cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		return simnet.RunLiteralSource(cfg, src)
+	}
+	return simnet.Run(cfg)
+}
+
+// Counters accumulates sweep progress. All methods are safe for
+// concurrent use.
+type Counters struct {
+	mu         sync.Mutex
+	start      time.Time
+	pointsWant int64
+	pointsDone int64
+	repsDone   int64
+	messages   int64
+	dropped    int64
+}
+
+// Progress is a point-in-time snapshot of a sweep's counters.
+type Progress struct {
+	PointsDone  int64
+	PointsTotal int64
+	RepsDone    int64
+	Messages    int64 // measured messages over all completed replications
+	Dropped     int64 // messages lost to full buffers
+	Elapsed     time.Duration
+	// MessagesPerSec is the cumulative measured-message throughput.
+	MessagesPerSec float64
+}
+
+func (c *Counters) begin(points int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.start.IsZero() {
+		c.start = time.Now()
+	}
+	c.pointsWant += int64(points)
+}
+
+func (c *Counters) repDone(res *simnet.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.repsDone++
+	c.messages += res.Messages
+	c.dropped += res.Dropped
+}
+
+func (c *Counters) pointDone(pr *PointResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pointsDone++
+}
+
+// Snapshot returns the current progress.
+func (c *Counters) Snapshot() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := time.Duration(0)
+	if !c.start.IsZero() {
+		elapsed = time.Since(c.start)
+	}
+	p := Progress{
+		PointsDone:  c.pointsDone,
+		PointsTotal: c.pointsWant,
+		RepsDone:    c.repsDone,
+		Messages:    c.messages,
+		Dropped:     c.dropped,
+		Elapsed:     elapsed,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		p.MessagesPerSec = float64(c.messages) / s
+	}
+	return p
+}

@@ -1,0 +1,278 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"banyan/internal/simnet"
+)
+
+func quickPoints(reps int) []Point {
+	g := Grid{
+		Ks:     []int{2},
+		Ns:     []int{4},
+		Ps:     []float64{0.2, 0.4, 0.6},
+		Cycles: 800,
+		Warmup: 100,
+		Reps:   reps,
+	}
+	pts, err := g.Points()
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+// stripAgg drops the aggregate pointers so reflect.DeepEqual compares
+// the raw statistics (Replicated holds a Runs slice aliasing the same
+// results; comparing it too is redundant but harmless — kept simple).
+func resultsOf(prs []*PointResult) [][]*simnet.Result {
+	out := make([][]*simnet.Result, len(prs))
+	for i, pr := range prs {
+		out[i] = pr.Runs
+	}
+	return out
+}
+
+// TestDeterministicAcrossParallelism is the sweep engine's core
+// guarantee: identical results — bit for bit — at every worker count.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	pts := quickPoints(3)
+	var want []*PointResult
+	for _, par := range []int{1, 4, 16} {
+		r := &Runner{Parallelism: par, RootSeed: 0x5eed}
+		got, err := r.Run(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(resultsOf(got), resultsOf(want)) {
+			t.Fatalf("parallelism %d changed results", par)
+		}
+		for i := range got {
+			if got[i].Agg.MeanTotalWait() != want[i].Agg.MeanTotalWait() ||
+				got[i].Agg.VarTotalWait() != want[i].Agg.VarTotalWait() {
+				t.Fatalf("parallelism %d changed aggregates at point %d", par, i)
+			}
+		}
+	}
+}
+
+// TestSeedIndependentOfBatchOrder: a point's seed comes from its config
+// hash, not its index, so reordering or subsetting a batch cannot change
+// any point's result.
+func TestSeedIndependentOfBatchOrder(t *testing.T) {
+	pts := quickPoints(1)
+	r := &Runner{Parallelism: 2, RootSeed: 1}
+	all, err := r.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := []Point{pts[2], pts[0]} // reordered subset
+	r2 := &Runner{Parallelism: 2, RootSeed: 1}
+	sub, err := r2.Run(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sub[0].Runs, all[2].Runs) || !reflect.DeepEqual(sub[1].Runs, all[0].Runs) {
+		t.Fatal("point results depend on batch order")
+	}
+}
+
+// TestRootSeedMatters: different root seeds give different sample paths.
+func TestRootSeedMatters(t *testing.T) {
+	pts := quickPoints(1)[:1]
+	a, err := (&Runner{RootSeed: 1}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Runner{RootSeed: 2}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Result().MeanTotalWait() == b[0].Result().MeanTotalWait() {
+		t.Fatal("root seed had no effect")
+	}
+}
+
+// TestCacheAndDedupe: a shared cache serves repeated batches without
+// re-simulation, and identical points within one batch run once.
+func TestCacheAndDedupe(t *testing.T) {
+	pts := quickPoints(1)
+	r := &Runner{Parallelism: 2, RootSeed: 7, Cache: NewCache()}
+	first, err := r.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cache.Len() != len(pts) {
+		t.Fatalf("cache holds %d points, want %d", r.Cache.Len(), len(pts))
+	}
+	if r.Cache.Hits() != 0 {
+		t.Fatalf("unexpected cache hits %d on first run", r.Cache.Hits())
+	}
+	again, err := r.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cache.Hits() != int64(len(pts)) {
+		t.Fatalf("cache hits %d, want %d", r.Cache.Hits(), len(pts))
+	}
+	for i := range pts {
+		if again[i].Result() != first[i].Result() {
+			t.Fatalf("point %d re-simulated despite cache", i)
+		}
+	}
+
+	// In-batch dedupe: the same config twice (different labels) runs once
+	// and shares the result object.
+	dup := []Point{pts[0], {Label: "alias", Cfg: pts[0].Cfg}}
+	r2 := &Runner{RootSeed: 7}
+	prs, err := r2.Run(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prs[0].Result() != prs[1].Result() {
+		t.Fatal("identical points not deduped in batch")
+	}
+	if prs[1].Point.Label != "alias" {
+		t.Fatal("alias lost its own label")
+	}
+	if ctr := r2.Counters().Snapshot(); ctr.RepsDone != 1 {
+		t.Fatalf("ran %d replications for a deduped pair, want 1", ctr.RepsDone)
+	}
+}
+
+// TestLiteralEngineSweep: finite-buffer points run the literal engine
+// and report drops through the counters.
+func TestLiteralEngineSweep(t *testing.T) {
+	g := Grid{
+		Ks: []int{2}, Ns: []int{3}, Ps: []float64{0.8},
+		Caps:   []int{1, 2},
+		Cycles: 600, Warmup: 100,
+	}
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Engine != Literal {
+			t.Fatalf("point %q: finite caps must use the literal engine", p.Label)
+		}
+	}
+	r := &Runner{RootSeed: 3}
+	prs, err := r.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prs[0].Result().Dropped == 0 {
+		t.Fatal("cap=1 at p=0.8 should drop messages")
+	}
+	if snap := r.Counters().Snapshot(); snap.Dropped == 0 || snap.Messages == 0 {
+		t.Fatalf("counters missed traffic: %+v", snap)
+	}
+}
+
+// TestValidationError: an invalid point aborts the batch with its label.
+func TestValidationError(t *testing.T) {
+	pts := quickPoints(1)
+	pts[1].Cfg.P = 1.5
+	_, err := (&Runner{}).Run(pts)
+	if err == nil || !strings.Contains(err.Error(), pts[1].Label) {
+		t.Fatalf("want validation error naming the point, got %v", err)
+	}
+	// Unstable load is caught too (ρ ≥ 1 with infinite buffers).
+	pts2 := quickPoints(1)
+	pts2[0].Cfg.P = 1.0
+	if _, err := (&Runner{}).Run(pts2); err == nil {
+		t.Fatal("unstable point must fail validation")
+	}
+}
+
+// TestGridExpansion: labels and cartesian structure.
+func TestGridExpansion(t *testing.T) {
+	g := Grid{
+		Ks: []int{2, 4}, Ns: []int{3}, Ps: []float64{0.2, 0.5},
+		Bulks:  []int{1, 2},
+		Cycles: 100,
+	}
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*2*2 {
+		t.Fatalf("got %d points, want 8", len(pts))
+	}
+	if pts[0].Label != "k=2/n=3/p=0.2/bulk=1" {
+		t.Fatalf("unexpected first label %q", pts[0].Label)
+	}
+	if pts[len(pts)-1].Label != "k=4/n=3/p=0.5/bulk=2" {
+		t.Fatalf("unexpected last label %q", pts[len(pts)-1].Label)
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if seen[p.Label] {
+			t.Fatalf("duplicate label %q", p.Label)
+		}
+		seen[p.Label] = true
+	}
+	// m axis builds constant-service laws.
+	gm := Grid{Ks: []int{2}, Ns: []int{2}, Ps: []float64{0.1}, Ms: []int{1, 4}, Cycles: 100}
+	mpts, err := gm.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mpts[1].Cfg.Service.Mean(); got != 4 {
+		t.Fatalf("m=4 service mean %g", got)
+	}
+}
+
+// TestKeyExcludesLabelAndSeed: the canonical hash identifies the
+// configuration, not its name; Cfg.Seed is overridden by the runner and
+// must not affect the key.
+func TestKeyExcludesLabelAndSeed(t *testing.T) {
+	p := quickPoints(1)[0]
+	q := p
+	q.Label = "renamed"
+	q.Cfg.Seed = 12345
+	if Key(p, 1) != Key(q, 1) {
+		t.Fatal("label or seed leaked into the key")
+	}
+	q.Cfg.P += 0.01
+	if Key(p, 1) == Key(q, 1) {
+		t.Fatal("config change did not change the key")
+	}
+	if Key(p, 1) == Key(p, 2) {
+		t.Fatal("root seed must be part of the key")
+	}
+}
+
+// TestReporter: the reporter sees every completed point with monotone
+// progress.
+func TestReporter(t *testing.T) {
+	pts := quickPoints(1)
+	var labels []string
+	var last Progress
+	r := &Runner{
+		Parallelism: 1,
+		Reporter: FuncReporter(func(pr *PointResult, p Progress) {
+			labels = append(labels, pr.Point.Label)
+			last = p
+		}),
+	}
+	if _, err := r.Run(pts); err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != len(pts) {
+		t.Fatalf("reporter saw %d points, want %d", len(labels), len(pts))
+	}
+	if last.PointsDone != int64(len(pts)) || last.PointsTotal != int64(len(pts)) {
+		t.Fatalf("final progress %+v", last)
+	}
+	if last.Messages == 0 || last.MessagesPerSec <= 0 {
+		t.Fatalf("throughput counters empty: %+v", last)
+	}
+}
