@@ -15,6 +15,12 @@
 // Usage:
 //
 //	calibrate [-cycles 60000] [-warmup 6000] [-seed 1234] [-parallelism N] [-progress]
+//	          [-timeout D] [-point-budget D] [-max-retries N]
+//	          [-checkpoint FILE] [-resume]
+//
+// With -checkpoint, completed simulation points are journaled as they
+// finish; after a Ctrl-C (or a -timeout), rerunning with -resume picks up
+// where the run stopped and produces byte-identical output.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 	seed := flag.Uint64("seed", 1234, "root random seed")
 	parallelism := flag.Int("parallelism", 0, "simulation worker count (0 = all cores); results are identical at every setting")
 	progress := flag.Bool("progress", false, "log per-point sweep progress to stderr")
+	var opts sweep.RunOptions
+	opts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	runner := &sweep.Runner{
@@ -48,6 +56,11 @@ func main() {
 	if *progress {
 		runner.Reporter = sweep.NewLogReporter(os.Stderr)
 	}
+	ctx, cleanup, err := opts.Apply(runner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
 
 	// Phase 1: collect every operating point the calibration needs.
 	// deepPoint builds one deep-network run; the cycle count is capped so
@@ -116,8 +129,9 @@ func main() {
 	}
 
 	// Phase 2: one batch over the whole grid.
-	prs, err := runner.Run(pts)
+	prs, err := runner.RunCtx(ctx, pts)
 	if err != nil {
+		cleanup()
 		log.Fatal(err)
 	}
 	byLabel := make(map[string]*simnet.Result, len(prs))

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	figures [-quick] [-only "Figure 5"] [-csv DIR] [-seed N] [-parallelism N] [-progress]
+//	        [-timeout D] [-point-budget D] [-max-retries N]
+//	        [-checkpoint FILE] [-resume]
+//
+// With -checkpoint, completed simulation points are journaled as they
+// finish; after a Ctrl-C (or a -timeout), rerunning with -resume picks up
+// where the run stopped and produces byte-identical output.
 package main
 
 import (
@@ -31,6 +37,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the base random seed")
 	parallelism := flag.Int("parallelism", 0, "simulation worker count (0 = all cores); results are identical at every setting")
 	progress := flag.Bool("progress", false, "log per-point sweep progress to stderr")
+	var opts sweep.RunOptions
+	opts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	sc := experiments.Full()
@@ -45,6 +53,12 @@ func main() {
 	if *progress {
 		sc.Runner.Reporter = sweep.NewLogReporter(os.Stderr)
 	}
+	ctx, cleanup, err := opts.Apply(sc.Runner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	sc.Ctx = ctx
 
 	matched := false
 	for _, tc := range experiments.TotalCases() {

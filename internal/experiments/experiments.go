@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"banyan/internal/simnet"
@@ -34,6 +35,18 @@ type Scale struct {
 	// experiments. When nil each batch gets a transient runner configured
 	// from the fields above.
 	Runner *sweep.Runner
+	// Ctx, when non-nil, cancels the scale's simulations (Ctrl-C, a
+	// -timeout). Cancellation does not affect the statistics: a run either
+	// completes identically or fails with the context's error.
+	Ctx context.Context
+}
+
+// ctx returns the scale's cancellation context.
+func (sc Scale) ctx() context.Context {
+	if sc.Ctx != nil {
+		return sc.Ctx
+	}
+	return context.Background()
 }
 
 // Quick returns a scale suitable for tests and benchmarks (seconds).
@@ -110,7 +123,7 @@ func (sc Scale) point(label string, cfg simnet.Config) sweep.Point {
 // runBatch executes a batch of points on the scale's runner and unwraps
 // the per-point results, preserving batch order.
 func (sc Scale) runBatch(points []sweep.Point) ([]*simnet.Result, error) {
-	prs, err := sc.runner().Run(points)
+	prs, err := sc.runner().RunCtx(sc.ctx(), points)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}

@@ -110,6 +110,29 @@ type Config struct {
 	// to the given number of queued messages (0 = infinite). Arrivals
 	// to a full queue are dropped and counted.
 	BufferCap int
+
+	// AllowUnstable permits configurations at or beyond the stability
+	// boundary (utilization m·λ ≥ 1 with infinite buffers), which
+	// Validate otherwise rejects. Such runs rely on the saturation
+	// guards below: when a guard fires the engine stops at a clean cycle
+	// boundary and returns a Result flagged Truncated/Unstable, with the
+	// statistics of the messages that did complete.
+	AllowUnstable bool
+
+	// MaxInFlight caps the number of messages concurrently inside the
+	// network (0 = 1<<22). In-flight occupancy growing past this bound
+	// is the divergence signal for saturated configurations — at
+	// m·λ ≥ 1 the backlog grows linearly in time — and trips the
+	// Truncated/Unstable guard instead of exhausting memory.
+	MaxInFlight int
+
+	// DrainCycles bounds the number of cycles an engine keeps running
+	// after the arrival horizon to drain in-flight messages
+	// (0 = 1000×horizon + 1000, the literal engine's historical bound).
+	// A network still holding messages when the budget expires is
+	// saturated; the run is truncated and flagged rather than left to
+	// crawl through an unbounded backlog.
+	DrainCycles int
 }
 
 func (c *Config) bulk() int {
@@ -138,6 +161,23 @@ func (c *Config) serviceSampler() *dist.Sampler {
 		return nil
 	}
 	return dist.NewSampler(pmf)
+}
+
+// maxInFlight returns the in-flight message cap (saturation guard).
+func (c *Config) maxInFlight() int64 {
+	if c.MaxInFlight > 0 {
+		return int64(c.MaxInFlight)
+	}
+	return 1 << 22
+}
+
+// drainLimit returns the last cycle index the engines will simulate: the
+// arrival horizon plus the drain budget.
+func (c *Config) drainLimit(horizon int) int64 {
+	if c.DrainCycles > 0 {
+		return int64(horizon) + int64(c.DrainCycles)
+	}
+	return int64(horizon)*1000 + 1000
 }
 
 func (c *Config) maxRows() int {
@@ -232,9 +272,17 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	if c.MaxInFlight < 0 {
+		return fmt.Errorf("simnet: negative in-flight cap %d", c.MaxInFlight)
+	}
+	if c.DrainCycles < 0 {
+		return fmt.Errorf("simnet: negative drain budget %d", c.DrainCycles)
+	}
 	rho := float64(c.bulk()) * c.P * c.service().Mean()
-	if c.BufferCap == 0 && rho >= 1 {
-		return fmt.Errorf("simnet: unstable load ρ = %g with infinite buffers", rho)
+	if c.BufferCap == 0 && rho >= 1 && !c.AllowUnstable {
+		return fmt.Errorf("simnet: unstable load m·λ = %g ≥ 1 (bulk %d × p %g × mean service %g) with infinite buffers; "+
+			"set AllowUnstable (plus MaxInFlight/DrainCycles budgets) to probe saturation with truncated runs",
+			rho, c.bulk(), c.P, c.service().Mean())
 	}
 	if _, _, err := c.rows(); err != nil {
 		return err

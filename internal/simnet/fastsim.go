@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -46,6 +47,30 @@ type Result struct {
 	// MaxQueueDepth[i] is the largest occupancy observed at any stage
 	// i+1 queue (with TrackOccupancy).
 	MaxQueueDepth []int
+
+	// Truncated marks a run stopped before completion — by context
+	// cancellation, a wall-clock deadline, or a saturation guard
+	// (Config.MaxInFlight / Config.DrainCycles). The statistics cover
+	// only the messages that completed before the stop; messages still
+	// in flight are discarded.
+	Truncated bool
+
+	// Unstable marks a truncation caused by a saturation guard: the
+	// in-flight backlog exceeded Config.MaxInFlight, or the network
+	// failed to drain within the Config.DrainCycles budget — the
+	// divergence signature of configurations at m·λ ≥ 1.
+	Unstable bool
+
+	// TruncatedAt is the cycle at which a truncated run stopped (the
+	// number of cycles actually simulated); 0 unless Truncated.
+	TruncatedAt int64
+}
+
+// truncate flags the result as stopped at cycle t.
+func (r *Result) truncate(t int64, unstable bool) {
+	r.Truncated = true
+	r.Unstable = r.Unstable || unstable
+	r.TruncatedAt = t
 }
 
 // MeanTotalWait returns the empirical mean of the total waiting time.
@@ -59,11 +84,18 @@ func (r *Result) VarTotalWait() float64 { return r.TotalWait.Variance() }
 // peak memory is bounded by the in-flight message count rather than the
 // schedule length.
 func Run(cfg *Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled (or its deadline
+// passes) the engine stops at a clean cycle boundary and returns the
+// partial Result — flagged Truncated — alongside the context's error.
+func RunCtx(ctx context.Context, cfg *Config) (*Result, error) {
 	src, err := NewTraceStream(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
-	return RunSource(cfg, src)
+	return RunSourceCtx(ctx, cfg, src)
 }
 
 // RunTrace executes the fast message-level engine on a prepared
@@ -163,6 +195,24 @@ func (cb *cycleBuckets) recycle(b []int32) {
 // number of message-stage events only, and holding state proportional to
 // the number of in-flight messages only.
 func RunSource(cfg *Config, src ArrivalSource) (*Result, error) {
+	return RunSourceCtx(context.Background(), cfg, src)
+}
+
+// ctxCheckMask controls how often the engines poll the context: every
+// (ctxCheckMask+1) cycles, so the cancellation fast path costs nothing
+// measurable while stops still land within a few thousand cycles.
+const ctxCheckMask = 1023
+
+// RunSourceCtx is RunSource with cancellation and saturation guards.
+//
+// Cancellation (ctx done) stops the engine at a clean cycle boundary: it
+// returns the partial Result — flagged Truncated, statistics covering the
+// messages that completed — together with ctx.Err(), so callers can both
+// inspect the partial data and see why the run stopped. The saturation
+// guards (Config.MaxInFlight, Config.DrainCycles) instead return a nil
+// error: a truncated-Unstable result is a successful, deterministic
+// measurement of a diverging configuration, not a failure.
+func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -201,11 +251,31 @@ func RunSource(cfg *Config, src ArrivalSource) (*Result, error) {
 	}
 
 	inFlight := int64(0)
+	active := int64(0) // arrived at stage 1 but not yet exited (network backlog)
 	exhausted := false
 	covered := int64(0) // arrivals at cycles < covered are all enqueued
 	vec := make([]float64, n)
+	maxInFlight := cfg.maxInFlight()
+	drainLimit := cfg.drainLimit(meta.Horizon)
 
 	for t := int64(0); ; t++ {
+		if t&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				res.truncate(t, false)
+				return res, err
+			}
+		}
+		if active > maxInFlight {
+			// Backlog growing without bound: the divergence signature of
+			// a configuration at or beyond m·λ = 1.
+			res.truncate(t, true)
+			return res, nil
+		}
+		if t > drainLimit {
+			// Still holding messages past the drain budget: saturated.
+			res.truncate(t, true)
+			return res, nil
+		}
 		// Pull schedule blocks until cycle t is fully covered.
 		for !exhausted && covered <= t {
 			blk, err := src.Next()
@@ -245,6 +315,9 @@ func RunSource(cfg *Config, src ArrivalSource) (*Result, error) {
 			if len(bk) == 0 {
 				pending[stage].recycle(bk)
 				continue
+			}
+			if stage == 0 {
+				active += int64(len(bk))
 			}
 			// Random service order among simultaneous arrivals.
 			rng.Shuffle(len(bk), func(a, b int) { bk[a], bk[b] = bk[b], bk[a] })
@@ -289,6 +362,7 @@ func RunSource(cfg *Config, src ArrivalSource) (*Result, error) {
 					}
 					freeSlots = append(freeSlots, si)
 					inFlight--
+					active--
 				}
 			}
 			pending[stage].recycle(bk)

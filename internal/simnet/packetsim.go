@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -69,6 +70,15 @@ func RunLiteral(cfg *Config, tr *Trace) (*Result, error) {
 // BufferCap == 0 this engine is statistically identical to the fast
 // engine; the test suite drives both from one trace and compares.
 func RunLiteralSource(cfg *Config, src ArrivalSource) (*Result, error) {
+	return RunLiteralSourceCtx(context.Background(), cfg, src)
+}
+
+// RunLiteralSourceCtx is RunLiteralSource with cancellation and
+// saturation guards, under the same contract as RunSourceCtx: ctx
+// cancellation returns a Truncated partial result plus ctx.Err(), while
+// the deterministic budgets (Config.MaxInFlight, Config.DrainCycles)
+// return a Truncated/Unstable result with a nil error.
+func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,10 +158,24 @@ func RunLiteralSource(cfg *Config, src ArrivalSource) (*Result, error) {
 	var delivery [2][]int32 // two-slot ring of next-cycle deliveries
 	inNetwork := int64(0)
 	exhausted := false
-	covered := int64(0)    // arrivals at cycles < covered are all buffered
-	var buffered []int32   // slots awaiting injection, trace order
+	covered := int64(0)  // arrivals at cycles < covered are all buffered
+	var buffered []int32 // slots awaiting injection, trace order
 	bufHead := 0
+	maxInFlight := cfg.maxInFlight()
+	drainLimit := cfg.drainLimit(meta.Horizon)
 	for t := int64(0); ; t++ {
+		if t&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				res.truncate(t, false)
+				return res, err
+			}
+		}
+		if inNetwork > maxInFlight {
+			// Queued messages growing without bound: the divergence
+			// signature of a configuration at or beyond m·λ = 1.
+			res.truncate(t, true)
+			return res, nil
+		}
 		// Pull schedule blocks until cycle t is fully covered, staging
 		// arrivals (in trace order) for injection.
 		for !exhausted && covered <= t {
@@ -270,8 +294,10 @@ func RunLiteralSource(cfg *Config, src ArrivalSource) (*Result, error) {
 		if exhausted && bufHead == len(buffered) && inNetwork == 0 {
 			break
 		}
-		if t > int64(meta.Horizon)*1000+1000 {
-			return nil, fmt.Errorf("simnet: literal engine failed to drain by cycle %d", t)
+		if t > drainLimit {
+			// Still holding messages past the drain budget: saturated.
+			res.truncate(t, true)
+			return res, nil
 		}
 	}
 	if res.Messages == 0 {

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON round-tripping for the collector types, used by the sweep engine's
+// checkpoint journal. The encodings expose the exact internal state — not
+// derived quantities — so that a marshal/unmarshal cycle restores a
+// collector bit for bit: encoding/json prints float64 values in the
+// shortest form that parses back to the identical bits, which is what
+// makes resumed sweeps byte-identical to uninterrupted ones.
+
+type welfordJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// MarshalJSON encodes the accumulator's exact state.
+func (w Welford) MarshalJSON() ([]byte, error) {
+	return json.Marshal(welfordJSON{N: w.n, Mean: w.mean, M2: w.m2})
+}
+
+// UnmarshalJSON restores state written by MarshalJSON.
+func (w *Welford) UnmarshalJSON(b []byte) error {
+	var s welfordJSON
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s.N < 0 {
+		return fmt.Errorf("stats: negative Welford count %d", s.N)
+	}
+	w.n, w.mean, w.m2 = s.N, s.Mean, s.M2
+	return nil
+}
+
+type histJSON struct {
+	Counts []int64 `json:"counts"`
+	Total  int64   `json:"total"`
+	Sum    float64 `json:"sum"`
+	SumSq  float64 `json:"sumSq"`
+}
+
+// MarshalJSON encodes the histogram's exact state. The count vector is
+// trimmed to Max()+1; trailing zero buckets carry no information.
+func (h Hist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histJSON{Counts: h.Counts(), Total: h.total, Sum: h.sum, SumSq: h.sumSq})
+}
+
+// UnmarshalJSON restores state written by MarshalJSON.
+func (h *Hist) UnmarshalJSON(b []byte) error {
+	var s histJSON
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	var total int64
+	for v, c := range s.Counts {
+		if c < 0 {
+			return fmt.Errorf("stats: negative histogram count at value %d", v)
+		}
+		total += c
+	}
+	if total != s.Total {
+		return fmt.Errorf("stats: histogram count vector sums to %d, header says %d", total, s.Total)
+	}
+	h.counts = s.Counts
+	h.total, h.sum, h.sumSq = s.Total, s.Sum, s.SumSq
+	return nil
+}
+
+type covMatrixJSON struct {
+	Dim  int       `json:"dim"`
+	N    int64     `json:"n"`
+	Mean []float64 `json:"mean"`
+	Com  []float64 `json:"com"`
+}
+
+// MarshalJSON encodes the matrix accumulator's exact state.
+func (m *CovMatrix) MarshalJSON() ([]byte, error) {
+	return json.Marshal(covMatrixJSON{Dim: m.dim, N: m.n, Mean: m.mean, Com: m.com})
+}
+
+// UnmarshalJSON restores state written by MarshalJSON.
+func (m *CovMatrix) UnmarshalJSON(b []byte) error {
+	var s covMatrixJSON
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s.Dim <= 0 || len(s.Mean) != s.Dim || len(s.Com) != s.Dim*s.Dim {
+		return fmt.Errorf("stats: covariance matrix state inconsistent (dim=%d, mean=%d, com=%d)",
+			s.Dim, len(s.Mean), len(s.Com))
+	}
+	m.dim, m.n, m.mean, m.com = s.Dim, s.N, s.Mean, s.Com
+	return nil
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// TestWelfordJSONRoundTrip: marshal/unmarshal restores the accumulator
+// bit for bit, including awkward (non-terminating binary) means.
+func TestWelfordJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var w Welford
+	for i := 0; i < 1000; i++ {
+		w.Add(rng.Float64() * 17)
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Welford
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w, got) {
+		t.Fatalf("round trip changed state: %+v != %+v", got, w)
+	}
+	// Continued accumulation behaves identically on both copies.
+	w.Add(3.25)
+	got.Add(3.25)
+	if w.Mean() != got.Mean() || w.Variance() != got.Variance() {
+		t.Fatal("restored accumulator diverged after further adds")
+	}
+	// Empty accumulator survives too.
+	var zero, zrt Welford
+	b, _ = json.Marshal(zero)
+	if err := json.Unmarshal(b, &zrt); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero, zrt) {
+		t.Fatal("empty accumulator round trip")
+	}
+}
+
+// TestHistJSONRoundTrip: exact restoration, and corrupt payloads are
+// rejected rather than silently accepted.
+func TestHistJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	var h Hist
+	for i := 0; i < 5000; i++ {
+		h.Add(int(rng.Uint64N(200)))
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Hist
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != h.N() || got.Mean() != h.Mean() || got.Variance() != h.Variance() {
+		t.Fatal("round trip changed histogram statistics")
+	}
+	if !reflect.DeepEqual(h.Counts(), got.Counts()) {
+		t.Fatal("round trip changed histogram counts")
+	}
+	// Tampered total must be detected.
+	var bad Hist
+	if err := json.Unmarshal([]byte(`{"counts":[1,2],"total":5,"sum":2,"sumSq":2}`), &bad); err == nil {
+		t.Fatal("inconsistent histogram header accepted")
+	}
+}
+
+// TestCovMatrixJSONRoundTrip: exact restoration of the full matrix state.
+func TestCovMatrixJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	m := NewCovMatrix(3)
+	vec := make([]float64, 3)
+	for i := 0; i < 500; i++ {
+		for j := range vec {
+			vec[j] = rng.Float64()*10 - 5
+		}
+		m.Add(vec)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new(CovMatrix)
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("round trip changed covariance state")
+	}
+	bad := new(CovMatrix)
+	if err := json.Unmarshal([]byte(`{"dim":2,"n":1,"mean":[0],"com":[0,0,0,0]}`), bad); err == nil {
+		t.Fatal("inconsistent covariance state accepted")
+	}
+}

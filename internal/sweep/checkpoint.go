@@ -1,0 +1,209 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"banyan/internal/simnet"
+)
+
+// journalVersion is bumped whenever the entry layout or the canonical
+// hash changes incompatibly; mismatched entries are ignored on load.
+const journalVersion = 1
+
+// journalEntry is one completed point, serialized as a single JSON line.
+// Key is the canonical config hash (which already covers the runner's
+// root seed, the engine and the replication count), so an entry is valid
+// exactly when the same point is swept under the same root seed again.
+// The per-replication results are stored with their exact accumulator
+// state — see the stats package's JSON round-tripping — which makes a
+// resumed sweep byte-identical to an uninterrupted one.
+type journalEntry struct {
+	V     int              `json:"v"`
+	Key   uint64           `json:"key"`
+	Label string           `json:"label"`
+	Runs  []*simnet.Result `json:"runs"`
+}
+
+// Journal is an append-only JSONL checkpoint of completed sweep points,
+// keyed by canonical config hash. A Runner with a Journal records every
+// cleanly completed point and, on a later run (same process or not),
+// serves journaled points without resimulating them — so a killed sweep
+// resumes where it stopped. Only clean results are journaled: points
+// that failed, were cancelled, or were cut by the wall-clock budget are
+// resimulated on resume (deterministic saturation truncations are clean
+// and are journaled, flags included).
+//
+// Safe for concurrent use; each entry is written as one Write call so a
+// kill mid-append corrupts at most the final line, which the loader
+// skips.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[uint64]journalEntry
+	loaded  int // entries read from disk at open time
+}
+
+// OpenJournal opens (or creates) the journal at path and loads every
+// valid entry already present. A truncated trailing line — the footprint
+// of a kill mid-write — is skipped; any other malformed line is an
+// error, since it means the file is not a journal.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	j := &Journal{f: f, entries: make(map[uint64]journalEntry)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	var decodeErr error
+	errLine, lines := 0, 0
+	var off, validEnd, lastStart int64
+	var lastKey uint64
+	lastAccepted := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		lastStart = off
+		off += int64(len(line)) + 1 // the scanner strips one '\n'
+		if len(line) == 0 {
+			validEnd = off
+			lastAccepted = false
+			continue
+		}
+		lines++
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			decodeErr = fmt.Errorf("sweep: journal %s line %d: %w", path, lines, err)
+			errLine = lines
+			lastAccepted = false
+			continue
+		}
+		validEnd = off
+		if e.V != journalVersion {
+			lastAccepted = false
+			continue // written by an incompatible version; resimulate
+		}
+		j.entries[e.Key] = e
+		lastKey = e.Key
+		lastAccepted = true
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: read journal %s: %w", path, err)
+	}
+	// A torn final line is the footprint of a kill mid-append: drop it
+	// (that point resimulates) so new appends start on a fresh line. A
+	// decode failure anywhere else means the file is not a journal —
+	// refuse it rather than append after garbage.
+	if decodeErr != nil {
+		if errLine != lines {
+			f.Close()
+			return nil, decodeErr
+		}
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: drop torn journal line: %w", err)
+		}
+	}
+	// A final line with no terminating newline is also torn, even when
+	// the cut fell exactly after the JSON and it still parses (validEnd
+	// then overshoots the file size by the missing '\n'). Drop it too:
+	// appending after an unterminated line would corrupt the next entry.
+	if st, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: stat journal: %w", err)
+	} else if validEnd > st.Size() {
+		if lastAccepted {
+			delete(j.entries, lastKey)
+		}
+		validEnd = lastStart
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: drop torn journal line: %w", err)
+		}
+	}
+	j.loaded = len(j.entries)
+	if _, err := f.Seek(validEnd, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: seek journal: %w", err)
+	}
+	return j, nil
+}
+
+// Len returns the number of completed points the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Loaded returns the number of entries recovered from disk when the
+// journal was opened (before any appends from the current process).
+func (j *Journal) Loaded() int { return j.loaded }
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// get returns the journaled replication results for a key.
+func (j *Journal) get(key uint64) ([]*simnet.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return e.Runs, true
+}
+
+// append records a completed point. The line is marshalled outside the
+// lock and written with a single Write call.
+func (j *Journal) append(key uint64, label string, runs []*simnet.Result) error {
+	e := journalEntry{V: journalVersion, Key: key, Label: label, Runs: runs}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("sweep: journal marshal %q: %w", label, err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("sweep: journal closed")
+	}
+	if _, ok := j.entries[key]; ok {
+		return nil // already journaled (duplicate point across batches)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: journal append %q: %w", label, err)
+	}
+	j.entries[key] = e
+	return nil
+}
+
+// SetupJournal opens the checkpoint journal at path for a command-line
+// run. Unless resume is set, a journal that already holds completed
+// points is refused — reusing stale results silently is exactly the
+// failure mode checkpointing exists to prevent.
+func SetupJournal(path string, resume bool) (*Journal, error) {
+	j, err := OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if !resume && j.Len() > 0 {
+		n := j.Len()
+		j.Close()
+		return nil, fmt.Errorf("sweep: checkpoint %s already holds %d completed points; pass -resume to reuse them or remove the file", path, n)
+	}
+	return j, nil
+}

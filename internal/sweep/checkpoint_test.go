@@ -1,0 +1,216 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"banyan/internal/simnet"
+)
+
+func marshalRuns(t *testing.T, prs []*PointResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(resultsOf(prs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestJournalResumeByteIdentical is the crash/resume integration test:
+// a sweep cancelled midway and resumed from its checkpoint journal
+// produces output byte-identical to an uninterrupted run.
+func TestJournalResumeByteIdentical(t *testing.T) {
+	pts := quickPoints(2) // 3 points × 2 reps
+	clean, err := (&Runner{RootSeed: 7}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalRuns(t, clean)
+
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Crash" midway: cancel after two replications — with one worker
+	// that completes exactly the first point, which gets journaled.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int64
+	r1 := &Runner{
+		RootSeed:    7,
+		Parallelism: 1,
+		Journal:     j1,
+		runRep: func(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Result, error) {
+			res, err := runEngineCtx(ctx, e, cfg)
+			if done.Add(1) == 2 {
+				cancel()
+			}
+			return res, err
+		},
+	}
+	if _, err := r1.RunCtx(ctx, pts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want cancellation, got %v", err)
+	}
+	if j1.Len() != 1 {
+		t.Fatalf("want exactly the first point journaled, got %d", j1.Len())
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume in a "new process": reopen the journal and rerun the batch.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Loaded() != 1 {
+		t.Fatalf("want 1 entry recovered from disk, got %d", j2.Loaded())
+	}
+	r2 := &Runner{RootSeed: 7, Journal: j2}
+	prs, err := r2.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshalRuns(t, prs); !bytes.Equal(got, want) {
+		t.Fatal("resumed sweep is not byte-identical to the uninterrupted run")
+	}
+	for i := range prs {
+		if prs[i].Agg.MeanTotalWait() != clean[i].Agg.MeanTotalWait() ||
+			prs[i].Agg.VarTotalWait() != clean[i].Agg.VarTotalWait() {
+			t.Fatalf("point %q: resumed aggregate differs", prs[i].Point.Label)
+		}
+	}
+	// The journaled point must have been served from disk, not rerun.
+	if snap := r2.Counters().Snapshot(); snap.RepsDone != 4 {
+		t.Fatalf("want 4 resimulated replications (2 points), got %d", snap.RepsDone)
+	}
+	if j2.Len() != len(pts) {
+		t.Fatalf("journal after resume holds %d of %d points", j2.Len(), len(pts))
+	}
+}
+
+// TestJournalTornLine: a journal cut mid-write (torn final line, with or
+// without its newline) loads the intact prefix and resimulates the rest;
+// garbage before the final line refuses the file.
+func TestJournalTornLine(t *testing.T) {
+	pts := quickPoints(1)
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Runner{RootSeed: 7, Journal: j}).Run(pts); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, chop := range map[string]int{"mid-json": 10, "newline-only": 1} {
+		torn := filepath.Join(t.TempDir(), name+".jsonl")
+		if err := os.WriteFile(torn, full[:len(full)-chop], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jt, err := OpenJournal(torn)
+		if err != nil {
+			t.Fatalf("%s: torn final line must be tolerated: %v", name, err)
+		}
+		if jt.Loaded() != len(pts)-1 {
+			t.Fatalf("%s: want %d recovered entries, got %d", name, len(pts)-1, jt.Loaded())
+		}
+		// The torn point resimulates; afterwards the journal is whole again.
+		if _, err := (&Runner{RootSeed: 7, Journal: jt}).Run(pts); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if jt.Len() != len(pts) {
+			t.Fatalf("%s: journal not repaired: %d of %d", name, jt.Len(), len(pts))
+		}
+		jt.Close()
+		if reopened, err := OpenJournal(torn); err != nil || reopened.Loaded() != len(pts) {
+			t.Fatalf("%s: repaired journal reload: loaded=%d err=%v", name, reopened.Loaded(), err)
+		} else {
+			reopened.Close()
+		}
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, append([]byte("garbage\n"), full...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(bad); err == nil {
+		t.Fatal("garbage before valid entries must refuse the file")
+	}
+}
+
+// TestSetupJournal: a non-empty checkpoint requires the explicit resume
+// opt-in.
+func TestSetupJournal(t *testing.T) {
+	pts := quickPoints(1)
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := SetupJournal(path, false)
+	if err != nil {
+		t.Fatalf("fresh journal: %v", err)
+	}
+	if _, err := (&Runner{RootSeed: 7, Journal: j}).Run(pts); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	if _, err := SetupJournal(path, false); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("non-empty journal without resume: want refusal mentioning -resume, got %v", err)
+	}
+	j2, err := SetupJournal(path, true)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if j2.Loaded() != len(pts) {
+		t.Fatalf("resume recovered %d of %d", j2.Loaded(), len(pts))
+	}
+	j2.Close()
+}
+
+// TestJournalSkipsVersionMismatch: entries from an incompatible journal
+// version are ignored (resimulated), not trusted.
+func TestJournalSkipsVersionMismatch(t *testing.T) {
+	pts := quickPoints(1)
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Runner{RootSeed: 7, Journal: j}).Run(pts); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.ReplaceAll(full, []byte(`{"v":1,`), []byte(`{"v":0,`))
+	if bytes.Equal(old, full) {
+		t.Fatal("test assumes the version field leads each entry")
+	}
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Loaded() != 0 {
+		t.Fatalf("version-mismatched entries must be ignored, got %d", j2.Loaded())
+	}
+}

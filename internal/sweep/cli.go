@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// RunOptions bundles the fault-tolerance command-line flags shared by the
+// repo's binaries (tables, figures, calibrate): overall and per-point
+// wall-clock budgets, retries, and the checkpoint journal.
+type RunOptions struct {
+	// Timeout bounds the whole invocation (0 = none).
+	Timeout time.Duration
+	// PointBudget bounds each replication's wall-clock time (0 = none).
+	PointBudget time.Duration
+	// Checkpoint is the path of the resume journal ("" = no journal).
+	Checkpoint string
+	// Resume opts in to reusing a non-empty checkpoint journal.
+	Resume bool
+	// MaxRetries is the per-replication retry budget.
+	MaxRetries int
+}
+
+// RegisterFlags installs the shared fault-tolerance flags on fs.
+func (o *RunOptions) RegisterFlags(fs *flag.FlagSet) {
+	fs.DurationVar(&o.Timeout, "timeout", 0, "stop the whole run after this wall-clock duration (e.g. 10m); partial work is checkpointed when -checkpoint is set")
+	fs.DurationVar(&o.PointBudget, "point-budget", 0, "wall-clock budget per simulation replication (e.g. 30s); an over-budget point fails without aborting the batch")
+	fs.StringVar(&o.Checkpoint, "checkpoint", "", "journal completed points to this file so an interrupted run can be resumed with -resume")
+	fs.BoolVar(&o.Resume, "resume", false, "reuse the completed points already in the -checkpoint journal")
+	fs.IntVar(&o.MaxRetries, "max-retries", 1, "retries per replication after a panic or simulation error")
+}
+
+// Apply configures the runner from the options and returns the run
+// context — cancelled by SIGINT/SIGTERM or the -timeout — plus a cleanup
+// function that releases the signal handler and closes the journal.
+func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
+	r.PointBudget = o.PointBudget
+	r.MaxRetries = o.MaxRetries
+	if o.Checkpoint != "" {
+		j, err := SetupJournal(o.Checkpoint, o.Resume)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.Journal = j
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	cancelTimeout := context.CancelFunc(func() {})
+	if o.Timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, o.Timeout)
+	}
+	cleanup := func() {
+		cancelTimeout()
+		stop()
+		if r.Journal != nil {
+			r.Journal.Close()
+		}
+	}
+	return ctx, cleanup, nil
+}

@@ -63,6 +63,11 @@ func pointKey(p *Point, rootSeed uint64) uint64 {
 	wb(cfg.TrackStageWaits)
 	wb(cfg.TrackOccupancy)
 	wi(cfg.BufferCap)
+	// The saturation budgets determine where an unstable run truncates,
+	// so they are part of the statistical identity of the point.
+	wb(cfg.AllowUnstable)
+	wi(cfg.MaxInFlight)
+	wi(cfg.DrainCycles)
 	return h.Sum64()
 }
 

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"banyan/internal/simnet"
+)
+
+// FuzzPointKey checks the canonical-hash invariants the cache, the seed
+// derivation and the checkpoint journal all rely on: the key is
+// deterministic, insensitive to the label and to Cfg.Seed (both are
+// explicitly excluded from a point's statistical identity), and
+// sensitive to every field that is part of it.
+func FuzzPointKey(f *testing.F) {
+	f.Add(2, 3, 0.5, 1, 1000, uint64(1), "a")
+	f.Add(4, 6, 0.9, 4, 5000, uint64(99), "tbl2/k4")
+	f.Add(1, 1, 0.0, 0, 0, uint64(0), "")
+	f.Add(8, 10, 0.25, 2, 1<<20, ^uint64(0), "boundary")
+	f.Fuzz(func(t *testing.T, k, n int, p float64, bulk, cycles int, rootSeed uint64, label string) {
+		base := Point{
+			Label: label,
+			Cfg: simnet.Config{
+				K: k, Stages: n, P: p, Bulk: bulk, Cycles: cycles,
+			},
+		}
+		key := pointKey(&base, rootSeed)
+		if pointKey(&base, rootSeed) != key {
+			t.Fatal("pointKey is not deterministic")
+		}
+
+		relabel := base
+		relabel.Label = label + "x"
+		if pointKey(&relabel, rootSeed) != key {
+			t.Error("key depends on the label")
+		}
+		reseed := base
+		reseed.Cfg.Seed = rootSeed + 1
+		if pointKey(&reseed, rootSeed) != key {
+			t.Error("key depends on Cfg.Seed")
+		}
+
+		// Every mutation below changes a field covered by the hash, so
+		// each must change the key (FNV-1a collisions between a value and
+		// a one-field mutation of it would break cache and journal).
+		mutations := map[string]func(*Point){
+			"rootless":    nil, // sentinel: rootSeed sensitivity, handled below
+			"k":           func(q *Point) { q.Cfg.K++ },
+			"stages":      func(q *Point) { q.Cfg.Stages++ },
+			"bulk":        func(q *Point) { q.Cfg.Bulk++ },
+			"cycles":      func(q *Point) { q.Cfg.Cycles++ },
+			"warmup":      func(q *Point) { q.Cfg.Warmup++ },
+			"buffercap":   func(q *Point) { q.Cfg.BufferCap++ },
+			"maxrows":     func(q *Point) { q.Cfg.MaxRows++ },
+			"engine":      func(q *Point) { q.Engine = Literal },
+			"reps":        func(q *Point) { q.Reps = q.reps() + 1 },
+			"unstable":    func(q *Point) { q.Cfg.AllowUnstable = !q.Cfg.AllowUnstable },
+			"maxinflight": func(q *Point) { q.Cfg.MaxInFlight++ },
+			"draincycles": func(q *Point) { q.Cfg.DrainCycles++ },
+			"stagewaits":  func(q *Point) { q.Cfg.TrackStageWaits = !q.Cfg.TrackStageWaits },
+			"occupancy":   func(q *Point) { q.Cfg.TrackOccupancy = !q.Cfg.TrackOccupancy },
+		}
+		for name, mutate := range mutations {
+			if mutate == nil {
+				continue
+			}
+			mut := base
+			mutate(&mut)
+			if pointKey(&mut, rootSeed) == key {
+				t.Errorf("mutation %q does not change the key", name)
+			}
+		}
+		if pointKey(&base, rootSeed^1) == key {
+			t.Error("key does not depend on the root seed")
+		}
+		// Float fields mutate only when the new bit pattern differs
+		// (p+0.5 is a no-op on NaN and ±Inf).
+		newP := p + 0.5
+		if math.Float64bits(newP) != math.Float64bits(p) {
+			mut := base
+			mut.Cfg.P = newP
+			if pointKey(&mut, rootSeed) == key {
+				t.Error("mutation of P does not change the key")
+			}
+		}
+	})
+}

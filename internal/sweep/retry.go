@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"banyan/internal/simnet"
+)
+
+// PanicError wraps a panic recovered from a simulation worker, so one
+// faulty point surfaces as that point's error instead of tearing down
+// the whole batch.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// defaultRetryBackoff is the base delay before the first retry when
+// Runner.RetryBackoff is unset.
+const defaultRetryBackoff = 50 * time.Millisecond
+
+// backoff returns the capped exponential delay before retry attempt
+// (attempt 0 = first retry): base·2^attempt, capped at 32×base.
+func (r *Runner) backoff(attempt int) time.Duration {
+	base := r.RetryBackoff
+	if base <= 0 {
+		base = defaultRetryBackoff
+	}
+	if attempt > 5 {
+		attempt = 5
+	}
+	return base << attempt
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// safeRun executes one replication with panic isolation and the
+// per-replication wall-clock budget. A recovered panic is converted to a
+// *PanicError; a PointBudget overrun surfaces as the engine's partial
+// Truncated result plus context.DeadlineExceeded.
+func (r *Runner) safeRun(ctx context.Context, e Engine, cfg *simnet.Config) (res *simnet.Result, err error) {
+	if r.PointBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.PointBudget)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return r.engine()(ctx, e, cfg)
+}
+
+// attempt runs one replication to a final outcome: success, a truncated
+// partial result, or a terminal error after MaxRetries capped-backoff
+// retries. Cancellation and deadline overruns are never retried — the
+// former is the caller stopping the batch, the latter would just burn
+// the budget again.
+func (r *Runner) attempt(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Result, error) {
+	for a := 0; ; a++ {
+		res, err := r.safeRun(ctx, e, cfg)
+		if err == nil ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			ctx.Err() != nil {
+			return res, err
+		}
+		if a >= r.MaxRetries {
+			return res, err
+		}
+		r.ctr.retried()
+		sleepCtx(ctx, r.backoff(a))
+	}
+}
+
+// engine returns the replication executor: the test hook when set, the
+// real simulators otherwise.
+func (r *Runner) engine() func(context.Context, Engine, *simnet.Config) (*simnet.Result, error) {
+	if r.runRep != nil {
+		return r.runRep
+	}
+	return runEngineCtx
+}

@@ -23,6 +23,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -71,15 +73,42 @@ type PointResult struct {
 	Key   uint64 // canonical config hash (cache key)
 	Seed  uint64 // base seed the replication seeds were split from
 
-	// Runs holds the per-replication results in replication order.
+	// Runs holds the per-replication results in replication order. On a
+	// failed point, entries may be nil (never started) or partial
+	// Truncated results (stopped by cancellation or the wall-clock
+	// budget).
 	Runs []*simnet.Result
-	// Agg pools the replications (non-nil even for Reps == 1).
+	// Agg pools the replications; nil when the point failed.
 	Agg *simnet.Replicated
+
+	// Err is the point's terminal error: a validation failure, a
+	// recovered panic (*PanicError), a simulation error that survived
+	// every retry, a context cancellation, or a wall-clock budget
+	// overrun. Nil for points that completed — including deterministic
+	// saturation truncations, which are flagged on the Result instead.
+	Err error
 }
 
 // Result returns the first replication's result — the common case for
-// single-replication sweeps.
-func (pr *PointResult) Result() *simnet.Result { return pr.Runs[0] }
+// single-replication sweeps. It is nil when the point failed before its
+// first replication produced anything.
+func (pr *PointResult) Result() *simnet.Result {
+	if len(pr.Runs) == 0 {
+		return nil
+	}
+	return pr.Runs[0]
+}
+
+// Truncated reports whether any replication of the point stopped early
+// (saturation guard, cancellation, or wall-clock budget).
+func (pr *PointResult) Truncated() bool {
+	for _, res := range pr.Runs {
+		if res != nil && res.Truncated {
+			return true
+		}
+	}
+	return false
+}
 
 // Runner executes sweep batches. The zero value is usable: it runs with
 // GOMAXPROCS workers, root seed 0, no cache and no reporter. A Runner
@@ -95,7 +124,30 @@ type Runner struct {
 	// Reporter, when non-nil, observes point completions.
 	Reporter Reporter
 
+	// PointBudget bounds the wall-clock time of each replication
+	// (0 = unbounded). An over-budget replication stops at a clean cycle
+	// boundary; its partial Truncated result stays in PointResult.Runs
+	// and the point fails with a deadline error. Budget-truncated
+	// results are never cached or journaled — where a run stops under a
+	// wall clock is not reproducible.
+	PointBudget time.Duration
+	// MaxRetries is how many times a failed replication (panic or
+	// simulation error) is retried before the point is marked failed
+	// (0 = no retries). Cancellations and budget overruns never retry.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling each
+	// attempt and capped at 32×; 0 means 50ms.
+	RetryBackoff time.Duration
+	// Journal, when non-nil, records each cleanly completed point and
+	// serves journaled points on later runs — the checkpoint/resume
+	// path. See OpenJournal.
+	Journal *Journal
+
 	ctr Counters
+
+	// runRep, when non-nil, replaces the simulation engines (test hook
+	// for fault injection).
+	runRep func(context.Context, Engine, *simnet.Config) (*simnet.Result, error)
 }
 
 // Counters returns the runner's cumulative progress counters.
@@ -108,24 +160,53 @@ func (r *Runner) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes every point of the batch and returns results in batch
-// order. Identical points (same canonical hash) within the batch are
-// simulated once and share their result; cached points are returned
-// without simulation. Any validation or simulation error aborts the
-// batch.
+// Run executes every point of the batch with Background context; see
+// RunCtx.
 func (r *Runner) Run(points []Point) ([]*PointResult, error) {
+	return r.RunCtx(context.Background(), points)
+}
+
+// RunCtx executes every point of the batch and returns results in batch
+// order. Identical points (same canonical hash) within the batch are
+// simulated once and share their result; cached and journaled points are
+// returned without simulation.
+//
+// The batch degrades gracefully instead of aborting: invalid points are
+// all reported up front in one joined error (before any simulation
+// starts); a replication that panics or fails is retried up to
+// MaxRetries times and then marks only its own point via PointResult.Err;
+// cancelling ctx stops in-flight simulations at a clean cycle boundary
+// and marks the unfinished points. Whenever any point carries an error
+// the returned slice is still fully populated — healthy points hold
+// normal results — and the second return value joins every per-point
+// error, so callers that only check err keep their old abort semantics.
+func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, error) {
 	out := make([]*PointResult, len(points))
 	if len(points) == 0 {
 		return out, nil
 	}
+
+	// Validate every point before any work starts, and report every
+	// invalid point — not just the first — so a misbuilt grid is fixed
+	// in one round trip.
+	var verrs []error
+	for i := range points {
+		if err := points[i].Cfg.Validate(); err != nil {
+			verrs = append(verrs, fmt.Errorf("sweep: point %q: %w", points[i].Label, err))
+		}
+	}
+	if len(verrs) > 0 {
+		return nil, errors.Join(verrs...)
+	}
 	r.ctr.begin(len(points))
 
-	// Resolve keys, seeds, cache hits and in-batch duplicates up front,
-	// so the job list is fixed before any worker starts.
+	// Resolve keys, seeds, cache/journal hits and in-batch duplicates up
+	// front, so the job list is fixed before any worker starts.
 	type pointState struct {
 		pr      *PointResult
 		pending int // replications still running; -1 = alias or cache hit
 		aliasOf int // index of the identical earlier point, or -1
+		failed  bool
 	}
 	states := make([]pointState, len(points))
 	byKey := make(map[uint64]int, len(points))
@@ -133,9 +214,6 @@ func (r *Runner) Run(points []Point) ([]*PointResult, error) {
 	var jobs []job
 	for i := range points {
 		p := &points[i]
-		if err := p.Cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("sweep: point %q: %w", p.Label, err)
-		}
 		key := pointKey(p, r.RootSeed)
 		states[i].aliasOf = -1
 		if j, ok := byKey[key]; ok {
@@ -160,6 +238,22 @@ func (r *Runner) Run(points []Point) ([]*PointResult, error) {
 				continue
 			}
 		}
+		if r.Journal != nil {
+			if runs, ok := r.Journal.get(key); ok && len(runs) == p.reps() {
+				// Resume: the journaled replications restore exactly, and
+				// aggregation in replication order reproduces the pooled
+				// statistics bit for bit.
+				pr.Runs = runs
+				pr.Agg = simnet.Aggregate(runs, p.Cfg.Stages)
+				states[i].pending = -1
+				if r.Cache != nil {
+					r.Cache.put(key, pr)
+				}
+				r.ctr.pointDone(pr)
+				r.report(pr)
+				continue
+			}
+		}
 		states[i].pending = p.reps()
 		for rep := 0; rep < p.reps(); rep++ {
 			jobs = append(jobs, job{pi: i, rep: rep})
@@ -168,11 +262,13 @@ func (r *Runner) Run(points []Point) ([]*PointResult, error) {
 
 	// Bounded worker pool over (point, replication) jobs: replication
 	// granularity keeps the pool busy even when the batch has fewer
-	// points than workers.
+	// points than workers. Workers always drain the job channel — on
+	// cancellation or per-point failure the remaining jobs resolve
+	// instantly instead of blocking the feeder.
 	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		mu         sync.Mutex
+		journalErr error
+		wg         sync.WaitGroup
 	)
 	jobCh := make(chan job)
 	workers := r.parallelism()
@@ -184,41 +280,65 @@ func (r *Runner) Run(points []Point) ([]*PointResult, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				mu.Lock()
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
-					continue
-				}
 				st := &states[j.pi]
-				cfg := st.pr.Point.Cfg
-				cfg.Seed = simnet.SplitSeed(st.pr.Seed, uint64(j.rep))
-				res, err := runEngine(st.pr.Point.Engine, &cfg)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("sweep: point %q rep %d: %w", st.pr.Point.Label, j.rep, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				st.pr.Runs[j.rep] = res
-				r.ctr.repDone(res)
 				mu.Lock()
+				skip := st.failed
+				mu.Unlock()
+				var res *simnet.Result
+				var err error
+				if err = ctx.Err(); err == nil && !skip {
+					// Each replication re-derives its seed from the point's
+					// canonical key, so the result cannot depend on worker
+					// scheduling, retries, or batch composition.
+					cfg := st.pr.Point.Cfg
+					cfg.Seed = simnet.SplitSeed(st.pr.Seed, uint64(j.rep))
+					res, err = r.attempt(ctx, st.pr.Point.Engine, &cfg)
+				}
+				if res != nil {
+					st.pr.Runs[j.rep] = res // partial truncated results kept for inspection
+					if err == nil {
+						r.ctr.repDone(res)
+					}
+				}
+				mu.Lock()
+				if err != nil {
+					st.failed = true
+					if st.pr.Err == nil {
+						st.pr.Err = fmt.Errorf("sweep: point %q rep %d: %w", st.pr.Point.Label, j.rep, err)
+					}
+				}
 				st.pending--
 				last := st.pending == 0
+				failed := st.failed
 				mu.Unlock()
-				if last {
-					// Aggregation iterates replications in order, so the
-					// pooled statistics do not depend on which worker
-					// finished last.
-					st.pr.Agg = simnet.Aggregate(st.pr.Runs, st.pr.Point.Cfg.Stages)
-					if r.Cache != nil {
-						r.Cache.put(st.pr.Key, st.pr)
-					}
-					r.ctr.pointDone(st.pr)
-					r.report(st.pr)
+				if !last {
+					continue
 				}
+				if failed {
+					r.ctr.pointFailed()
+					r.report(st.pr)
+					continue
+				}
+				// Aggregation iterates replications in order, so the
+				// pooled statistics do not depend on which worker
+				// finished last.
+				st.pr.Agg = simnet.Aggregate(st.pr.Runs, st.pr.Point.Cfg.Stages)
+				if r.Cache != nil {
+					r.Cache.put(st.pr.Key, st.pr)
+				}
+				if r.Journal != nil {
+					// Errorless completions are deterministic — including
+					// saturation truncations — so they are safe to replay.
+					if jerr := r.Journal.append(st.pr.Key, st.pr.Point.Label, st.pr.Runs); jerr != nil {
+						mu.Lock()
+						if journalErr == nil {
+							journalErr = jerr
+						}
+						mu.Unlock()
+					}
+				}
+				r.ctr.pointDone(st.pr)
+				r.report(st.pr)
 			}
 		}()
 	}
@@ -227,10 +347,8 @@ func (r *Runner) Run(points []Point) ([]*PointResult, error) {
 	}
 	close(jobCh)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
 
+	var errs []error
 	for i := range points {
 		st := &states[i]
 		if st.aliasOf >= 0 {
@@ -242,8 +360,14 @@ func (r *Runner) Run(points []Point) ([]*PointResult, error) {
 			continue
 		}
 		out[i] = st.pr
+		if st.pr.Err != nil {
+			errs = append(errs, st.pr.Err)
+		}
 	}
-	return out, nil
+	if journalErr != nil {
+		errs = append(errs, journalErr)
+	}
+	return out, errors.Join(errs...)
 }
 
 func (r *Runner) report(pr *PointResult) {
@@ -252,39 +376,43 @@ func (r *Runner) report(pr *PointResult) {
 	}
 }
 
-// runEngine executes one replication on the selected engine, always via
-// the streaming arrival path.
-func runEngine(e Engine, cfg *simnet.Config) (*simnet.Result, error) {
+// runEngineCtx executes one replication on the selected engine, always
+// via the streaming arrival path, honouring ctx cancellation.
+func runEngineCtx(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Result, error) {
 	if e == Literal {
 		src, err := simnet.NewTraceStream(cfg, 0)
 		if err != nil {
 			return nil, err
 		}
-		return simnet.RunLiteralSource(cfg, src)
+		return simnet.RunLiteralSourceCtx(ctx, cfg, src)
 	}
-	return simnet.Run(cfg)
+	return simnet.RunCtx(ctx, cfg)
 }
 
 // Counters accumulates sweep progress. All methods are safe for
 // concurrent use.
 type Counters struct {
-	mu         sync.Mutex
-	start      time.Time
-	pointsWant int64
-	pointsDone int64
-	repsDone   int64
-	messages   int64
-	dropped    int64
+	mu           sync.Mutex
+	start        time.Time
+	pointsWant   int64
+	pointsDone   int64
+	pointsFailed int64
+	repsDone     int64
+	retries      int64
+	messages     int64
+	dropped      int64
 }
 
 // Progress is a point-in-time snapshot of a sweep's counters.
 type Progress struct {
-	PointsDone  int64
-	PointsTotal int64
-	RepsDone    int64
-	Messages    int64 // measured messages over all completed replications
-	Dropped     int64 // messages lost to full buffers
-	Elapsed     time.Duration
+	PointsDone   int64
+	PointsFailed int64 // points that ended with a PointResult.Err
+	PointsTotal  int64
+	RepsDone     int64
+	Retries      int64 // replication retries after panics or errors
+	Messages     int64 // measured messages over all completed replications
+	Dropped      int64 // messages lost to full buffers
+	Elapsed      time.Duration
 	// MessagesPerSec is the cumulative measured-message throughput.
 	MessagesPerSec float64
 }
@@ -312,6 +440,18 @@ func (c *Counters) pointDone(pr *PointResult) {
 	c.pointsDone++
 }
 
+func (c *Counters) pointFailed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pointsFailed++
+}
+
+func (c *Counters) retried() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retries++
+}
+
 // Snapshot returns the current progress.
 func (c *Counters) Snapshot() Progress {
 	c.mu.Lock()
@@ -321,12 +461,14 @@ func (c *Counters) Snapshot() Progress {
 		elapsed = time.Since(c.start)
 	}
 	p := Progress{
-		PointsDone:  c.pointsDone,
-		PointsTotal: c.pointsWant,
-		RepsDone:    c.repsDone,
-		Messages:    c.messages,
-		Dropped:     c.dropped,
-		Elapsed:     elapsed,
+		PointsDone:   c.pointsDone,
+		PointsFailed: c.pointsFailed,
+		PointsTotal:  c.pointsWant,
+		RepsDone:     c.repsDone,
+		Retries:      c.retries,
+		Messages:     c.messages,
+		Dropped:      c.dropped,
+		Elapsed:      elapsed,
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		p.MessagesPerSec = float64(c.messages) / s

@@ -176,13 +176,26 @@ func TestLiteralEngineSweep(t *testing.T) {
 	}
 }
 
-// TestValidationError: an invalid point aborts the batch with its label.
+// TestValidationError: invalid points abort the batch before any work,
+// and every invalid point is named in the one joined error.
 func TestValidationError(t *testing.T) {
-	pts := quickPoints(1)
-	pts[1].Cfg.P = 1.5
-	_, err := (&Runner{}).Run(pts)
-	if err == nil || !strings.Contains(err.Error(), pts[1].Label) {
-		t.Fatalf("want validation error naming the point, got %v", err)
+	pts := quickPoints(2)
+	pts[0].Cfg.P = 1.5
+	pts[2].Cfg.K = 0
+	prs, err := (&Runner{}).Run(pts)
+	if err == nil {
+		t.Fatal("want validation error")
+	}
+	if prs != nil {
+		t.Fatal("validation failure must not return results")
+	}
+	for _, i := range []int{0, 2} {
+		if !strings.Contains(err.Error(), pts[i].Label) {
+			t.Errorf("joined error misses invalid point %q: %v", pts[i].Label, err)
+		}
+	}
+	if strings.Contains(err.Error(), pts[1].Label) {
+		t.Errorf("joined error names the valid point %q: %v", pts[1].Label, err)
 	}
 	// Unstable load is caught too (ρ ≥ 1 with infinite buffers).
 	pts2 := quickPoints(1)
