@@ -8,6 +8,12 @@
 //	banyansim -k 2 -n 6 -p 0.5 [-m 4 | -geom 0.25] [-b 2] [-q 0.1]
 //	          [-cycles 20000] [-warmup 2000] [-seed 1]
 //	          [-engine fast|literal] [-buffers 4] [-hist]
+//	          [-sim-stats] [-debug-addr :6060]
+//
+// -sim-stats attaches an engine probe (cycles/sec, free-list hit rate,
+// per-stage backlog high-water marks) and prints its summary to stderr;
+// -debug-addr serves the probe's metrics plus pprof over HTTP while the
+// simulation runs. Neither changes any simulated number.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 
 	"banyan"
+	"banyan/internal/obs"
 	"banyan/internal/textplot"
 )
 
@@ -38,6 +45,9 @@ func main() {
 		buffers = flag.Int("buffers", 0, "finite buffer capacity per queue (literal engine; 0 = infinite)")
 		hist    = flag.Bool("hist", false, "print the total-wait histogram with the gamma overlay")
 		reps    = flag.Int("replications", 0, "run N independent replications (fast engine) and report confidence intervals")
+
+		simStats  = flag.Bool("sim-stats", false, "collect simulator-internal statistics and print a summary at exit")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while the simulation runs")
 	)
 	flag.Parse()
 
@@ -56,6 +66,28 @@ func main() {
 	cfg := &banyan.SimConfig{
 		K: *k, Stages: *n, P: *p, Bulk: *b, Q: *q, Service: svc,
 		Cycles: *cycles, Warmup: *warmup, Seed: *seed, BufferCap: *buffers,
+	}
+
+	// Observability: the probe rides on the config (excluded from result
+	// statistics and seeding), the debug server exposes it live.
+	var probe *obs.SimProbe
+	if *simStats || *debugAddr != "" {
+		probe = obs.NewSimProbe()
+		cfg.Probe = probe
+	}
+	if *simStats {
+		defer probe.WriteSummary(os.Stderr)
+	}
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		probe.Register(reg)
+		reg.PublishExpvar("banyan")
+		srv, err := obs.StartDebugServer(*debugAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars and /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	if *reps > 0 {

@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	designer -pes 256 -p 0.5 [-m 1] [-slo 30] [-radices 2,4,8]
+//	designer -pes 256 -p 0.5 [-m 1] [-slo 30] [-radices 2,4,8] [-debug-addr :6060]
+//
+// designer is purely analytic (no simulation), so -debug-addr exposes
+// only expvar and pprof — useful when profiling wide radix/SLO grids.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"strings"
 
 	"banyan/internal/design"
+	"banyan/internal/obs"
 	"banyan/internal/textplot"
 )
 
@@ -29,7 +33,17 @@ func main() {
 	m := flag.Int("m", 1, "message size in packets")
 	slo := flag.Float64("slo", 30, "p99 transit objective, cycles")
 	radixList := flag.String("radices", "2,4,8", "candidate switch radices")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address while the study runs")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug: serving /debug/vars and /debug/pprof on http://%s\n", srv.Addr())
+	}
 
 	var radices []int
 	for _, s := range strings.Split(*radixList, ",") {

@@ -13,7 +13,15 @@
 //
 // Usage:
 //
-//	extensions [-quick] [-seed N]
+//	extensions [-quick] [-seed N] [-parallelism N] [-progress]
+//	           [-timeout D] [-point-budget D] [-max-retries N]
+//	           [-checkpoint FILE] [-resume]
+//	           [-events FILE] [-debug-addr :6060] [-sim-stats]
+//
+// The simulation-backed extensions (distribution check, finite buffers,
+// heavy traffic, bursty sources) run on one shared sweep runner, so the
+// usual fault-tolerance and observability flags apply; the exact
+// Markov-chain sections are purely numeric and run inline.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"banyan"
 	"banyan/internal/experiments"
 	"banyan/internal/stages"
+	"banyan/internal/sweep"
 	"banyan/internal/textplot"
 )
 
@@ -34,6 +43,10 @@ func main() {
 	log.SetPrefix("extensions: ")
 	quick := flag.Bool("quick", false, "use the small test-sized simulation scale")
 	seed := flag.Uint64("seed", 0, "override the base random seed")
+	parallelism := flag.Int("parallelism", 0, "simulation worker count (0 = all cores); results are identical at every setting")
+	progress := flag.Bool("progress", false, "log per-point sweep progress to stderr")
+	var opts sweep.RunOptions
+	opts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	sc := experiments.Full()
@@ -43,6 +56,17 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.Parallelism = *parallelism
+	sc.Runner = sc.NewRunner()
+	if *progress {
+		sc.Runner.Reporter = sweep.NewLogReporter(os.Stderr)
+	}
+	ctx, cleanup, err := opts.Apply(sc.Runner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	sc.Ctx = ctx
 
 	start := time.Now()
 	chk, err := experiments.DistributionCheck(sc)

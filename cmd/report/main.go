@@ -7,7 +7,16 @@
 //
 // Usage:
 //
-//	report [-o report.md] [-csv DIR] [-quick] [-seed N]
+//	report [-o report.md] [-csv DIR] [-quick] [-seed N] [-parallelism N] [-progress]
+//	       [-timeout D] [-point-budget D] [-max-retries N]
+//	       [-checkpoint FILE] [-resume]
+//	       [-events FILE] [-debug-addr :6060] [-sim-stats]
+//
+// A full regeneration is the longest-running entry point in the repo, so
+// it carries the whole shared sweep surface: -checkpoint/-resume journal
+// completed points across interruptions, -progress logs windowed
+// throughput and ETA, and -events/-debug-addr/-sim-stats expose the
+// structured event log, live metrics+pprof, and engine internals.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"time"
 
 	"banyan/internal/experiments"
+	"banyan/internal/sweep"
 )
 
 type section struct {
@@ -35,6 +45,10 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figure CSVs into this directory")
 	quick := flag.Bool("quick", false, "use the small test-sized simulation scale")
 	seed := flag.Uint64("seed", 0, "override the base random seed")
+	parallelism := flag.Int("parallelism", 0, "simulation worker count (0 = all cores); results are identical at every setting")
+	progress := flag.Bool("progress", false, "log per-point sweep progress to stderr")
+	var opts sweep.RunOptions
+	opts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	sc := experiments.Full()
@@ -44,6 +58,20 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.Parallelism = *parallelism
+	// One shared runner across every section: the total tables and their
+	// figures sweep identical operating points, so the cache halves the
+	// simulation work, and the counters/events span the whole report.
+	sc.Runner = sc.NewRunner()
+	if *progress {
+		sc.Runner.Reporter = sweep.NewLogReporter(os.Stderr)
+	}
+	ctx, cleanup, err := opts.Apply(sc.Runner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	sc.Ctx = ctx
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic count. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable level with a high-water mark. The
+// zero value is ready to use.
+type Gauge struct {
+	v  atomic.Int64
+	hw atomic.Int64
+}
+
+// Set stores the current level and advances the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	g.max(v)
+}
+
+// Add adjusts the level by delta and advances the high-water mark.
+func (g *Gauge) Add(delta int64) { g.max(g.v.Add(delta)) }
+
+func (g *Gauge) max(v int64) {
+	for {
+		cur := g.hw.Load()
+		if v <= cur || g.hw.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// High returns the largest level ever observed.
+func (g *Gauge) High() int64 { return g.hw.Load() }
+
+// meterWindow is the trailing span, in seconds, a Meter's Rate covers.
+const meterWindow = 10
+
+// Meter accumulates a count and reports its rate over a trailing
+// window of complete seconds, so the read-out tracks *current*
+// throughput instead of averaging over the whole (possibly mostly
+// idle) process lifetime. The zero value is ready to use.
+type Meter struct {
+	// Now replaces time.Now for tests; nil means time.Now.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	total int64
+	// One bucket per second over the window plus the in-progress
+	// second, addressed by unix second modulo the ring size.
+	buckets [meterWindow + 1]int64
+	secs    [meterWindow + 1]int64
+	first   int64 // unix second of the first Add; 0 = never
+}
+
+func (m *Meter) now() time.Time {
+	if m.Now != nil {
+		return m.Now()
+	}
+	return time.Now()
+}
+
+// Add records n events at the current time.
+func (m *Meter) Add(n int64) {
+	sec := m.now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.first == 0 {
+		m.first = sec
+	}
+	i := sec % int64(len(m.buckets))
+	if m.secs[i] != sec {
+		m.secs[i] = sec
+		m.buckets[i] = 0
+	}
+	m.buckets[i] += n
+	m.total += n
+}
+
+// Total returns the cumulative count.
+func (m *Meter) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Rate returns events per second over the trailing window of complete
+// seconds (the in-progress second is excluded so a fresh burst does
+// not extrapolate). Zero until a full second of history exists.
+func (m *Meter) Rate() float64 {
+	sec := m.now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.first == 0 || sec <= m.first {
+		return 0
+	}
+	span := sec - m.first
+	if span > meterWindow {
+		span = meterWindow
+	}
+	var sum int64
+	for i := range m.buckets {
+		if s := m.secs[i]; s >= sec-span && s < sec {
+			sum += m.buckets[i]
+		}
+	}
+	return float64(sum) / float64(span)
+}
+
+// Registry is an ordered set of named metric read-outs. Every metric
+// is registered as a func() float64, so counters, gauges, meters and
+// derived values (rates, ratios, ETAs) all read out uniformly.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	vars  map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]func() float64)}
+}
+
+// Func registers a named read-out. Re-registering a name replaces it.
+func (r *Registry) Func(name string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.vars[name] = f
+}
+
+// Counter creates, registers and returns a counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.Func(name, func() float64 { return float64(c.Load()) })
+	return c
+}
+
+// Gauge creates and registers a gauge under name (current level) and
+// name+".high" (high-water mark).
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.Func(name, func() float64 { return float64(g.Load()) })
+	r.Func(name+".high", func() float64 { return float64(g.High()) })
+	return g
+}
+
+// Meter creates and registers a meter under name (cumulative total)
+// and name+".per_sec" (windowed rate).
+func (r *Registry) Meter(name string) *Meter {
+	m := &Meter{}
+	r.Func(name, func() float64 { return float64(m.Total()) })
+	r.Func(name+".per_sec", m.Rate)
+	return m
+}
+
+// Snapshot evaluates every registered read-out.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	vars := make([]func() float64, len(names))
+	for i, n := range names {
+		vars[i] = r.vars[n]
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64, len(names))
+	for i, n := range names {
+		out[n] = vars[i]()
+	}
+	return out
+}
+
+// WriteText renders the registry as sorted "name value" lines — the
+// /metrics wire format.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %v\n", n, snap[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expvarHolders lets PublishExpvar be called more than once per process
+// (expvar.Publish panics on duplicate names): the published expvar
+// reads through an indirection that later calls re-point.
+var (
+	expvarMu      sync.Mutex
+	expvarHolders = map[string]*atomic.Pointer[Registry]{}
+)
+
+// PublishExpvar exposes the registry's snapshot as a single expvar
+// (visible at /debug/vars) under the given name. Publishing another
+// registry under the same name re-points the existing expvar.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if h, ok := expvarHolders[name]; ok {
+		h.Store(r)
+		return
+	}
+	h := &atomic.Pointer[Registry]{}
+	h.Store(r)
+	expvarHolders[name] = h
+	expvar.Publish(name, expvar.Func(func() any { return h.Load().Snapshot() }))
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 800 {
+		t.Fatalf("counter %d, want 800", c.Load())
+	}
+	if g.Load() != 0 {
+		t.Fatalf("gauge settled at %d, want 0", g.Load())
+	}
+	if g.High() < 1 || g.High() > 8 {
+		t.Fatalf("gauge high water %d out of [1,8]", g.High())
+	}
+	g.Set(42)
+	if g.Load() != 42 || g.High() != 42 {
+		t.Fatalf("set: load %d high %d", g.Load(), g.High())
+	}
+}
+
+// fakeClock steps a Meter through synthetic seconds.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestMeterWindowedRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	m := &Meter{Now: clk.now}
+	if m.Rate() != 0 {
+		t.Fatal("empty meter must rate 0")
+	}
+	// 3 seconds at 100/s.
+	for s := 0; s < 3; s++ {
+		m.Add(100)
+		clk.advance(time.Second)
+	}
+	if got := m.Rate(); got != 100 {
+		t.Fatalf("steady rate %g, want 100", got)
+	}
+	if m.Total() != 300 {
+		t.Fatalf("total %d, want 300", m.Total())
+	}
+	// Go idle: the windowed rate decays to zero while the total stays.
+	clk.advance((meterWindow + 2) * time.Second)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("idle rate %g, want 0", got)
+	}
+	if m.Total() != 300 {
+		t.Fatalf("idle total %d, want 300", m.Total())
+	}
+	// A new burst is measured over the window, not the whole lifetime —
+	// this is the property the old cumulative sweep counters lacked.
+	for s := 0; s < meterWindow; s++ {
+		m.Add(50)
+		clk.advance(time.Second)
+	}
+	if got := m.Rate(); got != 50 {
+		t.Fatalf("post-idle rate %g, want 50", got)
+	}
+}
+
+func TestRegistryTextAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("points.done")
+	g := reg.Gauge("inflight")
+	c.Add(7)
+	g.Set(3)
+	reg.Func("custom.ratio", func() float64 { return 0.5 })
+
+	snap := reg.Snapshot()
+	if snap["points.done"] != 7 || snap["inflight"] != 3 || snap["inflight.high"] != 3 || snap["custom.ratio"] != 0.5 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"points.done 7\n", "inflight 3\n", "custom.ratio 0.5\n"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Re-publishing under one expvar name must not panic and must
+	// re-point to the newest registry.
+	reg.PublishExpvar("obs_test")
+	reg2 := NewRegistry()
+	reg2.Counter("other").Inc()
+	reg2.PublishExpvar("obs_test")
+}
+
+func TestSimProbeAggregation(t *testing.T) {
+	p := NewSimProbe()
+	p.AddCycles(1000)
+	p.Record(RunSample{
+		Cycles: 24, BlockPulls: 3, FreeListHits: 90, SlotAllocs: 10,
+		Messages: 500, MaxInFlight: 40, StageHighWater: []int64{4, 7, 2},
+	})
+	p.Record(RunSample{
+		Cycles: 512, BlockPulls: 1, FreeListHits: 10, SlotAllocs: 90,
+		Messages: 100, MaxInFlight: 15, StageHighWater: []int64{9, 1, 3, 8},
+	})
+	s := p.Snapshot()
+	if s.Runs != 2 || s.Cycles != 1536 || s.BlockPulls != 4 || s.Messages != 600 {
+		t.Fatalf("aggregate %+v", s)
+	}
+	if s.FreeListRate != 0.5 {
+		t.Fatalf("free-list rate %g, want 0.5", s.FreeListRate)
+	}
+	if s.MaxInFlight != 40 {
+		t.Fatalf("max in flight %d, want 40", s.MaxInFlight)
+	}
+	want := []int64{9, 7, 3, 8}
+	if len(s.StageHighWater) != len(want) {
+		t.Fatalf("stage high water %v, want %v", s.StageHighWater, want)
+	}
+	for i := range want {
+		if s.StageHighWater[i] != want[i] {
+			t.Fatalf("stage high water %v, want %v", s.StageHighWater, want)
+		}
+	}
+
+	reg := NewRegistry()
+	p.Register(reg)
+	snap := reg.Snapshot()
+	if snap["sim.runs"] != 2 || snap["sim.stage_high_water_max"] != 9 {
+		t.Fatalf("registry view %v", snap)
+	}
+	var sb strings.Builder
+	if err := p.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "free-list hit rate 50.0%") {
+		t.Fatalf("summary missing hit rate:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,37 @@
+// Package obs is the repo's zero-dependency observability layer: it
+// tells you where a long Monte-Carlo sweep spends its time and memory
+// while the sweep is still running, without perturbing a single
+// simulated number.
+//
+// Three building blocks, all standard library only:
+//
+//   - Structured events (events.go): every sweep-point lifecycle
+//     transition (started, retried, truncated, journaled, done, failed,
+//     cached, resumed, aliased) is emitted as one JSON line through a
+//     Sink — to a file, to stderr, or into a bounded in-memory ring
+//     served over HTTP. Events carry the canonical config key, seed,
+//     attempt number, wall time, cycles simulated, message and drop
+//     counts.
+//
+//   - Metrics (metrics.go): a small registry of named read-out
+//     functions backed by Counter, Gauge and windowed-rate Meter
+//     primitives. The registry renders as plain "name value" text (the
+//     /metrics endpoint) and can publish itself as one expvar under
+//     /debug/vars.
+//
+//   - Engine instrumentation (probe.go): a SimProbe accumulates cheap
+//     per-run simulator internals — cycles, schedule-block pulls,
+//     free-list hit rates, per-stage backlog high-water marks — that
+//     the simnet engines flush when a probe is attached to their
+//     Config. The probe never feeds back into the simulation: results
+//     are byte-identical with and without it.
+//
+// debug.go ties the pieces to a live HTTP endpoint (the -debug-addr
+// flag of the sweep binaries): net/http/pprof for CPU/heap profiling of
+// an in-flight sweep, /debug/vars for expvar, /metrics for the
+// registry, /debug/events for the recent event ring.
+//
+// Everything here is observational. Nothing in this package is hashed
+// into sweep point keys, journaled, or allowed to influence engine
+// scheduling, so enabling any of it cannot change experiment output.
+package obs

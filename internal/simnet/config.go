@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"banyan/internal/dist"
+	"banyan/internal/obs"
 	"banyan/internal/traffic"
 )
 
@@ -133,6 +134,14 @@ type Config struct {
 	// saturated; the run is truncated and flagged rather than left to
 	// crawl through an unbounded backlog.
 	DrainCycles int
+
+	// Probe, when non-nil, receives engine instrumentation: cycles
+	// simulated, schedule-block pulls, free-list hit rates, in-network
+	// and per-stage backlog high-water marks. Purely observational — it
+	// is deliberately excluded from sweep config hashing and never
+	// influences the random streams or the statistics, so runs are
+	// bit-identical with and without it.
+	Probe *obs.SimProbe
 }
 
 func (c *Config) bulk() int {

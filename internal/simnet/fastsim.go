@@ -238,15 +238,28 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 		pending[s] = newCycleBuckets()
 	}
 
+	var t int64
+	var pc *runProbe
+	if cfg.Probe != nil {
+		pc = newRunProbe(n)
+		defer func() { pc.flush(cfg.Probe, t, res) }()
+	}
+
 	var slots []fastMsg
 	var freeSlots []int32
 	alloc := func() int32 {
 		if len(freeSlots) > 0 {
 			i := freeSlots[len(freeSlots)-1]
 			freeSlots = freeSlots[:len(freeSlots)-1]
+			if pc != nil {
+				pc.freeHits++
+			}
 			return i
 		}
 		slots = append(slots, fastMsg{})
+		if pc != nil {
+			pc.slotAllocs++
+		}
 		return int32(len(slots) - 1)
 	}
 
@@ -258,8 +271,11 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 	maxInFlight := cfg.maxInFlight()
 	drainLimit := cfg.drainLimit(meta.Horizon)
 
-	for t := int64(0); ; t++ {
+	for ; ; t++ {
 		if t&ctxCheckMask == 0 {
+			if pc != nil {
+				pc.tick(cfg.Probe, t)
+			}
 			if err := ctx.Err(); err != nil {
 				res.truncate(t, false)
 				return res, err
@@ -286,6 +302,9 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 				exhausted = true
 				break
 			}
+			if pc != nil {
+				pc.blockPulls++
+			}
 			covered = int64(blk.End)
 			res.Offered += int64(blk.Len())
 			for i := 0; i < blk.Len(); i++ {
@@ -300,6 +319,9 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 					m.waits = m.waits[:n]
 				}
 				pending[0].push(int64(blk.T[i]), si)
+				if pc != nil {
+					pc.enter(0)
+				}
 				inFlight++
 			}
 		}
@@ -316,8 +338,14 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 				pending[stage].recycle(bk)
 				continue
 			}
+			if pc != nil {
+				pc.leave(stage, int64(len(bk)))
+			}
 			if stage == 0 {
 				active += int64(len(bk))
+				if pc != nil {
+					pc.active(active)
+				}
 			}
 			// Random service order among simultaneous arrivals.
 			rng.Shuffle(len(bk), func(a, b int) { bk[a], bk[b] = bk[b], bk[a] })
@@ -349,6 +377,9 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 				if stage+1 < n {
 					m.row = port
 					pending[stage+1].push(s+1, si)
+					if pc != nil {
+						pc.enter(stage + 1)
+					}
 				} else {
 					if m.meas {
 						res.Messages++

@@ -101,15 +101,28 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 		queues[s] = make([]literalQueue, meta.Rows)
 	}
 
+	var t int64
+	var pc *runProbe
+	if cfg.Probe != nil {
+		pc = newRunProbe(n)
+		defer func() { pc.flush(cfg.Probe, t, res) }()
+	}
+
 	var slots []literalMsg
 	var freeSlots []int32
 	alloc := func() int32 {
 		if len(freeSlots) > 0 {
 			i := freeSlots[len(freeSlots)-1]
 			freeSlots = freeSlots[:len(freeSlots)-1]
+			if pc != nil {
+				pc.freeHits++
+			}
 			return i
 		}
 		slots = append(slots, literalMsg{})
+		if pc != nil {
+			pc.slotAllocs++
+		}
 		return int32(len(slots) - 1)
 	}
 
@@ -135,6 +148,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 		m.row = row
 		m.arrivedAt = int32(t)
 		q.push(si)
+		if pc != nil {
+			pc.enter(st - 1)
+		}
 		return false
 	}
 
@@ -163,8 +179,11 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 	bufHead := 0
 	maxInFlight := cfg.maxInFlight()
 	drainLimit := cfg.drainLimit(meta.Horizon)
-	for t := int64(0); ; t++ {
+	for ; ; t++ {
 		if t&ctxCheckMask == 0 {
+			if pc != nil {
+				pc.tick(cfg.Probe, t)
+			}
 			if err := ctx.Err(); err != nil {
 				res.truncate(t, false)
 				return res, err
@@ -186,6 +205,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 			if blk == nil {
 				exhausted = true
 				break
+			}
+			if pc != nil {
+				pc.blockPulls++
 			}
 			covered = int64(blk.End)
 			res.Offered += int64(blk.Len())
@@ -224,6 +246,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 		for _, si := range batch {
 			if !enter(si, 1, t) {
 				inNetwork++
+				if pc != nil {
+					pc.active(inNetwork)
+				}
 			}
 		}
 
@@ -247,6 +272,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 					continue
 				}
 				si := q.pop()
+				if pc != nil {
+					pc.leave(s, 1)
+				}
 				m := &slots[si]
 				w := int32(t) - m.arrivedAt
 				m.wsum += w

@@ -1,0 +1,69 @@
+package simnet
+
+import "banyan/internal/obs"
+
+// runProbe accumulates one run's engine instrumentation in plain local
+// counters — no synchronization on the hot path — and flushes them to
+// the shared obs.SimProbe once when the run finishes (plus periodic
+// cycle ticks on the context-poll cadence, so the cycles/sec meter is
+// live). It exists only when Config.Probe is set; a nil runProbe means
+// the engines skip every instrumentation branch.
+//
+// "Backlog" per stage counts messages currently held for that stage:
+// queued at a stage's output ports in the literal engine, scheduled in
+// a stage's pending buckets in the fast engine. Either way the
+// high-water mark is the figure that sizes real buffers.
+type runProbe struct {
+	lastFlush  int64 // cycles already reported via AddCycles
+	blockPulls int64
+	freeHits   int64
+	slotAllocs int64
+	maxActive  int64
+	stageLoad  []int64
+	stageHW    []int64
+}
+
+func newRunProbe(stages int) *runProbe {
+	return &runProbe{stageLoad: make([]int64, stages), stageHW: make([]int64, stages)}
+}
+
+// enter records one message arriving at a stage's backlog.
+func (pc *runProbe) enter(stage int) {
+	v := pc.stageLoad[stage] + 1
+	pc.stageLoad[stage] = v
+	if v > pc.stageHW[stage] {
+		pc.stageHW[stage] = v
+	}
+}
+
+// leave records n messages departing a stage's backlog.
+func (pc *runProbe) leave(stage int, n int64) {
+	pc.stageLoad[stage] -= n
+}
+
+// active tracks the in-network backlog high-water mark.
+func (pc *runProbe) active(v int64) {
+	if v > pc.maxActive {
+		pc.maxActive = v
+	}
+}
+
+// tick reports the cycles simulated since the last tick to the shared
+// probe; called on the engines' context-poll cadence.
+func (pc *runProbe) tick(p *obs.SimProbe, t int64) {
+	p.AddCycles(t - pc.lastFlush)
+	pc.lastFlush = t
+}
+
+// flush hands the run's sample to the shared probe.
+func (pc *runProbe) flush(p *obs.SimProbe, t int64, res *Result) {
+	p.Record(obs.RunSample{
+		Cycles:         t - pc.lastFlush,
+		BlockPulls:     pc.blockPulls,
+		FreeListHits:   pc.freeHits,
+		SlotAllocs:     pc.slotAllocs,
+		Messages:       res.Messages,
+		MaxInFlight:    pc.maxActive,
+		StageHighWater: pc.stageHW,
+	})
+}

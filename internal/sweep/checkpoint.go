@@ -59,18 +59,32 @@ func OpenJournal(path string) (*Journal, error) {
 	j := &Journal{f: f, entries: make(map[uint64]journalEntry)}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	// Wrap ScanLines to capture, per line, the bytes actually consumed
+	// and whether the line still had its terminating newline. ScanLines
+	// strips a '\r' before the '\n', so the obvious len(line)+1 offset
+	// arithmetic undercounts CRLF files — and a short validEnd would
+	// truncate into a valid entry when dropping a torn final line. The
+	// captured advance is exact for either line ending.
+	var adv int64
+	var terminated bool
+	sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		advance, token, err := bufio.ScanLines(data, atEOF)
+		if advance > 0 || token != nil {
+			adv = int64(advance)
+			terminated = advance > 0 && data[advance-1] == '\n'
+		}
+		return advance, token, err
+	})
 	var decodeErr error
 	errLine, lines := 0, 0
-	var off, validEnd, lastStart int64
-	var lastKey uint64
-	lastAccepted := false
+	var off, validEnd int64
 	for sc.Scan() {
 		line := sc.Bytes()
-		lastStart = off
-		off += int64(len(line)) + 1 // the scanner strips one '\n'
+		off += adv
 		if len(line) == 0 {
-			validEnd = off
-			lastAccepted = false
+			if terminated {
+				validEnd = off
+			}
 			continue
 		}
 		lines++
@@ -78,48 +92,37 @@ func OpenJournal(path string) (*Journal, error) {
 		if err := json.Unmarshal(line, &e); err != nil {
 			decodeErr = fmt.Errorf("sweep: journal %s line %d: %w", path, lines, err)
 			errLine = lines
-			lastAccepted = false
+			continue
+		}
+		if !terminated {
+			// A final line that parses but lost its newline is still
+			// torn: appending after it would corrupt the next entry.
+			// Leaving validEnd behind drops it below.
 			continue
 		}
 		validEnd = off
 		if e.V != journalVersion {
-			lastAccepted = false
 			continue // written by an incompatible version; resimulate
 		}
 		j.entries[e.Key] = e
-		lastKey = e.Key
-		lastAccepted = true
 	}
 	if err := sc.Err(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("sweep: read journal %s: %w", path, err)
 	}
-	// A torn final line is the footprint of a kill mid-append: drop it
-	// (that point resimulates) so new appends start on a fresh line. A
-	// decode failure anywhere else means the file is not a journal —
-	// refuse it rather than append after garbage.
-	if decodeErr != nil {
-		if errLine != lines {
-			f.Close()
-			return nil, decodeErr
-		}
-		if err := f.Truncate(validEnd); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("sweep: drop torn journal line: %w", err)
-		}
+	// A torn final line — a decode failure or a missing newline — is the
+	// footprint of a kill mid-append: everything past validEnd is
+	// dropped (that point resimulates) so new appends start on a fresh
+	// line. A decode failure anywhere else means the file is not a
+	// journal — refuse it rather than append after garbage.
+	if decodeErr != nil && errLine != lines {
+		f.Close()
+		return nil, decodeErr
 	}
-	// A final line with no terminating newline is also torn, even when
-	// the cut fell exactly after the JSON and it still parses (validEnd
-	// then overshoots the file size by the missing '\n'). Drop it too:
-	// appending after an unterminated line would corrupt the next entry.
 	if st, err := f.Stat(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("sweep: stat journal: %w", err)
-	} else if validEnd > st.Size() {
-		if lastAccepted {
-			delete(j.entries, lastKey)
-		}
-		validEnd = lastStart
+	} else if st.Size() > validEnd {
 		if err := f.Truncate(validEnd); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("sweep: drop torn journal line: %w", err)

@@ -153,6 +153,82 @@ func TestJournalTornLine(t *testing.T) {
 	}
 }
 
+// TestJournalCRLF is the regression test for the CRLF offset bug: the
+// loader's byte accounting assumed "\n" endings while bufio.ScanLines
+// also strips a "\r", so a journal rewritten with CRLF endings (Windows
+// editor, careless transfer) computed validEnd short — and the next
+// append landed mid-entry, corrupting the file.
+func TestJournalCRLF(t *testing.T) {
+	pts := quickPoints(1) // 3 points
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Runner{RootSeed: 7, Journal: j}).Run(pts); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crlf := bytes.ReplaceAll(full, []byte("\n"), []byte("\r\n"))
+
+	// A clean CRLF journal loads fully, and appending to it must not
+	// overwrite the tail of the last entry (the seek position is the
+	// real end of file, not the undercounted one).
+	crlfPath := filepath.Join(dir, "crlf.jsonl")
+	if err := os.WriteFile(crlfPath, crlf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := OpenJournal(crlfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jc.Loaded() != len(pts) {
+		t.Fatalf("CRLF journal loaded %d of %d entries", jc.Loaded(), len(pts))
+	}
+	extra := pts[0]
+	extra.Label = "extra"
+	extra.Cfg.P = 0.3
+	if _, err := (&Runner{RootSeed: 7, Journal: jc}).Run([]Point{extra}); err != nil {
+		t.Fatal(err)
+	}
+	jc.Close()
+	if reopened, err := OpenJournal(crlfPath); err != nil || reopened.Loaded() != len(pts)+1 {
+		t.Fatalf("append after CRLF load corrupted the journal: loaded=%d err=%v", reopened.Loaded(), err)
+	} else {
+		reopened.Close()
+	}
+
+	// Torn final lines on a CRLF journal: truncation must cut exactly at
+	// the end of the intact prefix, not into it.
+	for name, chop := range map[string]int{"mid-json": 10, "newline-only": 1} {
+		torn := filepath.Join(dir, name+"-crlf.jsonl")
+		if err := os.WriteFile(torn, crlf[:len(crlf)-chop], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jt, err := OpenJournal(torn)
+		if err != nil {
+			t.Fatalf("%s: torn CRLF line must be tolerated: %v", name, err)
+		}
+		if jt.Loaded() != len(pts)-1 {
+			t.Fatalf("%s: want %d recovered entries, got %d", name, len(pts)-1, jt.Loaded())
+		}
+		if _, err := (&Runner{RootSeed: 7, Journal: jt}).Run(pts); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		jt.Close()
+		if reopened, err := OpenJournal(torn); err != nil || reopened.Loaded() != len(pts) {
+			t.Fatalf("%s: repaired CRLF journal reload: loaded=%d err=%v", name, reopened.Loaded(), err)
+		} else {
+			reopened.Close()
+		}
+	}
+}
+
 // TestSetupJournal: a non-empty checkpoint requires the explicit resume
 // opt-in.
 func TestSetupJournal(t *testing.T) {

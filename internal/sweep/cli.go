@@ -3,15 +3,21 @@ package sweep
 import (
 	"context"
 	"flag"
+	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"banyan/internal/obs"
 )
 
-// RunOptions bundles the fault-tolerance command-line flags shared by the
-// repo's binaries (tables, figures, calibrate): overall and per-point
-// wall-clock budgets, retries, and the checkpoint journal.
+// RunOptions bundles the fault-tolerance and observability command-line
+// flags shared by the repo's binaries (tables, figures, calibrate,
+// report, extensions): overall and per-point wall-clock budgets,
+// retries, the checkpoint journal, the structured event log, the live
+// debug endpoint, and engine instrumentation.
 type RunOptions struct {
 	// Timeout bounds the whole invocation (0 = none).
 	Timeout time.Duration
@@ -19,25 +25,57 @@ type RunOptions struct {
 	PointBudget time.Duration
 	// Checkpoint is the path of the resume journal ("" = no journal).
 	Checkpoint string
-	// Resume opts in to reusing a non-empty checkpoint journal.
+	// Resume opts in to reusing a non-empty checkpoint journal. Setting
+	// it without Checkpoint is an error: there is nothing to resume
+	// from, and silently ignoring the request is how half a sweep gets
+	// recomputed unnoticed.
 	Resume bool
 	// MaxRetries is the per-replication retry budget.
 	MaxRetries int
+
+	// EventsPath appends one JSON line per point lifecycle event
+	// (started, retried, truncated, journaled, done, failed, cached,
+	// resumed, aliased) to this file; "-" means stderr, "" disables.
+	EventsPath string
+	// DebugAddr serves live observability over HTTP while the run
+	// executes — /metrics, /debug/vars (expvar), /debug/events (recent
+	// event ring) and /debug/pprof — on this address ("" = off).
+	DebugAddr string
+	// SimStats attaches an engine probe to every simulation (free-list
+	// hit rates, block pulls, cycles/sec, per-stage backlog high-water
+	// marks) and prints its summary to stderr at cleanup.
+	SimStats bool
+
+	srv *obs.DebugServer // started by Apply when DebugAddr is set
 }
 
-// RegisterFlags installs the shared fault-tolerance flags on fs.
+// DebugServer returns the live debug server started by Apply, or nil
+// when -debug-addr was not set. Useful for discovering the bound
+// address when the flag used port 0.
+func (o *RunOptions) DebugServer() *obs.DebugServer { return o.srv }
+
+// RegisterFlags installs the shared fault-tolerance and observability
+// flags on fs.
 func (o *RunOptions) RegisterFlags(fs *flag.FlagSet) {
 	fs.DurationVar(&o.Timeout, "timeout", 0, "stop the whole run after this wall-clock duration (e.g. 10m); partial work is checkpointed when -checkpoint is set")
 	fs.DurationVar(&o.PointBudget, "point-budget", 0, "wall-clock budget per simulation replication (e.g. 30s); an over-budget point fails without aborting the batch")
 	fs.StringVar(&o.Checkpoint, "checkpoint", "", "journal completed points to this file so an interrupted run can be resumed with -resume")
 	fs.BoolVar(&o.Resume, "resume", false, "reuse the completed points already in the -checkpoint journal")
 	fs.IntVar(&o.MaxRetries, "max-retries", 1, "retries per replication after a panic or simulation error")
+	fs.StringVar(&o.EventsPath, "events", "", "append structured sweep events as JSON lines to this file (\"-\" = stderr)")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve live /metrics, /debug/vars, /debug/events and /debug/pprof on this address (e.g. :6060) while the run executes")
+	fs.BoolVar(&o.SimStats, "sim-stats", false, "collect simulator-internal statistics (free-list hit rate, per-stage backlog high water) and print a summary at exit")
 }
 
 // Apply configures the runner from the options and returns the run
 // context — cancelled by SIGINT/SIGTERM or the -timeout — plus a cleanup
-// function that releases the signal handler and closes the journal.
+// function that releases the signal handler, stops the debug server,
+// flushes the event log, prints the -sim-stats summary, and closes the
+// journal.
 func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
+	if o.Resume && o.Checkpoint == "" {
+		return nil, nil, fmt.Errorf("sweep: -resume requires -checkpoint; there is no journal to resume from")
+	}
 	r.PointBudget = o.PointBudget
 	r.MaxRetries = o.MaxRetries
 	if o.Checkpoint != "" {
@@ -47,6 +85,51 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 		}
 		r.Journal = j
 	}
+	fail := func(err error) (context.Context, func(), error) {
+		if r.Journal != nil {
+			r.Journal.Close()
+		}
+		return nil, nil, err
+	}
+
+	var sinks obs.MultiSink
+	var eventsFile *os.File
+	if o.EventsPath != "" {
+		w := io.Writer(os.Stderr)
+		if o.EventsPath != "-" {
+			f, err := os.Create(o.EventsPath)
+			if err != nil {
+				return fail(fmt.Errorf("sweep: open events log: %w", err))
+			}
+			eventsFile, w = f, f
+		}
+		sinks = append(sinks, obs.NewJSONLSink(w))
+	}
+	reg := obs.NewRegistry()
+	r.Counters().Register(reg)
+	if o.SimStats {
+		r.Probe = obs.NewSimProbe()
+		r.Probe.Register(reg)
+	}
+	var srv *obs.DebugServer
+	if o.DebugAddr != "" {
+		ring := obs.NewRingSink(256)
+		sinks = append(sinks, ring)
+		reg.PublishExpvar("banyan")
+		s, err := obs.StartDebugServer(o.DebugAddr, reg, ring)
+		if err != nil {
+			if eventsFile != nil {
+				eventsFile.Close()
+			}
+			return fail(fmt.Errorf("sweep: debug server: %w", err))
+		}
+		srv, o.srv = s, s
+		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/events and /debug/pprof on http://%s\n", s.Addr())
+	}
+	if len(sinks) > 0 {
+		r.Events = sinks
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	cancelTimeout := context.CancelFunc(func() {})
 	if o.Timeout > 0 {
@@ -55,6 +138,15 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 	cleanup := func() {
 		cancelTimeout()
 		stop()
+		if srv != nil {
+			srv.Close()
+		}
+		if o.SimStats && r.Probe != nil {
+			r.Probe.WriteSummary(os.Stderr)
+		}
+		if eventsFile != nil {
+			eventsFile.Close()
+		}
 		if r.Journal != nil {
 			r.Journal.Close()
 		}

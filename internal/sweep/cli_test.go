@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestResumeRequiresCheckpoint is the regression test for the silent
+// -resume bug: Apply used to ignore Resume entirely when Checkpoint was
+// unset, so "banyan-tables -resume" quietly recomputed everything.
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	o := &RunOptions{Resume: true}
+	if _, _, err := o.Apply(&Runner{}); err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("resume without checkpoint: want refusal naming -checkpoint, got %v", err)
+	}
+	// With a checkpoint the combination stays valid.
+	o = &RunOptions{Resume: true, Checkpoint: filepath.Join(t.TempDir(), "ckpt.jsonl")}
+	r := &Runner{}
+	_, cleanup, err := o.Apply(r)
+	if err != nil {
+		t.Fatalf("resume with checkpoint: %v", err)
+	}
+	cleanup()
+}
+
+// TestRegisterFlags: the observability flags parse and land in the
+// options.
+func TestRegisterFlags(t *testing.T) {
+	var o RunOptions
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.RegisterFlags(fs)
+	err := fs.Parse([]string{
+		"-timeout", "10m", "-max-retries", "3",
+		"-events", "ev.jsonl", "-debug-addr", ":6060", "-sim-stats",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.EventsPath != "ev.jsonl" || o.DebugAddr != ":6060" || !o.SimStats || o.MaxRetries != 3 {
+		t.Fatalf("flags not applied: %+v", o)
+	}
+}
+
+// TestApplyObservabilityWiring drives the whole -events/-debug-addr/
+// -sim-stats surface end to end: a sweep run under Apply serves live
+// metrics and events over HTTP, writes the JSONL event log, and feeds
+// the engine probe.
+func TestApplyObservabilityWiring(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	o := &RunOptions{EventsPath: events, DebugAddr: "127.0.0.1:0", SimStats: true}
+	r := &Runner{RootSeed: 7}
+	ctx, cleanup, err := o.Apply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := quickPoints(1) // 3 points
+	if _, err := r.RunCtx(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + o.DebugServer().Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{"sweep.points.done 3", "sweep.points.total 3", "sim.runs 3"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if ring := get("/debug/events"); !strings.Contains(ring, `"event":"point_done"`) {
+		t.Fatalf("/debug/events missing point_done:\n%s", ring)
+	}
+
+	cleanup()
+	if o.DebugServer() == nil {
+		t.Fatal("debug server not retained on options")
+	}
+
+	// The JSONL event log holds one parseable line per lifecycle event,
+	// with started/done pairs for every point.
+	raw, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev struct {
+			Event string `json:"event"`
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("unparseable event line %q: %v", line, err)
+		}
+		counts[ev.Event]++
+	}
+	if counts["point_started"] != 3 || counts["point_done"] != 3 {
+		t.Fatalf("event log mix: %v", counts)
+	}
+
+	// -sim-stats attached a probe that saw every replication.
+	if s := r.Probe.Snapshot(); s.Runs != 3 || s.Messages == 0 {
+		t.Fatalf("sim-stats probe missed the sweep: %+v", s)
+	}
+}

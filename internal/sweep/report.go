@@ -3,7 +3,9 @@ package sweep
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Reporter observes sweep progress. PointDone may be called from any
@@ -12,8 +14,11 @@ type Reporter interface {
 	PointDone(pr *PointResult, p Progress)
 }
 
-// LogReporter writes one line per completed point to an io.Writer —
-// label, progress fraction, and cumulative throughput.
+// LogReporter writes one line per settled point to an io.Writer: label,
+// settled-point fraction, windowed throughput, and — once the rate
+// signal exists — the ETA over the remaining replications. Failures,
+// cache hits and journal resumes are annotated so a resumed or
+// partially failing sweep reads correctly at a glance.
 type LogReporter struct {
 	W io.Writer
 
@@ -25,10 +30,29 @@ func NewLogReporter(w io.Writer) *LogReporter { return &LogReporter{W: w} }
 
 // PointDone implements Reporter.
 func (lr *LogReporter) PointDone(pr *PointResult, p Progress) {
+	settled := p.PointsDone + p.PointsFailed + p.PointsAliased
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: [%d/%d] %s (%d msgs, %.0f msg/s",
+		settled, p.PointsTotal, pr.Point.Label, p.Messages, p.MessagesPerSec)
+	if p.ETA > 0 {
+		fmt.Fprintf(&b, ", ETA %s", p.ETA.Round(time.Second))
+	}
+	if pr.Err != nil {
+		fmt.Fprintf(&b, "; FAILED: %v", pr.Err)
+	}
+	if p.PointsFailed > 0 {
+		fmt.Fprintf(&b, "; %d failed", p.PointsFailed)
+	}
+	if p.PointsCached > 0 {
+		fmt.Fprintf(&b, "; %d cached", p.PointsCached)
+	}
+	if p.PointsResumed > 0 {
+		fmt.Fprintf(&b, "; %d resumed", p.PointsResumed)
+	}
+	b.WriteString(")\n")
 	lr.mu.Lock()
 	defer lr.mu.Unlock()
-	fmt.Fprintf(lr.W, "sweep: [%d/%d] %s (%d msgs, %.0f msg/s)\n",
-		p.PointsDone, p.PointsTotal, pr.Point.Label, p.Messages, p.MessagesPerSec)
+	io.WriteString(lr.W, b.String())
 }
 
 // FuncReporter adapts a function to the Reporter interface.

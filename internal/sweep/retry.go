@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"banyan/internal/obs"
 	"banyan/internal/simnet"
 )
 
@@ -72,7 +73,8 @@ func (r *Runner) safeRun(ctx context.Context, e Engine, cfg *simnet.Config) (res
 // retries. Cancellation and deadline overruns are never retried — the
 // former is the caller stopping the batch, the latter would just burn
 // the budget again.
-func (r *Runner) attempt(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Result, error) {
+func (r *Runner) attempt(ctx context.Context, pr *PointResult, rep int, cfg *simnet.Config) (*simnet.Result, error) {
+	e := pr.Point.Engine
 	for a := 0; ; a++ {
 		res, err := r.safeRun(ctx, e, cfg)
 		if err == nil ||
@@ -84,6 +86,11 @@ func (r *Runner) attempt(ctx context.Context, e Engine, cfg *simnet.Config) (*si
 			return res, err
 		}
 		r.ctr.retried()
+		ev := pointEvent(obs.EventPointRetried, pr)
+		ev.Rep = rep
+		ev.Attempt = a + 1
+		ev.Err = err.Error()
+		r.emit(ev)
 		sleepCtx(ctx, r.backoff(a))
 	}
 }

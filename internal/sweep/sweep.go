@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"banyan/internal/obs"
 	"banyan/internal/simnet"
 )
 
@@ -142,6 +143,15 @@ type Runner struct {
 	// serves journaled points on later runs — the checkpoint/resume
 	// path. See OpenJournal.
 	Journal *Journal
+	// Events, when non-nil, receives one structured event per point
+	// lifecycle transition (started, retried, truncated, journaled,
+	// done, failed, cached, resumed, aliased). See internal/obs.
+	Events obs.Sink
+	// Probe, when non-nil, is attached to every simulation this runner
+	// executes (simnet.Config.Probe), collecting engine internals. It is
+	// excluded from config hashing, so attaching one never perturbs
+	// keys, seeds, or results.
+	Probe *obs.SimProbe
 
 	ctr Counters
 
@@ -198,15 +208,22 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 	if len(verrs) > 0 {
 		return nil, errors.Join(verrs...)
 	}
-	r.ctr.begin(len(points))
+	repsTotal := 0
+	for i := range points {
+		repsTotal += points[i].reps()
+	}
+	r.ctr.begin(len(points), repsTotal)
+	defer r.ctr.end()
 
 	// Resolve keys, seeds, cache/journal hits and in-batch duplicates up
 	// front, so the job list is fixed before any worker starts.
 	type pointState struct {
-		pr      *PointResult
-		pending int // replications still running; -1 = alias or cache hit
-		aliasOf int // index of the identical earlier point, or -1
-		failed  bool
+		pr        *PointResult
+		pending   int // replications still running; -1 = alias or cache hit
+		aliasOf   int // index of the identical earlier point, or -1
+		failed    bool
+		started   bool
+		startedAt time.Time
 	}
 	states := make([]pointState, len(points))
 	byKey := make(map[uint64]int, len(points))
@@ -219,6 +236,12 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		if j, ok := byKey[key]; ok {
 			states[i].aliasOf = j
 			states[i].pending = -1
+			// Terminal state: the alias settles now, never via a worker.
+			r.ctr.pointAliased(p.reps())
+			r.emit(obs.Event{
+				Event: obs.EventPointAliased, Label: p.Label,
+				Key: keyHex(key), Engine: p.Engine.String(),
+			})
 			continue
 		}
 		byKey[key] = i
@@ -231,10 +254,16 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		states[i].pr = pr
 		if r.Cache != nil {
 			if hit, ok := r.Cache.get(key); ok {
-				states[i].pr = hit
+				// Share the cached runs but relabel: the hit may have been
+				// computed under a different Point.Label in an earlier
+				// batch, and callers key their output off the label.
+				shared := *hit
+				shared.Point = *p
+				states[i].pr = &shared
 				states[i].pending = -1
-				r.ctr.pointDone(hit)
-				r.report(hit)
+				r.ctr.pointCached(p.reps())
+				r.emit(pointEvent(obs.EventPointCached, &shared))
+				r.report(&shared)
 				continue
 			}
 		}
@@ -249,7 +278,8 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				if r.Cache != nil {
 					r.Cache.put(key, pr)
 				}
-				r.ctr.pointDone(pr)
+				r.ctr.pointResumed(p.reps())
+				r.emit(pointEvent(obs.EventPointResumed, pr))
 				r.report(pr)
 				continue
 			}
@@ -283,7 +313,14 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				st := &states[j.pi]
 				mu.Lock()
 				skip := st.failed
-				mu.Unlock()
+				if !skip && !st.started {
+					st.started = true
+					st.startedAt = time.Now()
+					mu.Unlock()
+					r.emit(pointEvent(obs.EventPointStarted, st.pr))
+				} else {
+					mu.Unlock()
+				}
 				var res *simnet.Result
 				var err error
 				if err = ctx.Err(); err == nil && !skip {
@@ -292,13 +329,26 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 					// scheduling, retries, or batch composition.
 					cfg := st.pr.Point.Cfg
 					cfg.Seed = simnet.SplitSeed(st.pr.Seed, uint64(j.rep))
-					res, err = r.attempt(ctx, st.pr.Point.Engine, &cfg)
+					if r.Probe != nil {
+						cfg.Probe = r.Probe
+					}
+					res, err = r.attempt(ctx, st.pr, j.rep, &cfg)
 				}
 				if res != nil {
 					st.pr.Runs[j.rep] = res // partial truncated results kept for inspection
 					if err == nil {
 						r.ctr.repDone(res)
+						if res.Truncated {
+							ev := pointEvent(obs.EventPointTruncated, st.pr)
+							ev.Rep = j.rep
+							ev.Cycles = res.TruncatedAt
+							ev.Messages = res.Messages
+							r.emit(ev)
+						}
 					}
+				}
+				if err != nil || res == nil {
+					r.ctr.repSettled()
 				}
 				mu.Lock()
 				if err != nil {
@@ -310,12 +360,23 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				st.pending--
 				last := st.pending == 0
 				failed := st.failed
+				startedAt := st.startedAt
 				mu.Unlock()
 				if !last {
 					continue
 				}
+				wallMS := 0.0
+				if !startedAt.IsZero() {
+					wallMS = float64(time.Since(startedAt)) / float64(time.Millisecond)
+				}
 				if failed {
 					r.ctr.pointFailed()
+					ev := pointEvent(obs.EventPointFailed, st.pr)
+					ev.WallMS = wallMS
+					if st.pr.Err != nil {
+						ev.Err = st.pr.Err.Error()
+					}
+					r.emit(ev)
 					r.report(st.pr)
 					continue
 				}
@@ -335,9 +396,20 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 							journalErr = jerr
 						}
 						mu.Unlock()
+					} else {
+						r.emit(pointEvent(obs.EventPointJournaled, st.pr))
 					}
 				}
-				r.ctr.pointDone(st.pr)
+				r.ctr.pointDone()
+				ev := pointEvent(obs.EventPointDone, st.pr)
+				ev.WallMS = wallMS
+				for _, run := range st.pr.Runs {
+					if run != nil {
+						ev.Messages += run.Messages
+						ev.Dropped += run.Dropped
+					}
+				}
+				r.emit(ev)
 				r.report(st.pr)
 			}
 		}()
@@ -376,6 +448,28 @@ func (r *Runner) report(pr *PointResult) {
 	}
 }
 
+// emit sends an event to the runner's sink, if any.
+func (r *Runner) emit(ev obs.Event) {
+	if r.Events != nil {
+		r.Events.Emit(ev)
+	}
+}
+
+// keyHex renders a canonical config hash the way events and journals
+// spell it.
+func keyHex(key uint64) string { return fmt.Sprintf("%016x", key) }
+
+// pointEvent seeds an event with a point's identity fields.
+func pointEvent(kind string, pr *PointResult) obs.Event {
+	return obs.Event{
+		Event:  kind,
+		Label:  pr.Point.Label,
+		Key:    keyHex(pr.Key),
+		Seed:   pr.Seed,
+		Engine: pr.Point.Engine.String(),
+	}
+}
+
 // runEngineCtx executes one replication on the selected engine, always
 // via the streaming arrival path, honouring ctx cancellation.
 func runEngineCtx(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Result, error) {
@@ -391,53 +485,161 @@ func runEngineCtx(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Re
 
 // Counters accumulates sweep progress. All methods are safe for
 // concurrent use.
+//
+// Every point of every batch reaches exactly one terminal state, so at
+// the end of each Run call the invariant
+//
+//	PointsDone + PointsFailed + PointsAliased == PointsTotal
+//
+// holds (cached and journal-resumed points count toward PointsDone,
+// with PointsCached/PointsResumed as sub-counters). Elapsed covers only
+// the time at least one batch was running — a shared Runner left idle
+// between batches no longer dilutes its throughput read-outs — and the
+// per-second rates are windowed (see obs.Meter), so they report current
+// throughput, not a lifetime average.
 type Counters struct {
-	mu           sync.Mutex
-	start        time.Time
-	pointsWant   int64
-	pointsDone   int64
-	pointsFailed int64
-	repsDone     int64
-	retries      int64
-	messages     int64
-	dropped      int64
+	mu         sync.Mutex
+	now        func() time.Time // test hook; nil = time.Now
+	active     int              // batches currently inside RunCtx
+	batchStart time.Time        // when active went 0 → 1
+	busy       time.Duration    // accumulated non-idle wall-clock
+
+	pointsWant    int64
+	pointsDone    int64
+	pointsFailed  int64
+	pointsAliased int64
+	pointsCached  int64
+	pointsResumed int64
+	repsWant      int64
+	repsDone      int64
+	repsSettled   int64 // done, failed, skipped, or never-to-run
+	retries       int64
+	truncated     int64
+	messages      int64
+	dropped       int64
+
+	msgMeter obs.Meter
+	repMeter obs.Meter
 }
 
 // Progress is a point-in-time snapshot of a sweep's counters.
 type Progress struct {
-	PointsDone   int64
-	PointsFailed int64 // points that ended with a PointResult.Err
-	PointsTotal  int64
-	RepsDone     int64
-	Retries      int64 // replication retries after panics or errors
-	Messages     int64 // measured messages over all completed replications
-	Dropped      int64 // messages lost to full buffers
-	Elapsed      time.Duration
-	// MessagesPerSec is the cumulative measured-message throughput.
+	PointsDone    int64
+	PointsFailed  int64 // points that ended with a PointResult.Err
+	PointsAliased int64 // in-batch duplicates resolved by sharing
+	PointsCached  int64 // of PointsDone: served from the cross-batch cache
+	PointsResumed int64 // of PointsDone: served from the checkpoint journal
+	PointsTotal   int64
+	RepsDone      int64 // replications actually simulated to completion
+	RepsTotal     int64 // replications requested, including never-run ones
+	Retries       int64 // replication retries after panics or errors
+	Truncated     int64 // completed replications stopped early by a guard
+	Messages      int64 // measured messages over all completed replications
+	Dropped       int64 // messages lost to full buffers
+	// Elapsed is the busy wall-clock time: the union of intervals during
+	// which at least one batch was running on this Runner.
+	Elapsed time.Duration
+	// MessagesPerSec and RepsPerSec are windowed throughputs over the
+	// trailing few seconds; until a full second of history exists they
+	// fall back to the cumulative average over Elapsed.
 	MessagesPerSec float64
+	RepsPerSec     float64
+	// ETA estimates the time to finish the remaining replications at the
+	// current replication rate; zero when unknown (no remaining work, or
+	// no rate signal yet).
+	ETA time.Duration
 }
 
-func (c *Counters) begin(points int) {
+// Settled reports the terminal-accounting invariant: every point of
+// every batch has reached exactly one of done, failed, or aliased.
+func (p Progress) Settled() bool {
+	return p.PointsDone+p.PointsFailed+p.PointsAliased == p.PointsTotal
+}
+
+func (c *Counters) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+func (c *Counters) begin(points, reps int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.start.IsZero() {
-		c.start = time.Now()
+	if c.active == 0 {
+		c.batchStart = c.clock()
 	}
+	c.active++
 	c.pointsWant += int64(points)
+	c.repsWant += int64(reps)
+}
+
+// end closes the batch opened by begin, folding its wall-clock interval
+// into the busy time.
+func (c *Counters) end() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.active--
+	if c.active == 0 {
+		c.busy += c.clock().Sub(c.batchStart)
+	}
 }
 
 func (c *Counters) repDone(res *simnet.Result) {
+	c.msgMeter.Add(res.Messages)
+	c.repMeter.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.repsDone++
+	c.repsSettled++
 	c.messages += res.Messages
 	c.dropped += res.Dropped
+	if res.Truncated {
+		c.truncated++
+	}
 }
 
-func (c *Counters) pointDone(pr *PointResult) {
+// repSettled accounts a replication that ended without a usable result
+// (failed, skipped after a sibling's failure, or cancelled), so ETA
+// still converges to zero on unhealthy batches.
+func (c *Counters) repSettled() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.repsSettled++
+}
+
+func (c *Counters) pointDone() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.pointsDone++
+}
+
+// pointCached accounts a point served from the cross-batch cache,
+// settling its never-to-run replications.
+func (c *Counters) pointCached(reps int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pointsDone++
+	c.pointsCached++
+	c.repsSettled += int64(reps)
+}
+
+// pointResumed accounts a point served from the checkpoint journal.
+func (c *Counters) pointResumed(reps int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pointsDone++
+	c.pointsResumed++
+	c.repsSettled += int64(reps)
+}
+
+// pointAliased accounts an in-batch duplicate that shares an earlier
+// point's result, settling its never-to-run replications.
+func (c *Counters) pointAliased(reps int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pointsAliased++
+	c.repsSettled += int64(reps)
 }
 
 func (c *Counters) pointFailed() {
@@ -454,24 +656,67 @@ func (c *Counters) retried() {
 
 // Snapshot returns the current progress.
 func (c *Counters) Snapshot() Progress {
+	msgRate := c.msgMeter.Rate()
+	repRate := c.repMeter.Rate()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	elapsed := time.Duration(0)
-	if !c.start.IsZero() {
-		elapsed = time.Since(c.start)
+	elapsed := c.busy
+	if c.active > 0 {
+		elapsed += c.clock().Sub(c.batchStart)
 	}
 	p := Progress{
-		PointsDone:   c.pointsDone,
-		PointsFailed: c.pointsFailed,
-		PointsTotal:  c.pointsWant,
-		RepsDone:     c.repsDone,
-		Retries:      c.retries,
-		Messages:     c.messages,
-		Dropped:      c.dropped,
-		Elapsed:      elapsed,
+		PointsDone:     c.pointsDone,
+		PointsFailed:   c.pointsFailed,
+		PointsAliased:  c.pointsAliased,
+		PointsCached:   c.pointsCached,
+		PointsResumed:  c.pointsResumed,
+		PointsTotal:    c.pointsWant,
+		RepsDone:       c.repsDone,
+		RepsTotal:      c.repsWant,
+		Retries:        c.retries,
+		Truncated:      c.truncated,
+		Messages:       c.messages,
+		Dropped:        c.dropped,
+		Elapsed:        elapsed,
+		MessagesPerSec: msgRate,
+		RepsPerSec:     repRate,
 	}
 	if s := elapsed.Seconds(); s > 0 {
-		p.MessagesPerSec = float64(c.messages) / s
+		// Sub-second sweeps have no complete meter bucket yet; the
+		// cumulative busy-time average is the best available signal.
+		if p.MessagesPerSec == 0 && c.messages > 0 {
+			p.MessagesPerSec = float64(c.messages) / s
+		}
+		if p.RepsPerSec == 0 && c.repsDone > 0 {
+			p.RepsPerSec = float64(c.repsDone) / s
+		}
+	}
+	if remaining := c.repsWant - c.repsSettled; remaining > 0 && p.RepsPerSec > 0 {
+		p.ETA = time.Duration(float64(remaining) / p.RepsPerSec * float64(time.Second))
 	}
 	return p
+}
+
+// Register exposes the counters in a metrics registry under the sweep.*
+// namespace (the expvar / -debug-addr read-out path).
+func (c *Counters) Register(reg *obs.Registry) {
+	get := func(f func(Progress) float64) func() float64 {
+		return func() float64 { return f(c.Snapshot()) }
+	}
+	reg.Func("sweep.points.total", get(func(p Progress) float64 { return float64(p.PointsTotal) }))
+	reg.Func("sweep.points.done", get(func(p Progress) float64 { return float64(p.PointsDone) }))
+	reg.Func("sweep.points.failed", get(func(p Progress) float64 { return float64(p.PointsFailed) }))
+	reg.Func("sweep.points.aliased", get(func(p Progress) float64 { return float64(p.PointsAliased) }))
+	reg.Func("sweep.points.cached", get(func(p Progress) float64 { return float64(p.PointsCached) }))
+	reg.Func("sweep.points.resumed", get(func(p Progress) float64 { return float64(p.PointsResumed) }))
+	reg.Func("sweep.reps.total", get(func(p Progress) float64 { return float64(p.RepsTotal) }))
+	reg.Func("sweep.reps.done", get(func(p Progress) float64 { return float64(p.RepsDone) }))
+	reg.Func("sweep.reps.per_sec", get(func(p Progress) float64 { return p.RepsPerSec }))
+	reg.Func("sweep.retries", get(func(p Progress) float64 { return float64(p.Retries) }))
+	reg.Func("sweep.truncated", get(func(p Progress) float64 { return float64(p.Truncated) }))
+	reg.Func("sweep.messages", get(func(p Progress) float64 { return float64(p.Messages) }))
+	reg.Func("sweep.messages.per_sec", get(func(p Progress) float64 { return p.MessagesPerSec }))
+	reg.Func("sweep.dropped", get(func(p Progress) float64 { return float64(p.Dropped) }))
+	reg.Func("sweep.elapsed_seconds", get(func(p Progress) float64 { return p.Elapsed.Seconds() }))
+	reg.Func("sweep.eta_seconds", get(func(p Progress) float64 { return p.ETA.Seconds() }))
 }
