@@ -6,8 +6,10 @@ import (
 
 	"banyan"
 	"banyan/internal/experiments"
+	"banyan/internal/obs"
 	"banyan/internal/simnet"
 	"banyan/internal/stages"
+	"banyan/internal/stats"
 )
 
 // Every table and figure of the paper's evaluation has a benchmark that
@@ -274,6 +276,63 @@ func BenchmarkWaitDistribution512(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkObservability is the bench guard for the telemetry stack: the
+// same engine run with instrumentation attached in increasing layers.
+// "bare" is the reference; "probe" (atomic counters) must stay within
+// noise of it, and TestProbeZeroAllocPerCycle in internal/simnet pins
+// that path to zero added allocs/cycle. The opt-in layers pay for what
+// they record — "hists" (live log-bucketed waiting-time histograms, one
+// atomic add per stage visit), "trace64" (1-in-64 span sampling, one
+// span allocation per sampled message), and "full" (everything plus the
+// exact drift histograms) — and this benchmark keeps those prices
+// visible so regressions can't hide.
+func BenchmarkObservability(b *testing.B) {
+	base := simnet.Config{K: 2, Stages: 6, P: 0.5, Cycles: 10000, Warmup: 1000, Seed: 31}
+	run := func(b *testing.B, instrument func(cfg *simnet.Config)) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			if instrument != nil {
+				instrument(&cfg)
+			}
+			if _, err := simnet.Run(&cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, nil) })
+
+	probe := obs.NewSimProbe()
+	b.Run("probe", func(b *testing.B) {
+		run(b, func(cfg *simnet.Config) { cfg.Probe = probe })
+	})
+
+	histProbe := obs.NewSimProbe()
+	histProbe.Hists = obs.NewHistSet()
+	b.Run("hists", func(b *testing.B) {
+		run(b, func(cfg *simnet.Config) { cfg.Probe = histProbe })
+	})
+
+	traceProbe := obs.NewSimProbe()
+	traceProbe.Tracer = obs.NewTracer(64, 1<<12)
+	b.Run("trace64", func(b *testing.B) {
+		run(b, func(cfg *simnet.Config) { cfg.Probe = traceProbe })
+	})
+
+	full := obs.NewSimProbe()
+	full.Hists = obs.NewHistSet()
+	full.Tracer = obs.NewTracer(64, 1<<12)
+	b.Run("full", func(b *testing.B) {
+		run(b, func(cfg *simnet.Config) {
+			cfg.Probe = full
+			cfg.WaitHists = make([]*stats.Hist, cfg.Stages)
+			for i := range cfg.WaitHists {
+				cfg.WaitHists[i] = &stats.Hist{}
+			}
+		})
+	})
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

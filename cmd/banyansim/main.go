@@ -8,12 +8,19 @@
 //	banyansim -k 2 -n 6 -p 0.5 [-m 4 | -geom 0.25] [-b 2] [-q 0.1]
 //	          [-cycles 20000] [-warmup 2000] [-seed 1]
 //	          [-engine fast|literal] [-buffers 4] [-hist]
-//	          [-sim-stats] [-debug-addr :6060]
+//	          [-sim-stats] [-debug-addr :6060] [-debug-hold]
+//	          [-trace-out spans.jsonl] [-trace-sample 64]
+//	          [-drift-check] [-drift-threshold 0.15]
 //
 // -sim-stats attaches an engine probe (cycles/sec, free-list hit rate,
 // per-stage backlog high-water marks) and prints its summary to stderr;
-// -debug-addr serves the probe's metrics plus pprof over HTTP while the
-// simulation runs. Neither changes any simulated number.
+// -debug-addr serves the probe's metrics, live waiting-time histograms
+// (/debug/hist), sampled trace spans (/debug/trace) and pprof over HTTP
+// while the simulation runs, and -debug-hold keeps that server up after
+// the run until interrupted. -trace-out samples per-message flight
+// records and dumps them as JSON lines; -drift-check tests the measured
+// per-stage waiting times against the paper's analytic model. None of
+// these change any simulated number.
 package main
 
 import (
@@ -21,9 +28,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"banyan"
 	"banyan/internal/obs"
+	"banyan/internal/stats"
+	"banyan/internal/sweep"
 	"banyan/internal/textplot"
 )
 
@@ -47,7 +58,14 @@ func main() {
 		reps    = flag.Int("replications", 0, "run N independent replications (fast engine) and report confidence intervals")
 
 		simStats  = flag.Bool("sim-stats", false, "collect simulator-internal statistics and print a summary at exit")
-		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while the simulation runs")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars, /debug/hist, /debug/trace and /debug/pprof on this address while the simulation runs")
+		debugHold = flag.Bool("debug-hold", false, "with -debug-addr: keep the debug server up after the run until SIGINT/SIGTERM")
+
+		traceOut    = flag.String("trace-out", "", "sample per-message trace spans and dump them as JSON lines to this file at exit")
+		traceSample = flag.Int("trace-sample", 64, "with -trace-out: trace one in N measured messages")
+
+		driftCheck     = flag.Bool("drift-check", false, "test the measured per-stage waiting times against the analytic model")
+		driftThreshold = flag.Float64("drift-threshold", 0, "KS-distance trigger floor for -drift-check (0 = default)")
 	)
 	flag.Parse()
 
@@ -71,23 +89,62 @@ func main() {
 	// Observability: the probe rides on the config (excluded from result
 	// statistics and seeding), the debug server exposes it live.
 	var probe *obs.SimProbe
-	if *simStats || *debugAddr != "" {
+	if *simStats || *debugAddr != "" || *traceOut != "" {
 		probe = obs.NewSimProbe()
 		cfg.Probe = probe
 	}
 	if *simStats {
 		defer probe.WriteSummary(os.Stderr)
 	}
+	if *traceOut != "" {
+		probe.Tracer = obs.NewTracer(*traceSample, 1<<16)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			if err := probe.Tracer.WriteJSONL(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		probe.Register(reg)
+		probe.Hists = obs.NewHistSet()
+		probe.Hists.Register(reg, "wait")
 		reg.PublishExpvar("banyan")
-		srv, err := obs.StartDebugServer(*debugAddr, reg, nil)
+		srv, err := obs.StartDebugServer(*debugAddr, obs.DebugOptions{
+			Registry: reg,
+			Hists:    probe.Hists,
+			Tracer:   probe.Tracer,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars and /debug/pprof on http://%s\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/hist, /debug/trace and /debug/pprof on http://%s\n", srv.Addr())
+		if *debugHold {
+			// Runs before srv.Close (LIFO): the populated endpoints stay
+			// scrapeable after the run — the CI smoke test relies on it.
+			defer func() {
+				fmt.Fprintf(os.Stderr, "debug: run complete; holding until SIGINT/SIGTERM\n")
+				ch := make(chan os.Signal, 1)
+				signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+				<-ch
+			}()
+		}
+	}
+	if *driftCheck {
+		if *reps > 0 {
+			log.Fatal("-drift-check works on a single run, not with -replications")
+		}
+		cfg.WaitHists = make([]*stats.Hist, *n)
+		for i := range cfg.WaitHists {
+			cfg.WaitHists[i] = &stats.Hist{}
+		}
 	}
 
 	if *reps > 0 {
@@ -159,6 +216,37 @@ func main() {
 	}
 	if err := textplot.Table(os.Stdout, "per-stage waiting times", header, rows); err != nil {
 		log.Fatal(err)
+	}
+
+	if *driftCheck {
+		mon := &sweep.DriftMonitor{Threshold: *driftThreshold}
+		rep, derr := mon.Check(cfg, cfg.WaitHists)
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		fmt.Println()
+		if rep.Skipped != "" {
+			fmt.Printf("drift check skipped: %s\n", rep.Skipped)
+		} else {
+			dh := []string{"stage", "n", "KS", "trigger", "drift"}
+			var drows [][]string
+			for _, sd := range rep.Stages {
+				drows = append(drows, []string{
+					fmt.Sprintf("%d", sd.Stage),
+					fmt.Sprintf("%d", sd.N),
+					fmt.Sprintf("%.5f", sd.KS),
+					fmt.Sprintf("%.5f", sd.Trigger),
+					fmt.Sprintf("%v", sd.Drifted),
+				})
+			}
+			if err := textplot.Table(os.Stdout, "drift check vs analytic model", dh, drows); err != nil {
+				log.Fatal(err)
+			}
+			if rep.Drifted {
+				stage, ks := rep.MaxKS()
+				fmt.Printf("DRIFT: stage %d diverges from the analytic model (KS %.5f)\n", stage, ks)
+			}
+		}
 	}
 
 	// Total-delay prediction (defined for b=1 constant-size operating points).

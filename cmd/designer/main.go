@@ -37,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	if *debugAddr != "" {
-		srv, err := obs.StartDebugServer(*debugAddr, nil, nil)
+		srv, err := obs.StartDebugServer(*debugAddr, obs.DebugOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

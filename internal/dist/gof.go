@@ -45,6 +45,81 @@ func KSCriticalValue(alpha float64, n int64) (float64, error) {
 	return c / math.Sqrt(float64(n)), nil
 }
 
+// KSResult is the outcome of a Kolmogorov–Smirnov comparison: the
+// statistic, the critical distance it was held against, the effective
+// sample size that critical value was computed for, and the verdict.
+type KSResult struct {
+	KS       float64 // sup_j |F_emp(j) - F_model(j)|
+	Critical float64 // critical distance at the requested significance
+	NEff     int64   // effective sample size after dependence correction
+	Pass     bool    // KS ≤ Critical
+}
+
+// OneSampleKS tests an empirical dense lattice histogram (counts[j] =
+// observations of value j) against a fully specified model PMF at
+// significance alpha.
+//
+// rho corrects for serially dependent samples: successive waiting times
+// at a queue share busy periods, so the i.i.d. critical value c(α)/√N
+// is too tight. Passing the server utilization ρ = m·λ shrinks the
+// sample to the classic integrated-autocorrelation-time effective size
+// N·(1-ρ)/(1+ρ) — conservative at light load. Pass 0 for i.i.d.
+// samples. This is the one shared implementation behind both the
+// stage-1 distribution check (internal/experiments) and the sweep drift
+// monitor (internal/sweep).
+func OneSampleKS(counts []int64, model PMF, alpha, rho float64) (KSResult, error) {
+	emp, err := EmpiricalPMF(counts)
+	if err != nil {
+		return KSResult{}, err
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	return ksVerdict(KolmogorovSmirnov(emp, model), n, alpha, rho)
+}
+
+// TwoSampleKS compares two empirical dense lattice histograms at
+// significance alpha, using the two-sample effective size
+// n₁·n₂/(n₁+n₂) in the asymptotic critical value.
+func TwoSampleKS(a, b []int64, alpha float64) (KSResult, error) {
+	pa, err := EmpiricalPMF(a)
+	if err != nil {
+		return KSResult{}, err
+	}
+	pb, err := EmpiricalPMF(b)
+	if err != nil {
+		return KSResult{}, err
+	}
+	var na, nb int64
+	for _, c := range a {
+		na += c
+	}
+	for _, c := range b {
+		nb += c
+	}
+	n := int64(float64(na) * float64(nb) / float64(na+nb))
+	return ksVerdict(KolmogorovSmirnov(pa, pb), n, alpha, 0)
+}
+
+// ksVerdict finishes a KS comparison: applies the autocorrelation
+// correction to the sample size, looks up the critical value, and
+// renders the verdict.
+func ksVerdict(ks float64, n int64, alpha, rho float64) (KSResult, error) {
+	nEff := n
+	if rho > 0 && rho < 1 {
+		nEff = int64(float64(n) * (1 - rho) / (1 + rho))
+	}
+	if nEff < 1 {
+		nEff = 1
+	}
+	crit, err := KSCriticalValue(alpha, nEff)
+	if err != nil {
+		return KSResult{}, err
+	}
+	return KSResult{KS: ks, Critical: crit, NEff: nEff, Pass: ks <= crit}, nil
+}
+
 // ChiSquare returns the chi-square statistic and degrees of freedom for
 // observed counts against expected probabilities, pooling trailing cells
 // until every expected count is at least minExpected (Cochran's rule uses

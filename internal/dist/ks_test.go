@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOneSampleKS(t *testing.T) {
+	model, err := NewPMF([]float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counts exactly proportional to the model: KS 0, pass.
+	kr, err := OneSampleKS([]int64{500, 300, 200}, model, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.KS != 0 || !kr.Pass {
+		t.Fatalf("exact-match sample: %+v", kr)
+	}
+	if kr.NEff != 1000 {
+		t.Fatalf("iid NEff %d, want 1000", kr.NEff)
+	}
+	want, _ := KSCriticalValue(0.01, 1000)
+	if kr.Critical != want {
+		t.Fatalf("critical %g, want %g", kr.Critical, want)
+	}
+
+	// The autocorrelation correction shrinks the effective sample:
+	// ρ=0.5 → N/3, so the critical value grows by √3.
+	kc, err := OneSampleKS([]int64{500, 300, 200}, model, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc.NEff != 333 {
+		t.Fatalf("corrected NEff %d, want 333", kc.NEff)
+	}
+	if kc.Critical <= kr.Critical {
+		t.Fatalf("correction must loosen the critical value: %g vs %g", kc.Critical, kr.Critical)
+	}
+
+	// A grossly wrong model fails at any reasonable sample size.
+	wrong, err := NewPMF([]float64{0.05, 0.05, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw, err := OneSampleKS([]int64{500, 300, 200}, wrong, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw.Pass || kw.KS < 0.5 {
+		t.Fatalf("wrong model not rejected: %+v", kw)
+	}
+
+	if _, err := OneSampleKS([]int64{}, model, 0.01, 0); err == nil {
+		t.Fatalf("empty sample must error")
+	}
+}
+
+func TestTwoSampleKS(t *testing.T) {
+	a := []int64{100, 200, 300}
+	kr, err := TwoSampleKS(a, a, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.KS != 0 || !kr.Pass {
+		t.Fatalf("identical samples: %+v", kr)
+	}
+	// Effective size n₁·n₂/(n₁+n₂) = 600·600/1200 = 300.
+	if kr.NEff != 300 {
+		t.Fatalf("two-sample NEff %d, want 300", kr.NEff)
+	}
+
+	// Disjoint supports: KS = 1, certain rejection.
+	kd, err := TwoSampleKS([]int64{100, 0, 0}, []int64{0, 0, 100}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kd.KS-1) > 1e-12 || kd.Pass {
+		t.Fatalf("disjoint samples: %+v", kd)
+	}
+
+	if _, err := TwoSampleKS(nil, a, 0.05); err == nil {
+		t.Fatalf("empty first sample must error")
+	}
+}

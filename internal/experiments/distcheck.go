@@ -118,22 +118,14 @@ func DistributionCheck(sc Scale) (*DistCheck, error) {
 		if err != nil {
 			return nil, err
 		}
-		emp, err := dist.EmpiricalPMF(res.TotalWait.Counts())
+		// OneSampleKS applies the autocorrelation-corrected effective
+		// sample size N·(1-ρ)/(1+ρ): successive waits at a queue share
+		// busy periods, so the i.i.d. critical value would be too tight.
+		kr, err := dist.OneSampleKS(res.TotalWait.Counts(), exact, 0.01, arr.Rate()*svc.Mean())
 		if err != nil {
 			return nil, err
 		}
-		ks := dist.KolmogorovSmirnov(emp, exact)
-		// Successive waits at a queue are autocorrelated (they share
-		// busy periods), so the i.i.d. KS critical value is too tight.
-		// Use an effective sample size N·(1-ρ)/(1+ρ) — the classic
-		// integrated-autocorrelation-time correction for an AR(ρ)-like
-		// dependence structure, conservative at light load.
-		rho := arr.Rate() * svc.Mean()
-		nEff := int64(float64(res.Messages) * (1 - rho) / (1 + rho))
-		if nEff < 1 {
-			nEff = 1
-		}
-		crit, err := dist.KSCriticalValue(0.01, nEff)
+		emp, err := dist.EmpiricalPMF(res.TotalWait.Counts())
 		if err != nil {
 			return nil, err
 		}
@@ -146,11 +138,11 @@ func DistributionCheck(sc Scale) (*DistCheck, error) {
 		chk.Rows = append(chk.Rows, DistRow{
 			Model:    c.name,
 			Messages: res.Messages,
-			KS:       ks,
-			Critical: crit,
+			KS:       kr.KS,
+			Critical: kr.Critical,
 			TV:       dist.TotalVariation(emp, exact),
 			ChiP:     chiP,
-			Pass:     ks <= crit,
+			Pass:     kr.Pass,
 		})
 	}
 	return chk, nil

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"banyan/internal/textplot"
 )
 
 // DebugServer serves live observability over HTTP while a sweep runs:
@@ -13,6 +16,8 @@ import (
 //	/metrics        the Registry as "name value" text
 //	/debug/vars     expvar JSON (including registries published there)
 //	/debug/events   the RingSink's recent events as JSONL
+//	/debug/hist     live waiting-time histograms as JSON (with sparklines)
+//	/debug/trace    the Tracer's retained message spans as JSONL
 //	/debug/pprof/   the standard pprof index (profile, heap, trace, …)
 //
 // It binds immediately (so a bad address fails fast) and serves in the
@@ -22,20 +27,79 @@ type DebugServer struct {
 	srv *http.Server
 }
 
-// StartDebugServer listens on addr and serves the registry and event
-// ring; either may be nil to disable its endpoint.
-func StartDebugServer(addr string, reg *Registry, events *RingSink) (*DebugServer, error) {
+// DebugOptions selects what a DebugServer serves. Any field may be nil;
+// its endpoint then answers 404.
+type DebugOptions struct {
+	Registry *Registry
+	Events   *RingSink
+	Hists    *HistSet
+	Tracer   *Tracer
+}
+
+// histJSON is one histogram in the /debug/hist response: the snapshot
+// plus a sparkline of the occupied buckets' counts in ascending value
+// order (bucket widths grow logarithmically, so the x-axis is roughly
+// log-scaled).
+type histJSON struct {
+	HistSnapshot
+	Spark string `json:"spark,omitempty"`
+}
+
+func histToJSON(h *Hist, width int) histJSON {
+	s := h.Snapshot()
+	out := histJSON{HistSnapshot: s}
+	if len(s.Buckets) > 0 {
+		vals := make([]float64, len(s.Buckets))
+		for i, b := range s.Buckets {
+			vals[i] = float64(b.Count)
+		}
+		out.Spark = textplot.Sparkline(vals, width)
+	}
+	return out
+}
+
+// StartDebugServer listens on addr and serves the configured surfaces.
+func StartDebugServer(addr string, opts DebugOptions) (*DebugServer, error) {
 	mux := http.NewServeMux()
-	if reg != nil {
+	if opts.Registry != nil {
+		reg := opts.Registry
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			reg.WriteText(w)
 		})
 	}
-	if events != nil {
+	if opts.Events != nil {
+		events := opts.Events
 		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			events.WriteJSONL(w)
+		})
+	}
+	if opts.Hists != nil {
+		hists := opts.Hists
+		mux.HandleFunc("/debug/hist", func(w http.ResponseWriter, _ *http.Request) {
+			const sparkWidth = 48
+			resp := struct {
+				Total  histJSON   `json:"total"`
+				Stages []histJSON `json:"stages"`
+			}{
+				Total:  histToJSON(hists.Total(), sparkWidth),
+				Stages: []histJSON{},
+			}
+			for _, h := range hists.Stages(hists.NumStages()) {
+				resp.Stages = append(resp.Stages, histToJSON(h, sparkWidth))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(resp)
+		})
+	}
+	if opts.Tracer != nil {
+		tracer := opts.Tracer
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			tracer.WriteJSONL(w)
 		})
 	}
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func startTestServer(t *testing.T, opts DebugOptions) *DebugServer {
+	t.Helper()
+	srv, err := StartDebugServer("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func get(t *testing.T, srv *DebugServer, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDebugHistEndpoint checks the /debug/hist JSON shape: total plus
+// per-stage snapshots with quantiles and sparklines.
+func TestDebugHistEndpoint(t *testing.T) {
+	hs := NewHistSet()
+	hs.Total().Record(10)
+	hs.Total().Record(200)
+	st := hs.Stages(2)
+	for v := int64(0); v < 50; v++ {
+		st[0].Record(v)
+		st[1].Record(v * 3)
+	}
+	srv := startTestServer(t, DebugOptions{Hists: hs})
+
+	code, body := get(t, srv, "/debug/hist")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/hist status %d", code)
+	}
+	var resp struct {
+		Total struct {
+			HistSnapshot
+			Spark string `json:"spark"`
+		} `json:"total"`
+		Stages []struct {
+			HistSnapshot
+			Spark string `json:"spark"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/debug/hist not JSON: %v\n%s", err, body)
+	}
+	if resp.Total.Count != 2 || resp.Total.Max != 200 {
+		t.Fatalf("total snapshot wrong: %+v", resp.Total)
+	}
+	if len(resp.Stages) != 2 {
+		t.Fatalf("stages %d, want 2", len(resp.Stages))
+	}
+	if resp.Stages[0].Count != 50 || resp.Stages[0].P50 != 24 {
+		t.Fatalf("stage 1 snapshot wrong: %+v", resp.Stages[0])
+	}
+	if resp.Stages[1].Spark == "" {
+		t.Fatalf("stage 2 sparkline missing")
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	tr := NewTracer(1, 8)
+	tr.Add(span(0))
+	srv := startTestServer(t, DebugOptions{Tracer: tr})
+	code, body := get(t, srv, "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", code)
+	}
+	var s Span
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &s); err != nil {
+		t.Fatalf("/debug/trace not JSONL: %v\n%s", err, body)
+	}
+	if s.Msg != 0 || len(s.Stages) != 2 {
+		t.Fatalf("span round-trip wrong: %+v", s)
+	}
+}
+
+// TestDebugEndpointsAbsent: unconfigured surfaces must 404, not serve
+// empty data that looks real.
+func TestDebugEndpointsAbsent(t *testing.T) {
+	srv := startTestServer(t, DebugOptions{})
+	for _, path := range []string{"/metrics", "/debug/events", "/debug/hist", "/debug/trace"} {
+		if code, _ := get(t, srv, path); code != http.StatusNotFound {
+			t.Fatalf("GET %s with nil backing: status %d, want 404", path, code)
+		}
+	}
+}
+
+// TestDebugConcurrentScrape hammers every endpoint while the backing
+// structures are being written — the -race guard for the live-scrape
+// path.
+func TestDebugConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewRingSink(32)
+	hs := NewHistSet()
+	hs.Register(reg, "wait")
+	tr := NewTracer(1, 32)
+	srv := startTestServer(t, DebugOptions{Registry: reg, Events: ring, Hists: hs, Tracer: tr})
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		stages := hs.Stages(3)
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hs.Total().Record(i % 500)
+			stages[int(i%3)].Record(i % 100)
+			ring.Emit(Event{Event: EventPointDone, Rep: int(i)})
+			tr.Add(span(i))
+		}
+	}()
+
+	paths := []string{"/metrics", "/debug/vars", "/debug/events", "/debug/hist", "/debug/trace"}
+	var readers sync.WaitGroup
+	for _, p := range paths {
+		for w := 0; w < 2; w++ {
+			readers.Add(1)
+			go func(path string) {
+				defer readers.Done()
+				for i := 0; i < 20; i++ {
+					code, body := get(t, srv, path)
+					if code != http.StatusOK {
+						t.Errorf("GET %s: status %d", path, code)
+						return
+					}
+					if path == "/debug/hist" {
+						var v map[string]any
+						if err := json.Unmarshal([]byte(body), &v); err != nil {
+							t.Errorf("GET %s: malformed JSON under concurrency: %v", path, err)
+							return
+						}
+					}
+				}
+			}(p)
+		}
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -19,7 +19,21 @@ const (
 	EventPointCached    = "point_cached"    // served from the cross-batch cache
 	EventPointResumed   = "point_resumed"   // served from the checkpoint journal
 	EventPointAliased   = "point_aliased"   // in-batch duplicate of an earlier point
+	EventDrift          = "drift"           // empirical waits diverged from the analytic model
 )
+
+// StageQuantiles is a compact per-stage waiting-time digest attached to
+// point lifecycle events when the runner collects waiting-time
+// histograms: sample count, mean, and tail quantiles in cycles.
+type StageQuantiles struct {
+	Stage int     `json:"stage"` // 1-based; 0 means total end-to-end wait
+	N     int64   `json:"n"`
+	Mean  float64 `json:"mean"`
+	P50   int     `json:"p50"`
+	P90   int     `json:"p90"`
+	P99   int     `json:"p99"`
+	P999  int     `json:"p999"`
+}
 
 // Event is one structured observability record. Fields that do not
 // apply to a given kind are zero and omitted from the JSON encoding.
@@ -37,6 +51,13 @@ type Event struct {
 	Messages int64     `json:"messages,omitempty"`
 	Dropped  int64     `json:"dropped,omitempty"`
 	Err      string    `json:"err,omitempty"`
+
+	// Drift-monitor fields (EventDrift) and histogram digests attached
+	// to point completion when waiting-time histograms are collected.
+	Stage     int              `json:"stage,omitempty"` // offending stage, 1-based
+	KS        float64          `json:"ks,omitempty"`
+	Threshold float64          `json:"threshold,omitempty"`
+	Waits     []StageQuantiles `json:"waits,omitempty"`
 }
 
 // Sink receives events. Emit may be called from any goroutine;

@@ -89,7 +89,7 @@ func TestDebugServer(t *testing.T) {
 	ring := NewRingSink(8)
 	ring.Emit(Event{Event: EventPointDone, Label: "x"})
 
-	srv, err := StartDebugServer("127.0.0.1:0", reg, ring)
+	srv, err := StartDebugServer("127.0.0.1:0", DebugOptions{Registry: reg, Events: ring})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,8 @@
 // while the sweep is still running, without perturbing a single
 // simulated number.
 //
-// Three building blocks, all standard library only:
+// Five building blocks (standard library plus internal/textplot for
+// sparkline rendering):
 //
 //   - Structured events (events.go): every sweep-point lifecycle
 //     transition (started, retried, truncated, journaled, done, failed,
@@ -26,10 +27,24 @@
 //     Config. The probe never feeds back into the simulation: results
 //     are byte-identical with and without it.
 //
+//   - Streaming histograms (hist.go): Hist is a log-bucketed,
+//     allocation-free-in-steady-state histogram with bounded-error
+//     quantiles (p50/p90/p99/p999) and bucket-wise merging; HistSet
+//     groups a run's live waiting-time distributions (total plus one
+//     per stage), attached to engines through SimProbe.Hists.
+//
+//   - Trace spans (trace.go): Tracer is a flight recorder of sampled
+//     per-message journeys — per-stage enqueue/start/depart cycles that
+//     decompose a message's end-to-end delay into the per-stage waits
+//     the paper analyzes — attached through SimProbe.Tracer and dumped
+//     as JSONL.
+//
 // debug.go ties the pieces to a live HTTP endpoint (the -debug-addr
 // flag of the sweep binaries): net/http/pprof for CPU/heap profiling of
 // an in-flight sweep, /debug/vars for expvar, /metrics for the
-// registry, /debug/events for the recent event ring.
+// registry, /debug/events for the recent event ring, /debug/hist for
+// live waiting-time quantiles and sparklines, /debug/trace for the
+// retained spans.
 //
 // Everything here is observational. Nothing in this package is hashed
 // into sweep point keys, journaled, or allowed to influence engine

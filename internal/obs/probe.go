@@ -36,6 +36,16 @@ type RunSample struct {
 type SimProbe struct {
 	cyclesMeter Meter
 
+	// Hists, when non-nil, collects live waiting-time histograms: one
+	// total-wait histogram plus one per stage, aggregated across every
+	// run attached to this probe. Engines feed it only for measured
+	// messages, so its distributions match the reported statistics.
+	Hists *HistSet
+	// Tracer, when non-nil, samples per-message trace spans from the
+	// attached runs (deterministically, by measured-message ordinal —
+	// never by consuming simulation randomness).
+	Tracer *Tracer
+
 	mu          sync.Mutex
 	runs        int64
 	cycles      int64

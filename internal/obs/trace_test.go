@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func span(msg int64) Span {
+	return Span{
+		Msg: msg, Seed: 9, Engine: "fast", Dest: 3, Arrival: 100,
+		TotalWait: 5,
+		Stages: []StageSpan{
+			{Stage: 1, Enqueue: 100, Start: 102, Depart: 103, Wait: 2},
+			{Stage: 2, Enqueue: 103, Start: 106, Depart: 107, Wait: 3},
+		},
+	}
+}
+
+func TestTracerDefaults(t *testing.T) {
+	if tr := NewTracer(0, 0); tr.SampleN() != 1 || cap(tr.buf) != defaultTraceRing {
+		t.Fatalf("defaults: sampleN %d ring %d", tr.SampleN(), cap(tr.buf))
+	}
+	if tr := NewTracer(64, 16); tr.SampleN() != 64 || cap(tr.buf) != 16 {
+		t.Fatalf("explicit: sampleN %d ring %d", tr.SampleN(), cap(tr.buf))
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := int64(0); i < 6; i++ {
+		tr.Add(span(i))
+	}
+	if tr.Total() != 6 {
+		t.Fatalf("total %d, want 6", tr.Total())
+	}
+	got := tr.Spans()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for i, s := range got {
+		if s.Msg != int64(i+2) {
+			t.Fatalf("eviction order wrong: got msgs %v", got)
+		}
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	tr := NewTracer(1, 8)
+	tr.Add(span(0))
+	tr.Add(span(64))
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines int
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		// The span invariant the trace format promises: stage waits sum
+		// to the total, and each wait is Start - Enqueue.
+		var sum int64
+		for _, st := range s.Stages {
+			if st.Wait != st.Start-st.Enqueue {
+				t.Fatalf("stage %d wait %d != start-enqueue %d", st.Stage, st.Wait, st.Start-st.Enqueue)
+			}
+			sum += st.Wait
+		}
+		if sum != s.TotalWait {
+			t.Fatalf("stage waits sum %d != total %d", sum, s.TotalWait)
+		}
+		if !strings.Contains(sc.Text(), `"total_wait"`) {
+			t.Fatalf("missing total_wait field: %s", sc.Text())
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"banyan/internal/dist"
 	"banyan/internal/obs"
+	"banyan/internal/stats"
 	"banyan/internal/traffic"
 )
 
@@ -142,6 +143,18 @@ type Config struct {
 	// influences the random streams or the statistics, so runs are
 	// bit-identical with and without it.
 	Probe *obs.SimProbe
+
+	// WaitHists, when non-nil, receives each measured message's
+	// per-stage waiting time: WaitHists[i] accumulates stage i+1 as an
+	// exact dense lattice histogram (it must have at least Stages
+	// entries, all non-nil). This is the drift monitor's data path:
+	// unlike Probe.Hists — log-bucketed, aggregated across every run
+	// sharing a probe — these are exact and local to one run, so they
+	// can be compared against the analytic per-stage distributions with
+	// goodness-of-fit tests. Purely observational: excluded from sweep
+	// config hashing, never touches the random streams, results are
+	// bit-identical with and without it.
+	WaitHists []*stats.Hist
 }
 
 func (c *Config) bulk() int {
@@ -286,6 +299,16 @@ func (c *Config) Validate() error {
 	}
 	if c.DrainCycles < 0 {
 		return fmt.Errorf("simnet: negative drain budget %d", c.DrainCycles)
+	}
+	if c.WaitHists != nil {
+		if len(c.WaitHists) < c.Stages {
+			return fmt.Errorf("simnet: WaitHists has %d entries for %d stages", len(c.WaitHists), c.Stages)
+		}
+		for i, h := range c.WaitHists[:c.Stages] {
+			if h == nil {
+				return fmt.Errorf("simnet: WaitHists[%d] is nil", i)
+			}
+		}
 	}
 	rho := float64(c.bulk()) * c.P * c.service().Mean()
 	if c.BufferCap == 0 && rho >= 1 && !c.AllowUnstable {

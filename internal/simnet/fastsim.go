@@ -241,9 +241,10 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 	var t int64
 	var pc *runProbe
 	if cfg.Probe != nil {
-		pc = newRunProbe(n)
+		pc = newRunProbe(cfg, n, "fast")
 		defer func() { pc.flush(cfg.Probe, t, res) }()
 	}
+	wh := cfg.WaitHists
 
 	var slots []fastMsg
 	var freeSlots []int32
@@ -321,6 +322,7 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 				pending[0].push(int64(blk.T[i]), si)
 				if pc != nil {
 					pc.enter(0)
+					pc.admit(si, m.meas, int64(blk.T[i]), m.dest)
 				}
 				inFlight++
 			}
@@ -370,6 +372,12 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 					if res.HotWait != nil && m.dest == 0 {
 						res.HotWait[stage].Add(float64(w))
 					}
+					if wh != nil {
+						wh[stage].Add(int(w))
+					}
+				}
+				if pc != nil {
+					pc.stageObs(si, stage, m.meas, t, s, s+svc)
 				}
 				if m.waits != nil {
 					m.waits[stage] = int16(w)
@@ -390,6 +398,9 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 							}
 							res.StageCov.Add(vec)
 						}
+					}
+					if pc != nil {
+						pc.finishObs(si, m.meas, int64(m.wsum))
 					}
 					freeSlots = append(freeSlots, si)
 					inFlight--

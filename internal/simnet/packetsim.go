@@ -104,9 +104,10 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 	var t int64
 	var pc *runProbe
 	if cfg.Probe != nil {
-		pc = newRunProbe(n)
+		pc = newRunProbe(cfg, n, "literal")
 		defer func() { pc.flush(cfg.Probe, t, res) }()
 	}
+	wh := cfg.WaitHists
 
 	var slots []literalMsg
 	var freeSlots []int32
@@ -141,6 +142,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 		q := &queues[st-1][row]
 		if cfg.BufferCap > 0 && q.size() >= cfg.BufferCap {
 			res.Dropped++
+			if pc != nil {
+				pc.dropSpan(si)
+			}
 			freeSlots = append(freeSlots, si)
 			return true
 		}
@@ -166,6 +170,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 				}
 				res.StageCov.Add(vec)
 			}
+		}
+		if pc != nil {
+			pc.finishObs(si, m.meas, int64(m.wsum))
 		}
 		freeSlots = append(freeSlots, si)
 	}
@@ -227,6 +234,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 					}
 					m.waits = m.waits[:n]
 				}
+				if pc != nil {
+					pc.admit(si, m.meas, int64(blk.T[i]), m.dest)
+				}
 				buffered = append(buffered, si)
 			}
 		}
@@ -283,6 +293,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 					if res.HotWait != nil && m.dest == 0 {
 						res.HotWait[s].Add(float64(w))
 					}
+					if wh != nil {
+						wh[s].Add(int(w))
+					}
 				}
 				if m.waits != nil {
 					m.waits[s] = int16(w)
@@ -292,6 +305,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 					svc = int64(resample.Sample(rng.Float64(), rng.Float64()))
 				}
 				q.freeAt = t + svc
+				if pc != nil {
+					pc.stageObs(si, s, m.meas, int64(m.arrivedAt), t, t+svc)
+				}
 				if s+1 < n {
 					delivery[(t+1)&1] = append(delivery[(t+1)&1], si)
 				} else {

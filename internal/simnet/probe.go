@@ -21,10 +21,98 @@ type runProbe struct {
 	maxActive  int64
 	stageLoad  []int64
 	stageHW    []int64
+
+	// Distributional telemetry (Probe.Hists / Probe.Tracer); all nil
+	// when the probe carries neither, so the hooks below reduce to a
+	// couple of nil checks.
+	hists   []*obs.Hist // live per-stage waiting-time histograms, 0-based
+	histTot *obs.Hist   // live total-wait histogram
+	tracer  *obs.Tracer
+	sampleN int64
+	measSeq int64               // measured-message ordinal in trace order
+	spans   map[int32]*obs.Span // in-flight sampled spans by slot index
+	engine  string
+	seed    uint64
 }
 
-func newRunProbe(stages int) *runProbe {
-	return &runProbe{stageLoad: make([]int64, stages), stageHW: make([]int64, stages)}
+func newRunProbe(cfg *Config, stages int, engine string) *runProbe {
+	pc := &runProbe{
+		stageLoad: make([]int64, stages),
+		stageHW:   make([]int64, stages),
+		engine:    engine,
+		seed:      cfg.Seed,
+	}
+	if hs := cfg.Probe.Hists; hs != nil {
+		pc.hists = hs.Stages(stages)
+		pc.histTot = hs.Total()
+	}
+	if tr := cfg.Probe.Tracer; tr != nil {
+		pc.tracer = tr
+		pc.sampleN = tr.SampleN()
+		pc.spans = make(map[int32]*obs.Span)
+	}
+	return pc
+}
+
+// admit is called for every message in trace order as it is pulled from
+// the arrival source; it assigns measured messages their ordinal and
+// opens a span for the sampled ones. Both engines consume schedule
+// blocks in trace order, so a message gets the same ordinal — and the
+// same sampling decision — in either engine.
+func (pc *runProbe) admit(si int32, meas bool, arrival int64, dest uint32) {
+	if !meas || pc.tracer == nil {
+		return
+	}
+	seq := pc.measSeq
+	pc.measSeq++
+	if seq%pc.sampleN != 0 {
+		return
+	}
+	pc.spans[si] = &obs.Span{
+		Msg: seq, Seed: pc.seed, Engine: pc.engine,
+		Dest: dest, Arrival: arrival,
+	}
+}
+
+// stageObs records one service start at a stage (0-based): the message
+// enqueued at cycle enq begins service at start and holds the output
+// port until depart. Feeds the live histograms (measured messages only,
+// matching the reported statistics) and any open span.
+func (pc *runProbe) stageObs(si int32, stage int, meas bool, enq, start, depart int64) {
+	if meas && pc.hists != nil {
+		pc.hists[stage].Record(start - enq)
+	}
+	if len(pc.spans) > 0 {
+		if sp, ok := pc.spans[si]; ok {
+			sp.Stages = append(sp.Stages, obs.StageSpan{
+				Stage: stage + 1, Enqueue: enq, Start: start, Depart: depart,
+				Wait: start - enq,
+			})
+		}
+	}
+}
+
+// finishObs records a message leaving the network with the given total
+// accumulated wait, closing its span if one is open.
+func (pc *runProbe) finishObs(si int32, meas bool, total int64) {
+	if meas && pc.histTot != nil {
+		pc.histTot.Record(total)
+	}
+	if len(pc.spans) > 0 {
+		if sp, ok := pc.spans[si]; ok {
+			delete(pc.spans, si)
+			sp.TotalWait = total
+			pc.tracer.Add(*sp)
+		}
+	}
+}
+
+// dropSpan discards the span of a message dropped at a full buffer; its
+// slot index is about to be recycled and must not inherit the span.
+func (pc *runProbe) dropSpan(si int32) {
+	if len(pc.spans) > 0 {
+		delete(pc.spans, si)
+	}
 }
 
 // enter records one message arriving at a stage's backlog.

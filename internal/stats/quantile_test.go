@@ -1,0 +1,47 @@
+package stats
+
+import "testing"
+
+func TestHistQuantile(t *testing.T) {
+	var empty Hist
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile %d, want 0", q)
+	}
+
+	var h Hist
+	for v := 0; v < 100; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		q    float64
+		want int
+	}{
+		{-1, 0},   // clamped below
+		{0, 0},    // rank 1 → smallest value
+		{0.01, 0}, // ⌈1⌉ = 1st smallest
+		{0.5, 49}, // ⌈50⌉-th smallest of 0..99
+		{0.9, 89},
+		{1, 99},
+		{2, 99}, // clamped above
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+
+	// Skewed mass: quantiles follow cumulative counts, not value range.
+	var s Hist
+	for i := 0; i < 90; i++ {
+		s.Add(1)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(1000)
+	}
+	if got := s.Quantile(0.5); got != 1 {
+		t.Fatalf("skewed p50 = %d, want 1", got)
+	}
+	if got := s.Quantile(0.95); got != 1000 {
+		t.Fatalf("skewed p95 = %d, want 1000", got)
+	}
+}

@@ -308,6 +308,30 @@ func (h *Hist) Tail(v int) float64 {
 	return float64(acc) / float64(h.total)
 }
 
+// Quantile returns the q-th empirical quantile: the smallest value v
+// whose cumulative count reaches ⌈q·N⌉ (q clamped to [0,1]). Returns 0
+// for an empty histogram.
+func (h *Hist) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	r := int64(math.Ceil(q * float64(h.total)))
+	if r < 1 {
+		r = 1
+	}
+	if r > h.total {
+		r = h.total
+	}
+	var cum int64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= r {
+			return v
+		}
+	}
+	return h.Max()
+}
+
 // Counts returns a copy of the dense count vector up to Max().
 func (h *Hist) Counts() []int64 {
 	m := h.Max()

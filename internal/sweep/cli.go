@@ -45,6 +45,18 @@ type RunOptions struct {
 	// hit rates, block pulls, cycles/sec, per-stage backlog high-water
 	// marks) and prints its summary to stderr at cleanup.
 	SimStats bool
+	// TraceOut enables per-message trace sampling and dumps the
+	// retained spans as JSON lines to this file at cleanup ("" = off).
+	TraceOut string
+	// TraceSample is the 1-in-N sampling rate for TraceOut (≤ 0 = 64).
+	TraceSample int
+	// DriftCheck compares each completed point's empirical per-stage
+	// waiting-time distributions against the analytic model and emits a
+	// drift event (plus per-stage KS gauges) when they diverge.
+	DriftCheck bool
+	// DriftThreshold overrides the drift monitor's KS trigger floor
+	// (0 = the monitor's default).
+	DriftThreshold float64
 
 	srv *obs.DebugServer // started by Apply when DebugAddr is set
 }
@@ -65,6 +77,10 @@ func (o *RunOptions) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&o.EventsPath, "events", "", "append structured sweep events as JSON lines to this file (\"-\" = stderr)")
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve live /metrics, /debug/vars, /debug/events and /debug/pprof on this address (e.g. :6060) while the run executes")
 	fs.BoolVar(&o.SimStats, "sim-stats", false, "collect simulator-internal statistics (free-list hit rate, per-stage backlog high water) and print a summary at exit")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "sample per-message trace spans and dump them as JSON lines to this file at exit")
+	fs.IntVar(&o.TraceSample, "trace-sample", 64, "with -trace-out: trace one in N measured messages")
+	fs.BoolVar(&o.DriftCheck, "drift-check", false, "compare each point's per-stage waiting times against the analytic model and emit drift events when they diverge")
+	fs.Float64Var(&o.DriftThreshold, "drift-threshold", 0, "KS-distance trigger floor for -drift-check (0 = default)")
 }
 
 // Apply configures the runner from the options and returns the run
@@ -107,16 +123,34 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 	}
 	reg := obs.NewRegistry()
 	r.Counters().Register(reg)
-	if o.SimStats {
+	if o.SimStats || o.TraceOut != "" || o.DebugAddr != "" {
 		r.Probe = obs.NewSimProbe()
 		r.Probe.Register(reg)
+	}
+	if o.DebugAddr != "" {
+		// Live waiting-time histograms back the /debug/hist endpoint and
+		// the wait.* quantile gauges in /metrics.
+		r.Probe.Hists = obs.NewHistSet()
+		r.Probe.Hists.Register(reg, "wait")
+	}
+	if o.TraceOut != "" {
+		r.Probe.Tracer = obs.NewTracer(o.TraceSample, 1<<16)
+	}
+	if o.DriftCheck {
+		r.Drift = &DriftMonitor{Threshold: o.DriftThreshold}
+		r.Drift.Register(reg)
 	}
 	var srv *obs.DebugServer
 	if o.DebugAddr != "" {
 		ring := obs.NewRingSink(256)
 		sinks = append(sinks, ring)
 		reg.PublishExpvar("banyan")
-		s, err := obs.StartDebugServer(o.DebugAddr, reg, ring)
+		s, err := obs.StartDebugServer(o.DebugAddr, obs.DebugOptions{
+			Registry: reg,
+			Events:   ring,
+			Hists:    r.Probe.Hists,
+			Tracer:   r.Probe.Tracer,
+		})
 		if err != nil {
 			if eventsFile != nil {
 				eventsFile.Close()
@@ -124,7 +158,7 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 			return fail(fmt.Errorf("sweep: debug server: %w", err))
 		}
 		srv, o.srv = s, s
-		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/events and /debug/pprof on http://%s\n", s.Addr())
+		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/events, /debug/hist, /debug/trace and /debug/pprof on http://%s\n", s.Addr())
 	}
 	if len(sinks) > 0 {
 		r.Events = sinks
@@ -143,6 +177,16 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 		}
 		if o.SimStats && r.Probe != nil {
 			r.Probe.WriteSummary(os.Stderr)
+		}
+		if o.TraceOut != "" && r.Probe != nil && r.Probe.Tracer != nil {
+			if f, err := os.Create(o.TraceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: trace out: %v\n", err)
+			} else {
+				if err := r.Probe.Tracer.WriteJSONL(f); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: trace out: %v\n", err)
+				}
+				f.Close()
+			}
 		}
 		if eventsFile != nil {
 			eventsFile.Close()

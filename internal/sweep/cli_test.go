@@ -38,12 +38,17 @@ func TestRegisterFlags(t *testing.T) {
 	err := fs.Parse([]string{
 		"-timeout", "10m", "-max-retries", "3",
 		"-events", "ev.jsonl", "-debug-addr", ":6060", "-sim-stats",
+		"-trace-out", "spans.jsonl", "-trace-sample", "32",
+		"-drift-check", "-drift-threshold", "0.2",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.EventsPath != "ev.jsonl" || o.DebugAddr != ":6060" || !o.SimStats || o.MaxRetries != 3 {
 		t.Fatalf("flags not applied: %+v", o)
+	}
+	if o.TraceOut != "spans.jsonl" || o.TraceSample != 32 || !o.DriftCheck || o.DriftThreshold != 0.2 {
+		t.Fatalf("tracing/drift flags not applied: %+v", o)
 	}
 }
 
@@ -116,5 +121,101 @@ func TestApplyObservabilityWiring(t *testing.T) {
 	// -sim-stats attached a probe that saw every replication.
 	if s := r.Probe.Snapshot(); s.Runs != 3 || s.Messages == 0 {
 		t.Fatalf("sim-stats probe missed the sweep: %+v", s)
+	}
+}
+
+// TestApplyTraceAndDriftWiring covers the distributional surface: live
+// histograms behind /debug/hist and wait.* gauges, trace sampling with
+// the -trace-out dump, the drift monitor's registration, and the
+// /debug/trace endpoint — all driven through Apply the way a binary
+// would.
+func TestApplyTraceAndDriftWiring(t *testing.T) {
+	traceOut := filepath.Join(t.TempDir(), "spans.jsonl")
+	o := &RunOptions{
+		DebugAddr: "127.0.0.1:0",
+		TraceOut:  traceOut, TraceSample: 4,
+		DriftCheck: true,
+	}
+	r := &Runner{RootSeed: 11}
+	ctx, cleanup, err := o.Apply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Probe == nil || r.Probe.Hists == nil || r.Probe.Tracer == nil || r.Drift == nil {
+		t.Fatalf("Apply wiring incomplete: probe %v drift %v", r.Probe, r.Drift)
+	}
+	pts := []Point{{Label: "pt", Cfg: quickPoints(1)[0].Cfg}}
+	if _, err := r.RunCtx(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + o.DebugServer().Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	var hist struct {
+		Total struct {
+			Count int64 `json:"count"`
+		} `json:"total"`
+		Stages []json.RawMessage `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/hist")), &hist); err != nil {
+		t.Fatalf("/debug/hist malformed: %v", err)
+	}
+	if hist.Total.Count == 0 || len(hist.Stages) == 0 {
+		t.Fatalf("/debug/hist empty after a run: %+v", hist)
+	}
+	if !strings.Contains(get("/metrics"), "wait.total.p99 ") {
+		t.Fatal("/metrics missing wait quantile gauges")
+	}
+	if !strings.Contains(get("/metrics"), "drift.points_checked 1") {
+		t.Fatal("/metrics missing drift counters")
+	}
+	if !strings.Contains(get("/debug/trace"), `"total_wait"`) {
+		t.Fatal("/debug/trace serves no spans")
+	}
+
+	cleanup()
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("-trace-out not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("-trace-out file empty")
+	}
+	for _, line := range lines {
+		var sp struct {
+			Msg       int64 `json:"msg"`
+			TotalWait int64 `json:"total_wait"`
+			Stages    []struct {
+				Wait int64 `json:"wait"`
+			} `json:"stages"`
+		}
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("trace line unparseable: %v\n%s", err, line)
+		}
+		if sp.Msg%4 != 0 {
+			t.Fatalf("sampled ordinal %d not a multiple of -trace-sample 4", sp.Msg)
+		}
+		var sum int64
+		for _, st := range sp.Stages {
+			sum += st.Wait
+		}
+		if sum != sp.TotalWait {
+			t.Fatalf("span stage waits sum %d != total %d:\n%s", sum, sp.TotalWait, line)
+		}
 	}
 }

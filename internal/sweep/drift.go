@@ -1,0 +1,386 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"banyan/internal/core"
+	"banyan/internal/dist"
+	"banyan/internal/obs"
+	"banyan/internal/simnet"
+	"banyan/internal/stages"
+	"banyan/internal/stats"
+	"banyan/internal/traffic"
+)
+
+// DefaultDriftThreshold is the KS-distance floor below which a point is
+// never flagged, regardless of sample size. The stage-1 comparison is
+// against the exact Theorem-1 distribution, but stages ≥ 2 are held
+// against the Section IV gamma approximation, whose own model error
+// reaches a few hundredths of KS distance at deep stages — the floor
+// keeps that approximation error from tripping the monitor on perfectly
+// healthy runs, while a genuinely mismatched model (wrong m or λ) moves
+// the whole distribution and clears it easily.
+const DefaultDriftThreshold = 0.15
+
+// defaultDriftAlpha is the significance of the statistical component of
+// the trigger (the sample-size-dependent KS critical value).
+const defaultDriftAlpha = 0.01
+
+// StageDrift is one stage's verdict in a drift check.
+type StageDrift struct {
+	Stage    int     // 1-based
+	N        int64   // measured waits at this stage
+	KS       float64 // empirical vs analytic KS distance
+	Critical float64 // autocorrelation-corrected critical value
+	Trigger  float64 // effective trigger: max(threshold floor, Critical)
+	Drifted  bool    // KS > Trigger
+}
+
+// DriftReport is the outcome of checking one point.
+type DriftReport struct {
+	// Skipped is non-empty when the point has no analytic reference
+	// model (bursty or hot-module traffic, resampled service, …); the
+	// Stages slice is then empty.
+	Skipped string
+	Stages  []StageDrift
+	Drifted bool
+}
+
+// MaxKS returns the report's worst per-stage statistic and its stage
+// (0, 0 for a skipped report).
+func (r *DriftReport) MaxKS() (stage int, ks float64) {
+	for _, s := range r.Stages {
+		if s.KS >= ks {
+			stage, ks = s.Stage, s.KS
+		}
+	}
+	return
+}
+
+// DriftMonitor compares a completed point's empirical per-stage
+// waiting-time distributions against the analytic predictions — the
+// exact Theorem-1 transform at stage 1, the Section IV moment
+// approximations (as a discretized gamma) at stages ≥ 2 — turning the
+// paper's theory into a runtime self-check: a sweep whose simulator,
+// seeds, or configuration plumbing has been miswired drifts away from
+// the model it is supposed to reproduce, and the monitor names the
+// offending stage. Safe for concurrent use by the runner's workers.
+type DriftMonitor struct {
+	// Threshold is the KS floor below which no stage is flagged
+	// (0 = DefaultDriftThreshold). The effective trigger per stage is
+	// max(Threshold, critical value at Alpha for the stage's effective
+	// sample size).
+	Threshold float64
+	// Alpha is the significance of the statistical trigger component
+	// (0 = 0.01).
+	Alpha float64
+	// Reference, when non-nil, replaces the analytic model: it must
+	// return the predicted waiting-time PMF for the given stage
+	// (1-based) with at least the given support. The monitor's own
+	// tests use it to verify a mismatched model is caught.
+	Reference func(cfg *simnet.Config, stage, support int) (dist.PMF, error)
+
+	mu      sync.Mutex
+	reg     *obs.Registry
+	lastKS  []float64 // most recent KS per stage (gauge backing)
+	checked int64
+	drifted int64
+	skipped int64
+}
+
+func (d *DriftMonitor) floor() float64 {
+	if d.Threshold > 0 {
+		return d.Threshold
+	}
+	return DefaultDriftThreshold
+}
+
+func (d *DriftMonitor) alpha() float64 {
+	if d.Alpha > 0 {
+		return d.Alpha
+	}
+	return defaultDriftAlpha
+}
+
+// Register exposes the monitor in a metrics registry:
+// drift.points_checked / drift.points_drifted / drift.points_skipped,
+// plus one drift.stage<i>.ks gauge per stage (registered lazily as
+// stages appear, holding the most recent KS distance).
+func (d *DriftMonitor) Register(reg *obs.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reg = reg
+	reg.Func("drift.points_checked", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.checked)
+	})
+	reg.Func("drift.points_drifted", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.drifted)
+	})
+	reg.Func("drift.points_skipped", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.skipped)
+	})
+	for i := range d.lastKS {
+		d.registerStageLocked(i)
+	}
+}
+
+// registerStageLocked registers the stage-i (0-based) KS gauge; the
+// caller holds d.mu.
+func (d *DriftMonitor) registerStageLocked(i int) {
+	if d.reg == nil {
+		return
+	}
+	d.reg.Func("drift.stage"+strconv.Itoa(i+1)+".ks", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if i < len(d.lastKS) {
+			return d.lastKS[i]
+		}
+		return 0
+	})
+}
+
+// setKS publishes a stage's latest statistic, growing (and lazily
+// registering) the gauge vector as deeper networks appear.
+func (d *DriftMonitor) setKS(stage int, ks float64) { // 1-based
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.lastKS) < stage {
+		d.lastKS = append(d.lastKS, 0)
+		d.registerStageLocked(len(d.lastKS) - 1)
+	}
+	d.lastKS[stage-1] = ks
+}
+
+func (d *DriftMonitor) account(rep *DriftReport) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rep.Skipped != "" {
+		d.skipped++
+		return
+	}
+	d.checked++
+	if rep.Drifted {
+		d.drifted++
+	}
+}
+
+// driftBulk mirrors simnet's bulk default (0 means 1).
+func driftBulk(cfg *simnet.Config) int {
+	if cfg.Bulk <= 0 {
+		return 1
+	}
+	return cfg.Bulk
+}
+
+// driftService mirrors simnet's service default (zero value = unit).
+func driftService(cfg *simnet.Config) traffic.Service {
+	if cfg.Service.PMF().Support() == 0 {
+		return traffic.UnitService()
+	}
+	return cfg.Service
+}
+
+// driftIneligible reports why a configuration has no analytic reference
+// distribution ("" = checkable). The monitor checks exactly the
+// configurations the paper models; everything else is counted as
+// skipped rather than guessed at.
+func driftIneligible(cfg *simnet.Config) string {
+	if cfg.Burst != nil {
+		return "bursty arrivals have no analytic waiting-time model"
+	}
+	if cfg.HotModule > 0 {
+		return "hot-module traffic has no analytic waiting-time model"
+	}
+	if cfg.ResampleService {
+		return "per-stage service resampling has no analytic waiting-time model"
+	}
+	if cfg.Stages > 1 {
+		if driftBulk(cfg) > 1 {
+			return "no Section IV model for bulk arrivals beyond stage 1"
+		}
+		if len(driftService(cfg).PMF().SortedSupport(0)) != 1 {
+			return "no Section IV model for non-constant service beyond stage 1"
+		}
+	}
+	return ""
+}
+
+// driftArrivals reconstructs the stage-1 arrival law of a configuration.
+func driftArrivals(cfg *simnet.Config) (traffic.Arrivals, error) {
+	b := driftBulk(cfg)
+	if cfg.Q != 0 {
+		return traffic.NonuniformExclusive(cfg.K, cfg.P, cfg.Q, b)
+	}
+	if b > 1 {
+		return traffic.Bulk(cfg.K, cfg.K, cfg.P, b)
+	}
+	return traffic.Uniform(cfg.K, cfg.K, cfg.P)
+}
+
+// model returns the predicted waiting-time PMF for a stage (1-based)
+// with at least the given support.
+func (d *DriftMonitor) model(cfg *simnet.Config, stage, support int) (dist.PMF, error) {
+	if d.Reference != nil {
+		return d.Reference(cfg, stage, support)
+	}
+	if stage == 1 {
+		arr, err := driftArrivals(cfg)
+		if err != nil {
+			return dist.PMF{}, err
+		}
+		an, err := core.New(arr, driftService(cfg))
+		if err != nil {
+			return dist.PMF{}, err
+		}
+		pmf, _, err := an.WaitDistribution(support)
+		return pmf, err
+	}
+	// Stages ≥ 2: gamma matched to the Section IV moment approximations
+	// (eligibility — constant service, no bulk — was checked upstream).
+	m := driftService(cfg).PMF().SortedSupport(0)[0]
+	if m < 1 {
+		m = 1
+	}
+	pr := stages.Params{K: cfg.K, M: m, P: cfg.P, Q: cfg.Q}
+	md := stages.DefaultModel()
+	mean := md.StageMeanWait(pr, stage)
+	variance := md.StageVarWait(pr, stage)
+	if mean <= 0 || variance <= 0 {
+		return dist.PointPMF(0), nil
+	}
+	g, err := dist.GammaFromMoments(mean, variance)
+	if err != nil {
+		return dist.PMF{}, err
+	}
+	return g.Discretize(support), nil
+}
+
+// mergeWaitHists pools per-replication stage histograms in replication
+// order into one histogram per stage. It returns nil when drift data is
+// absent or unusable: no histograms were collected, a replication's set
+// is incomplete, or the point was truncated (a run stopped mid-stream
+// measures a biased waiting-time sample that would register as
+// spurious drift).
+func mergeWaitHists(reps [][]*stats.Hist, nStages int, truncated bool) []*stats.Hist {
+	if reps == nil || truncated || nStages <= 0 {
+		return nil
+	}
+	merged := make([]*stats.Hist, nStages)
+	for s := range merged {
+		merged[s] = &stats.Hist{}
+	}
+	for _, wh := range reps {
+		if len(wh) < nStages {
+			return nil
+		}
+		for s := 0; s < nStages; s++ {
+			merged[s].Merge(wh[s])
+		}
+	}
+	return merged
+}
+
+// stageQuantiles digests merged per-stage histograms for attachment to
+// point lifecycle events.
+func stageQuantiles(hists []*stats.Hist) []obs.StageQuantiles {
+	out := make([]obs.StageQuantiles, 0, len(hists))
+	for i, h := range hists {
+		out = append(out, obs.StageQuantiles{
+			Stage: i + 1,
+			N:     h.N(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		})
+	}
+	return out
+}
+
+// checkDrift runs the drift monitor on a completed point's merged
+// histograms and emits one drift event per offending stage. The monitor
+// is diagnostic-only: a modelling failure surfaces as a drift event
+// carrying the error, never as a point failure.
+func (r *Runner) checkDrift(pr *PointResult, merged []*stats.Hist) {
+	rep, err := r.Drift.Check(&pr.Point.Cfg, merged)
+	if err != nil {
+		ev := pointEvent(obs.EventDrift, pr)
+		ev.Err = err.Error()
+		r.emit(ev)
+		return
+	}
+	for _, sd := range rep.Stages {
+		if !sd.Drifted {
+			continue
+		}
+		ev := pointEvent(obs.EventDrift, pr)
+		ev.Stage = sd.Stage
+		ev.KS = sd.KS
+		ev.Threshold = sd.Trigger
+		r.emit(ev)
+	}
+}
+
+// Check compares a point's merged per-stage waiting-time histograms
+// (hists[i] = stage i+1) against the analytic model and returns the
+// per-stage verdicts, updating the monitor's counters and gauges.
+func (d *DriftMonitor) Check(cfg *simnet.Config, hists []*stats.Hist) (*DriftReport, error) {
+	rep := &DriftReport{}
+	if reason := driftIneligible(cfg); reason != "" {
+		rep.Skipped = reason
+		d.account(rep)
+		return rep, nil
+	}
+	if len(hists) < cfg.Stages {
+		return nil, fmt.Errorf("sweep: drift check needs %d stage histograms, got %d", cfg.Stages, len(hists))
+	}
+	// Utilization drives the effective-sample-size correction: waits at
+	// one queue share busy periods, so N is shrunk by (1-ρ)/(1+ρ).
+	rho := float64(driftBulk(cfg)) * cfg.P * driftService(cfg).Mean()
+	for i := 0; i < cfg.Stages; i++ {
+		h := hists[i]
+		if h == nil || h.N() == 0 {
+			return nil, fmt.Errorf("sweep: drift check: stage %d has no measured waits", i+1)
+		}
+		counts := h.Counts()
+		support := len(counts) + 64
+		if support < 256 {
+			support = 256
+		}
+		model, err := d.model(cfg, i+1, support)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: drift model for stage %d: %w", i+1, err)
+		}
+		kr, err := dist.OneSampleKS(counts, model, d.alpha(), rho)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: drift check stage %d: %w", i+1, err)
+		}
+		trigger := d.floor()
+		if kr.Critical > trigger {
+			trigger = kr.Critical
+		}
+		sd := StageDrift{
+			Stage:    i + 1,
+			N:        h.N(),
+			KS:       kr.KS,
+			Critical: kr.Critical,
+			Trigger:  trigger,
+			Drifted:  kr.KS > trigger,
+		}
+		rep.Stages = append(rep.Stages, sd)
+		rep.Drifted = rep.Drifted || sd.Drifted
+		d.setKS(i+1, kr.KS)
+	}
+	d.account(rep)
+	return rep, nil
+}

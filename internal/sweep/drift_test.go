@@ -1,0 +1,249 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"banyan/internal/dist"
+	"banyan/internal/obs"
+	"banyan/internal/simnet"
+	"banyan/internal/stats"
+	"banyan/internal/traffic"
+)
+
+// calibratedPoint is a stage-1-exact, multi-stage operating point well
+// inside the paper's model regime: moderate load, unit service, no
+// bursts or hot spots.
+func calibratedPoint(stages int) Point {
+	return Point{
+		Label: "calibrated",
+		Cfg:   simnet.Config{K: 2, Stages: stages, P: 0.4, Cycles: 20000, Warmup: 1000},
+	}
+}
+
+func driftEvents(ring *obs.RingSink) []obs.Event {
+	var out []obs.Event
+	for _, ev := range ring.Events() {
+		if ev.Event == obs.EventDrift {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestDriftCalibratedPointPasses: a healthy simulation of a modelled
+// configuration must not trip the monitor — and the point_done event
+// must carry the per-stage waiting-time digests.
+func TestDriftCalibratedPointPasses(t *testing.T) {
+	ring := obs.NewRingSink(64)
+	mon := &DriftMonitor{}
+	reg := obs.NewRegistry()
+	mon.Register(reg)
+	r := &Runner{RootSeed: 5, Events: ring, Drift: mon}
+	prs, err := r.Run([]Point{calibratedPoint(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(driftEvents(ring)) != 0 {
+		t.Fatalf("calibrated point emitted drift events: %+v", driftEvents(ring))
+	}
+	var done *obs.Event
+	for _, ev := range ring.Events() {
+		if ev.Event == obs.EventPointDone {
+			e := ev
+			done = &e
+		}
+	}
+	if done == nil {
+		t.Fatal("no point_done event")
+	}
+	if len(done.Waits) != 3 {
+		t.Fatalf("point_done carries %d stage digests, want 3", len(done.Waits))
+	}
+	for i, w := range done.Waits {
+		if w.Stage != i+1 || w.N == 0 || w.P99 < w.P50 {
+			t.Fatalf("stage digest %d malformed: %+v", i, w)
+		}
+		if w.N != prs[0].Result().Messages {
+			t.Fatalf("stage %d digest N %d, messages %d", w.Stage, w.N, prs[0].Result().Messages)
+		}
+	}
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"drift.points_checked 1", "drift.points_drifted 0", "drift.stage1.ks ", "drift.stage3.ks "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDriftWrongModelTriggers: a reference distribution that does not
+// match the simulated system (the operator mis-specified m or λ) must
+// produce a drift event naming the offending stage.
+func TestDriftWrongModelTriggers(t *testing.T) {
+	ring := obs.NewRingSink(64)
+	mon := &DriftMonitor{
+		Reference: func(cfg *simnet.Config, stage, support int) (dist.PMF, error) {
+			if stage == 2 {
+				// Predict "every wait is exactly 40 cycles" — nothing like
+				// a light-load queue, so stage 2 must drift.
+				return dist.PointPMF(40), nil
+			}
+			// Other stages keep the monitor's own analytic model, so only
+			// stage 2 can drift.
+			return (&DriftMonitor{}).model(cfg, stage, support)
+		},
+	}
+	r := &Runner{RootSeed: 5, Events: ring, Drift: mon}
+	if _, err := r.Run([]Point{calibratedPoint(3)}); err != nil {
+		t.Fatal(err)
+	}
+	evs := driftEvents(ring)
+	if len(evs) == 0 {
+		t.Fatal("mismatched model produced no drift event")
+	}
+	for _, ev := range evs {
+		if ev.Stage != 2 {
+			t.Fatalf("drift blamed stage %d, want 2: %+v", ev.Stage, ev)
+		}
+		if ev.KS <= ev.Threshold || ev.Threshold == 0 {
+			t.Fatalf("drift event statistic malformed: %+v", ev)
+		}
+		if ev.Label != "calibrated" || ev.Key == "" {
+			t.Fatalf("drift event missing point identity: %+v", ev)
+		}
+	}
+}
+
+// TestDriftCheckDirect exercises the monitor's analytic models without
+// the runner: a stage-1 exact comparison on a calibrated run passes,
+// and the same empirical data against a wrong configuration (claimed
+// service length m=4 when the run used m=1) drifts.
+func TestDriftCheckDirect(t *testing.T) {
+	cfg := simnet.Config{K: 2, Stages: 1, P: 0.4, Cycles: 30000, Warmup: 1000, Seed: 77}
+	cfg.WaitHists = []*stats.Hist{{}}
+	if _, err := simnet.Run(&cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	mon := &DriftMonitor{}
+	rep, err := mon.Check(&cfg, cfg.WaitHists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != "" || rep.Drifted {
+		t.Fatalf("calibrated stage-1 check failed: %+v", rep)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].N == 0 {
+		t.Fatalf("report malformed: %+v", rep)
+	}
+
+	// Same data, wrong claimed service time: the analytic prediction for
+	// m=2 (ρ=0.8) is far from the m=1 (ρ=0.4) empirical waits.
+	svc, err := traffic.ConstService(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := cfg
+	wrong.Service = svc
+	rep2, err := mon.Check(&wrong, cfg.WaitHists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Drifted {
+		t.Fatalf("wrong m not detected: %+v", rep2)
+	}
+	if stage, ks := rep2.MaxKS(); stage != 1 || ks <= DefaultDriftThreshold {
+		t.Fatalf("MaxKS = (%d, %g), want stage 1 above threshold", stage, ks)
+	}
+
+	// Wrong arrival rate: claim λ twice the simulated one.
+	hot := cfg
+	hot.P = 0.8
+	rep3, err := mon.Check(&hot, cfg.WaitHists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Drifted {
+		t.Fatalf("wrong λ not detected: %+v", rep3)
+	}
+}
+
+// TestDriftSkipsUnmodelledTraffic: configurations outside the paper's
+// analytic regime are counted as skipped, not guessed at.
+func TestDriftSkipsUnmodelledTraffic(t *testing.T) {
+	mon := &DriftMonitor{}
+	burst := simnet.Config{K: 2, Stages: 1, P: 0.3, Cycles: 100, Warmup: 10,
+		Burst: &simnet.BurstParams{POnRate: 0.5, POffRate: 0.1}}
+	rep, err := mon.Check(&burst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped == "" {
+		t.Fatalf("bursty traffic must skip: %+v", rep)
+	}
+
+	bulkDeep := simnet.Config{K: 2, Stages: 2, P: 0.1, Bulk: 3, Cycles: 100, Warmup: 10}
+	rep2, err := mon.Check(&bulkDeep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Skipped == "" {
+		t.Fatalf("bulk beyond stage 1 must skip: %+v", rep2)
+	}
+
+	reg := obs.NewRegistry()
+	mon.Register(reg)
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	if !strings.Contains(sb.String(), "drift.points_skipped 2") {
+		t.Fatalf("skip counter wrong:\n%s", sb.String())
+	}
+}
+
+// TestDriftTruncatedAndCachedSkipped: truncated replications poison the
+// waiting-time sample, and cached replays carry no fresh histograms —
+// neither may reach the monitor.
+func TestDriftTruncatedAndCachedSkipped(t *testing.T) {
+	mon := &DriftMonitor{}
+	ring := obs.NewRingSink(64)
+	r := &Runner{RootSeed: 5, Cache: NewCache(), Events: ring, Drift: mon}
+	pt := calibratedPoint(2)
+	if _, err := r.Run([]Point{pt}); err != nil {
+		t.Fatal(err)
+	}
+	if mon.checked != 1 {
+		t.Fatalf("first run checked %d points, want 1", mon.checked)
+	}
+	// Second run hits the cache: no fresh simulation, no second check.
+	if _, err := r.Run([]Point{pt}); err != nil {
+		t.Fatal(err)
+	}
+	if mon.checked != 1 {
+		t.Fatalf("cached replay re-checked: %d", mon.checked)
+	}
+
+	// A truncated point produces no drift verdict and no Waits digest.
+	sat := Point{Label: "saturated", Cfg: simnet.Config{
+		K: 2, Stages: 2, P: 0.9, Cycles: 5000, Warmup: 100,
+		AllowUnstable: true, MaxInFlight: 1, DrainCycles: 1,
+	}}
+	ring2 := obs.NewRingSink(64)
+	r2 := &Runner{RootSeed: 5, Events: ring2, Drift: mon}
+	prs, err := r2.Run([]Point{sat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prs[0].Truncated() {
+		t.Skip("saturation guard did not trip; nothing to assert")
+	}
+	if mon.checked != 1 {
+		t.Fatalf("truncated point reached the monitor")
+	}
+	for _, ev := range ring2.Events() {
+		if ev.Event == obs.EventPointDone && len(ev.Waits) != 0 {
+			t.Fatalf("truncated point_done carries waits: %+v", ev)
+		}
+	}
+}

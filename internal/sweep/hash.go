@@ -13,7 +13,10 @@ import (
 // the runner's root seed — into the 64-bit canonical key used both for
 // caching and per-point seed derivation. Cfg.Seed is deliberately
 // excluded (the runner overrides it); Label is excluded too, so
-// identically-configured points dedupe even under different names.
+// identically-configured points dedupe even under different names; and
+// the pure observers Probe and WaitHists are excluded because attaching
+// instrumentation must never change a point's identity, seed, or cached
+// result.
 func pointKey(p *Point, rootSeed uint64) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte

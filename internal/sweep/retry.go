@@ -9,6 +9,7 @@ import (
 
 	"banyan/internal/obs"
 	"banyan/internal/simnet"
+	"banyan/internal/stats"
 )
 
 // PanicError wraps a panic recovered from a simulation worker, so one
@@ -91,6 +92,12 @@ func (r *Runner) attempt(ctx context.Context, pr *PointResult, rep int, cfg *sim
 		ev.Attempt = a + 1
 		ev.Err = err.Error()
 		r.emit(ev)
+		// The retry reuses cfg, so any partially filled drift histograms
+		// from the failed attempt must be discarded. Entries are replaced
+		// in place: the caller kept the slice and reads it afterwards.
+		for i := range cfg.WaitHists {
+			cfg.WaitHists[i] = &stats.Hist{}
+		}
 		sleepCtx(ctx, r.backoff(a))
 	}
 }

@@ -32,6 +32,7 @@ import (
 
 	"banyan/internal/obs"
 	"banyan/internal/simnet"
+	"banyan/internal/stats"
 )
 
 // Engine selects which simulator executes a point.
@@ -152,6 +153,14 @@ type Runner struct {
 	// excluded from config hashing, so attaching one never perturbs
 	// keys, seeds, or results.
 	Probe *obs.SimProbe
+	// Drift, when non-nil, collects exact per-stage waiting-time
+	// histograms for every freshly simulated point
+	// (simnet.Config.WaitHists — also hash-excluded and result-neutral)
+	// and checks the merged distributions against the analytic model
+	// when the point completes, emitting an EventDrift naming the
+	// offending stage on divergence. Cached, journaled and aliased
+	// points are served without re-simulation and are not re-checked.
+	Drift *DriftMonitor
 
 	ctr Counters
 
@@ -224,6 +233,10 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		failed    bool
 		started   bool
 		startedAt time.Time
+		// hists holds each replication's per-stage waiting-time
+		// histograms (drift-monitor data path); nil unless r.Drift is set
+		// and the point is freshly simulated.
+		hists [][]*stats.Hist
 	}
 	states := make([]pointState, len(points))
 	byKey := make(map[uint64]int, len(points))
@@ -285,6 +298,9 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 			}
 		}
 		states[i].pending = p.reps()
+		if r.Drift != nil {
+			states[i].hists = make([][]*stats.Hist, p.reps())
+		}
 		for rep := 0; rep < p.reps(); rep++ {
 			jobs = append(jobs, job{pi: i, rep: rep})
 		}
@@ -331,6 +347,18 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 					cfg.Seed = simnet.SplitSeed(st.pr.Seed, uint64(j.rep))
 					if r.Probe != nil {
 						cfg.Probe = r.Probe
+					}
+					if st.hists != nil {
+						// Drift data path: exact per-stage waiting-time
+						// histograms, filled by the engine, hash-excluded
+						// and result-neutral. Each replication slot is
+						// owned by exactly one worker, like Runs.
+						wh := make([]*stats.Hist, cfg.Stages)
+						for s := range wh {
+							wh[s] = &stats.Hist{}
+						}
+						cfg.WaitHists = wh
+						st.hists[j.rep] = wh
 					}
 					res, err = r.attempt(ctx, st.pr, j.rep, &cfg)
 				}
@@ -409,7 +437,14 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 						ev.Dropped += run.Dropped
 					}
 				}
+				merged := mergeWaitHists(st.hists, st.pr.Point.Cfg.Stages, st.pr.Truncated())
+				if merged != nil {
+					ev.Waits = stageQuantiles(merged)
+				}
 				r.emit(ev)
+				if merged != nil && r.Drift != nil {
+					r.checkDrift(st.pr, merged)
+				}
 				r.report(st.pr)
 			}
 		}()

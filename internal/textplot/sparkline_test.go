@@ -1,0 +1,46 @@
+package textplot
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil, 10); s != "" {
+		t.Fatalf("empty input: %q", s)
+	}
+	// One cell per value when width covers the input; min maps to the
+	// lowest rune, max to the highest.
+	s := Sparkline([]float64{0, 1, 2, 4}, 4)
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatalf("width: %q", s)
+	}
+	r := []rune(s)
+	if r[0] != '▁' || r[3] != '█' {
+		t.Fatalf("scaling: %q", s)
+	}
+	// Resampling: 8 values into 4 cells averages pairs.
+	s = Sparkline([]float64{1, 1, 2, 2, 3, 3, 4, 4}, 4)
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatalf("resampled width: %q", s)
+	}
+	if r := []rune(s); r[3] != '█' {
+		t.Fatalf("resampled max: %q", s)
+	}
+	// Monotone input yields monotone non-decreasing levels.
+	vals := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r = []rune(Sparkline(vals, 5))
+	for i := 1; i < len(r); i++ {
+		if r[i] < r[i-1] {
+			t.Fatalf("not monotone: %q", string(r))
+		}
+	}
+	// width < 1 falls back to one cell per value.
+	if s := Sparkline([]float64{1, 2}, 0); utf8.RuneCountInString(s) != 2 {
+		t.Fatalf("width<1 fallback: %q", s)
+	}
+	// All-zero values render the floor rune, not garbage.
+	if s := Sparkline([]float64{0, 0, 0}, 3); s != "▁▁▁" {
+		t.Fatalf("all-zero: %q", s)
+	}
+}

@@ -75,6 +75,55 @@ func Histogram(w io.Writer, title string, sim, model []float64, width int, cutPr
 	return nil
 }
 
+// sparkRunes are the eight block-element levels of a sparkline, lowest
+// to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single-line unicode bar chart, resampled
+// to width cells (width < 1 keeps one cell per value). Each cell shows
+// the mean of the values it covers, scaled so the global maximum maps to
+// the tallest block; non-positive cells render as the lowest block.
+// Returns "" for an empty input.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width < 1 || width > len(values) {
+		width = len(values)
+	}
+	cells := make([]float64, width)
+	for i := range cells {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		cells[i] = sum / float64(hi-lo)
+	}
+	maxV := 0.0
+	for _, c := range cells {
+		if c > maxV {
+			maxV = c
+		}
+	}
+	out := make([]rune, width)
+	for i, c := range cells {
+		level := 0
+		if maxV > 0 && c > 0 {
+			level = int(c / maxV * float64(len(sparkRunes)-1))
+			if level >= len(sparkRunes) {
+				level = len(sparkRunes) - 1
+			}
+		}
+		out[i] = sparkRunes[level]
+	}
+	return string(out)
+}
+
 func at(v []float64, j int) float64 {
 	if j < 0 || j >= len(v) {
 		return 0
