@@ -1,0 +1,215 @@
+// Command benchdiff is the repo's benchmark regression gate: it parses
+// `go test -bench` output (from stdin or a file) and compares every
+// benchmark against a checked-in baseline JSON (BENCH_sweep.json,
+// BENCH_kernel.json, …), failing with exit status 1 when a metric
+// regresses past its tolerance.
+//
+// Usage:
+//
+//	go test ./internal/sweep/ -bench BenchmarkSweep -benchtime 3x | \
+//	    benchdiff -baseline BENCH_kernel.json -require BenchmarkSweepSequential
+//
+// Flags:
+//
+//	-baseline FILE   baseline JSON (required); only its "benchmarks" map is read
+//	-ns-tol F        allowed fractional ns/op regression (default 0.20)
+//	-b-tol F         allowed fractional B/op regression (default 0.20)
+//	-allocs-tol F    allowed fractional allocs/op regression (default 0.20)
+//	-require LIST    comma-separated benchmarks that must appear in the input
+//	-gate-ns         gate on ns/op (default true; disable on noisy shared
+//	                 runners, where B/op and allocs/op remain deterministic)
+//
+// Benchmarks present in the input but absent from the baseline are
+// reported and skipped; improvements are reported and pass. Sub-benchmark
+// names keep their path ("BenchmarkStreamingTrace/streaming") and the
+// -cpu suffix ("-8") is stripped, matching the baseline's key style.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark's measurement triple. ns/op is a float in
+// `go test` output for sub-microsecond benchmarks; keep the parsed
+// precision.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	Benchmarks map[string]metrics `json:"benchmarks"`
+}
+
+// parseBenchOutput extracts benchmark result lines from `go test -bench`
+// output. A result line looks like
+//
+//	BenchmarkName-8   3   164052734 ns/op   35482 B/op   347 allocs/op
+//
+// where the B/op and allocs/op columns appear only under -benchmem or
+// b.ReportAllocs, and the -N GOMAXPROCS suffix is optional.
+func parseBenchOutput(r io.Reader) (map[string]metrics, error) {
+	out := map[string]metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var m metrics
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp, seen = v, true
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// regression returns the fractional increase of got over base, 0 when the
+// metric improved or the baseline is zero (nothing to regress from).
+func regression(base, got float64) float64 {
+	if base <= 0 || got <= base {
+		return 0
+	}
+	return (got - base) / base
+}
+
+// diff compares measured benchmarks against the baseline and returns
+// human-readable failure lines. gateNs disables ns/op gating (for noisy
+// runners); B/op and allocs/op are always gated — they are deterministic.
+func diff(base, got map[string]metrics, nsTol, bTol, allocsTol float64,
+	gateNs bool, logf func(string, ...any)) []string {
+	var failures []string
+	for name, g := range got {
+		b, ok := base[name]
+		if !ok {
+			logf("%s: not in baseline, skipped", name)
+			continue
+		}
+		checks := []struct {
+			metric string
+			base   float64
+			got    float64
+			tol    float64
+			gated  bool
+		}{
+			{"ns/op", b.NsPerOp, g.NsPerOp, nsTol, gateNs},
+			{"B/op", b.BytesPerOp, g.BytesPerOp, bTol, true},
+			{"allocs/op", b.AllocsPerOp, g.AllocsPerOp, allocsTol, true},
+		}
+		for _, c := range checks {
+			r := regression(c.base, c.got)
+			switch {
+			case r > c.tol && c.gated:
+				failures = append(failures, fmt.Sprintf(
+					"%s %s regressed %.1f%%: %.6g -> %.6g (tolerance %.0f%%)",
+					name, c.metric, 100*r, c.base, c.got, 100*c.tol))
+			case r > c.tol:
+				logf("%s %s regressed %.1f%% (%.6g -> %.6g), not gated",
+					name, c.metric, 100*r, c.base, c.got)
+			case c.got < c.base:
+				logf("%s %s improved: %.6g -> %.6g", name, c.metric, c.base, c.got)
+			}
+		}
+	}
+	return failures
+}
+
+// missing returns the required benchmark names absent from got.
+func missing(required []string, got map[string]metrics) []string {
+	var out []string
+	for _, name := range required {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := got[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	basePath := flag.String("baseline", "", "baseline JSON file (required)")
+	nsTol := flag.Float64("ns-tol", 0.20, "allowed fractional ns/op regression")
+	bTol := flag.Float64("b-tol", 0.20, "allowed fractional B/op regression")
+	allocsTol := flag.Float64("allocs-tol", 0.20, "allowed fractional allocs/op regression")
+	require := flag.String("require", "", "comma-separated benchmarks that must be present")
+	gateNs := flag.Bool("gate-ns", true, "fail on ns/op regressions (disable on noisy runners)")
+	flag.Parse()
+
+	if *basePath == "" {
+		log.Fatal("-baseline is required")
+	}
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("%s: %v", *basePath, err)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		log.Fatal("at most one input file")
+	}
+	got, err := parseBenchOutput(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ok := true
+	if m := missing(strings.Split(*require, ","), got); len(m) > 0 {
+		ok = false
+		log.Printf("required benchmarks missing from input: %s", strings.Join(m, ", "))
+	}
+	for _, f := range diff(base.Benchmarks, got, *nsTol, *bTol, *allocsTol, *gateNs, log.Printf) {
+		ok = false
+		log.Print(f)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	log.Printf("%d benchmarks within tolerance of %s", len(got), *basePath)
+}

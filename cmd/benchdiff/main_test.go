@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: banyan/internal/sweep
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepSequential 	       3	 164052734 ns/op	   35482 B/op	     347 allocs/op
+BenchmarkSweepParallel-8 	       3	 160123456 ns/op	   35490 B/op	     348 allocs/op
+BenchmarkTiny-4          	 1000000	      1052.5 ns/op
+--- BENCH: BenchmarkSweepParallel-8
+    bench_test.go:42: GOMAXPROCS=8
+PASS
+ok  	banyan/internal/sweep	3.1s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	seq := got["BenchmarkSweepSequential"]
+	if seq.NsPerOp != 164052734 || seq.BytesPerOp != 35482 || seq.AllocsPerOp != 347 {
+		t.Fatalf("sequential metrics wrong: %+v", seq)
+	}
+	// The -8 cpu suffix is stripped; the name keys match baseline style.
+	if _, ok := got["BenchmarkSweepParallel"]; !ok {
+		t.Fatalf("cpu suffix not stripped: %+v", got)
+	}
+	// ns/op-only lines (no -benchmem) still parse, with fractional ns.
+	if tiny := got["BenchmarkTiny"]; tiny.NsPerOp != 1052.5 || tiny.AllocsPerOp != 0 {
+		t.Fatalf("tiny metrics wrong: %+v", tiny)
+	}
+}
+
+func discardLogf(string, ...any) {}
+
+func TestDiffGatesRegressions(t *testing.T) {
+	base := map[string]metrics{
+		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+	}
+
+	// Within tolerance: pass.
+	got := map[string]metrics{"BenchmarkA": {NsPerOp: 110, BytesPerOp: 1100, AllocsPerOp: 11}}
+	if f := diff(base, got, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
+		t.Fatalf("within-tolerance run failed: %v", f)
+	}
+
+	// Past tolerance on every metric: three failures.
+	got = map[string]metrics{"BenchmarkA": {NsPerOp: 130, BytesPerOp: 1300, AllocsPerOp: 13}}
+	if f := diff(base, got, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 3 {
+		t.Fatalf("want 3 failures, got %v", f)
+	}
+
+	// ns/op gating disabled: the time regression logs but does not fail.
+	if f := diff(base, got, 0.2, 0.2, 0.2, false, discardLogf); len(f) != 2 {
+		t.Fatalf("want 2 failures with -gate-ns=false, got %v", f)
+	}
+
+	// Improvements never fail.
+	got = map[string]metrics{"BenchmarkA": {NsPerOp: 50, BytesPerOp: 500, AllocsPerOp: 5}}
+	if f := diff(base, got, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", f)
+	}
+
+	// Unknown benchmarks are skipped, not failed.
+	got = map[string]metrics{"BenchmarkNew": {NsPerOp: 1e9}}
+	if f := diff(base, got, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
+		t.Fatalf("unknown benchmark failed the gate: %v", f)
+	}
+}
+
+func TestRegressionZeroBaseline(t *testing.T) {
+	// A zero baseline (e.g. 0 allocs/op recorded on an old machine)
+	// cannot express a fractional regression; it must not divide by zero
+	// or fail spuriously.
+	if r := regression(0, 100); r != 0 {
+		t.Fatalf("regression(0, 100) = %g", r)
+	}
+	if r := regression(100, 100); r != 0 {
+		t.Fatalf("no-change regression = %g", r)
+	}
+	if r := regression(100, 150); r != 0.5 {
+		t.Fatalf("regression(100, 150) = %g", r)
+	}
+}
+
+func TestMissingRequired(t *testing.T) {
+	got := map[string]metrics{"BenchmarkA": {}}
+	m := missing([]string{"BenchmarkA", " BenchmarkB", ""}, got)
+	if len(m) != 1 || m[0] != "BenchmarkB" {
+		t.Fatalf("missing = %v, want [BenchmarkB]", m)
+	}
+}

@@ -178,11 +178,11 @@ func (c *Config) serviceSampler() *dist.Sampler {
 	if !c.ResampleService {
 		return nil
 	}
-	pmf := c.service().PMF()
-	if len(pmf.SortedSupport(0)) == 1 {
+	svc := c.service()
+	if len(svc.PMF().SortedSupport(0)) == 1 {
 		return nil
 	}
-	return dist.NewSampler(pmf)
+	return svc.Sampler()
 }
 
 // maxInFlight returns the in-flight message cap (saturation guard).

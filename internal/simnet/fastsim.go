@@ -79,10 +79,10 @@ func (r *Result) MeanTotalWait() float64 { return r.TotalWait.Mean() }
 // VarTotalWait returns the empirical variance of the total waiting time.
 func (r *Result) VarTotalWait() float64 { return r.TotalWait.Variance() }
 
-// Run executes the fast message-level engine on a streamed trace: the
-// arrival schedule is generated in chunks and consumed incrementally, so
-// peak memory is bounded by the in-flight message count rather than the
-// schedule length.
+// Run executes the fast message-level engine (the batch kernel in
+// kernel.go) on a streamed trace: the arrival schedule is generated in
+// chunks and consumed incrementally, so peak memory is bounded by the
+// in-flight message count rather than the schedule length.
 func Run(cfg *Config) (*Result, error) {
 	return RunCtx(context.Background(), cfg)
 }
@@ -95,7 +95,16 @@ func RunCtx(ctx context.Context, cfg *Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return RunSourceCtx(ctx, cfg, src)
+	// The stream is private to this run, so it can borrow the arena's
+	// block scratch — back-to-back replications then allocate nothing
+	// for trace generation either.
+	ar := arenaPool.Get().(*arena)
+	ar.lendBlockScratch(src)
+	defer func() {
+		ar.harvestBlockScratch(src)
+		ar.release()
+	}()
+	return runKernel(ctx, cfg, src, ar)
 }
 
 // RunTrace executes the fast message-level engine on a prepared
@@ -106,7 +115,7 @@ func RunTrace(cfg *Config, tr *Trace) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return RunSource(cfg, tr.Source())
+	return RunKernelSource(cfg, tr.Source())
 }
 
 // fastMsg is the per-in-flight-message state of the fast engine. Slots
@@ -174,14 +183,30 @@ func (cb *cycleBuckets) take(t int64) []int32 {
 	return b
 }
 
+// Spare-list retention caps: a saturated high-ρ cycle can momentarily
+// bucket tens of thousands of messages, and an uncapped spare list
+// would pin such peak-sized arrays for the rest of the run. Oversized
+// buckets are released to the GC instead; steady-state cycles sit far
+// below the cap, so recycling still eliminates their churn.
+const (
+	maxSpareBuckets   = 64
+	maxSpareBucketCap = 4096
+)
+
 func (cb *cycleBuckets) recycle(b []int32) {
-	if cap(b) > 0 {
-		cb.spare = append(cb.spare, b[:0])
+	if cap(b) == 0 || cap(b) > maxSpareBucketCap || len(cb.spare) >= maxSpareBuckets {
+		return
 	}
+	cb.spare = append(cb.spare, b[:0])
 }
 
-// RunSource executes the fast message-level engine against an arrival
-// source, pulling schedule blocks on demand.
+// RunSource executes the reference message-level engine against an
+// arrival source, pulling schedule blocks on demand. The production
+// entry points (Run, RunCtx, RunTrace) route to the batch kernel in
+// kernel.go, which implements the identical algorithm over flat
+// structure-of-arrays state; this straightforward implementation is
+// kept as the differential oracle the kernel is checked against —
+// the two are byte-identical at every seed.
 //
 // The engine advances a global clock cycle by cycle. At each cycle every
 // stage's batch of arriving messages is visited (simultaneous arrivals

@@ -1,8 +1,6 @@
 package simnet
 
 import (
-	"math/rand/v2"
-
 	"banyan/internal/dist"
 )
 
@@ -92,7 +90,7 @@ type ArrivalSource interface {
 // schedules, regardless of the block size.
 type TraceStream struct {
 	meta TraceMeta
-	rng  *rand.Rand
+	rng  *krand
 
 	blockCycles int
 	next        int   // next cycle to generate
@@ -129,7 +127,7 @@ func NewTraceStream(cfg *Config, blockCycles int) (*TraceStream, error) {
 	svcPMF := cfg.service().PMF()
 	s := &TraceStream{
 		meta:        meta,
-		rng:         rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		rng:         newKrand(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15),
 		blockCycles: blockCycles,
 		p:           cfg.P,
 		q:           cfg.Q,
@@ -143,7 +141,7 @@ func NewTraceStream(cfg *Config, blockCycles int) (*TraceStream, error) {
 	if sup := svcPMF.SortedSupport(0); len(sup) == 1 {
 		s.constSvc = sup[0]
 	} else {
-		s.sampler = dist.NewSampler(svcPMF)
+		s.sampler = cfg.service().Sampler()
 	}
 	if cfg.Burst != nil {
 		pOn, err := cfg.Burst.validate(cfg.P)
@@ -182,10 +180,17 @@ func (s *TraceStream) Next() (*TraceBlock, error) {
 	blk.Svc = blk.Svc[:0]
 	blk.Meas = blk.Meas[:0]
 
+	// Hoisted loop state: the generator calls into rng between field
+	// reads, so without locals the compiler must reload every field per
+	// iteration — and this loop runs rows times per simulated cycle.
 	rng := s.rng
+	rows := s.meta.Rows
+	p, q, hot := s.p, s.q, s.hot
+	bulk, constSvc := s.bulk, s.constSvc
+	destSpace := s.destSpace
 	for t := s.next; t < end; t++ {
 		meas := t >= s.warmup
-		for in := 0; in < s.meta.Rows; in++ {
+		for in := 0; in < rows; in++ {
 			if s.on != nil {
 				if s.on[in] {
 					if rng.Float64() < s.burst.POffRate {
@@ -198,25 +203,25 @@ func (s *TraceStream) Next() (*TraceBlock, error) {
 					continue
 				}
 			}
-			if rng.Float64() >= s.p {
+			if rng.Float64() >= p {
 				continue
 			}
 			var dest uint32
 			switch {
-			case s.q > 0 && rng.Float64() < s.q:
+			case q > 0 && rng.Float64() < q:
 				dest = uint32(in) // favorite: the output with the input's own index
-			case s.hot > 0 && rng.Float64() < s.hot:
+			case hot > 0 && rng.Float64() < hot:
 				dest = 0 // the shared hot module
 			default:
-				dest = uint32(rng.Uint64N(s.destSpace))
+				dest = uint32(rng.Uint64N(destSpace))
 			}
 			sv := int16(1)
-			if s.constSvc > 0 {
-				sv = int16(s.constSvc)
+			if constSvc > 0 {
+				sv = int16(constSvc)
 			} else {
 				sv = int16(s.sampler.Sample(rng.Float64(), rng.Float64()))
 			}
-			for j := 0; j < s.bulk; j++ {
+			for j := 0; j < bulk; j++ {
 				blk.T = append(blk.T, int32(t))
 				blk.In = append(blk.In, int32(in))
 				blk.Dest = append(blk.Dest, dest)

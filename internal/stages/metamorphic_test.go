@@ -1,0 +1,90 @@
+package stages
+
+import (
+	"testing"
+)
+
+// TestMScalingIdentity pins the Section IV-B size generalization as an
+// exact algebraic identity of the model: a network of m-cycle messages at
+// arrival rate p is a unit-message network run at intensity ρ = m·p with
+// the clock dilated by m, so
+//
+//	w∞(k, m, p) = m · w∞(k, 1, ρ)        (equation (15)).
+//
+// Both sides route through different code paths (the m ≥ 2 branch uses
+// unitMeanBar directly; the M = 1 branch anchors at the exact
+// first-stage formula), so agreement also verifies that
+// core.ConstServiceMeanWait(k, k, ρ, 1) equals the closed form
+// (1-1/k)ρ/(2(1-ρ)) the scaled branch is built on.
+func TestMScalingIdentity(t *testing.T) {
+	md := DefaultModel()
+	for _, k := range []int{2, 3, 4, 8} {
+		for _, m := range []int{2, 3, 5, 9} {
+			for _, p := range []float64{0.01, 0.05, 0.1, 0.3 / float64(m)} {
+				scaled := Params{K: k, M: m, P: p}
+				unit := Params{K: k, M: 1, P: float64(m) * p}
+				if err := scaled.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				got := md.LimitMeanWait(scaled)
+				want := float64(m) * md.LimitMeanWait(unit)
+				almost(t, got, want, 1e-12*(1+want),
+					"m-scaling of the limit mean wait")
+			}
+		}
+	}
+}
+
+// TestUnitBarsMatchExactFirstStage: the building blocks of the m ≥ 2
+// branch are the closed forms ū(ρ) and v̄(ρ); they must coincide with the
+// exact stage-1 reconstructions evaluated at unit size — otherwise the
+// M = 1 and m ≥ 2 branches of the model disagree at the seam m→1.
+func TestUnitBarsMatchExactFirstStage(t *testing.T) {
+	md := DefaultModel()
+	for _, k := range []int{2, 4, 16} {
+		for _, rho := range []float64{0.1, 0.5, 0.85} {
+			pr := Params{K: k, M: 1, P: rho}
+			almost(t, unitMeanBar(k, rho), md.FirstStageMean(pr), 1e-12,
+				"unitMeanBar vs exact stage-1 mean")
+			almost(t, unitVarBar(k, rho), md.FirstStageVar(pr), 1e-12,
+				"unitVarBar vs exact stage-1 variance")
+		}
+	}
+}
+
+// TestQFactorMultiplies: the Section IV-D favorite-output correction is a
+// pure multiplicative factor on both branches — switching q on scales
+// w∞ and v∞ by exactly qWaitFactor(q) and qVarFactor(q) for m ≥ 2
+// (where the anchor itself has no q dependence).
+func TestQFactorMultiplies(t *testing.T) {
+	md := DefaultModel()
+	for _, q := range []float64{0.1, 0.3, 0.5} {
+		for _, m := range []int{2, 4} {
+			base := Params{K: 2, M: m, P: 0.1}
+			fav := base
+			fav.Q = q
+			almost(t, md.LimitMeanWait(fav), md.qWaitFactor(q)*md.LimitMeanWait(base),
+				1e-12, "q wait factor multiplies")
+			almost(t, md.LimitVarWait(fav), md.qVarFactor(q)*md.LimitVarWait(base),
+				1e-12, "q var factor multiplies")
+		}
+	}
+}
+
+// TestMultiSizeDegeneratesToConst: the Section IV-C mixture formulas with
+// a single size in the mix must reduce to the plain m ≥ 2 limits — the
+// stage-1 correction ratio is exactly 1 when the mixture is degenerate.
+func TestMultiSizeDegeneratesToConst(t *testing.T) {
+	md := DefaultModel()
+	for _, m := range []int{2, 3, 5} {
+		for _, p := range []float64{0.05, 0.15} {
+			pr := Params{K: 2, M: m, P: p}
+			gotMean := md.MultiSizeLimitMeanWait(2, p, []int{m}, []float64{1})
+			almost(t, gotMean, md.LimitMeanWait(pr), 1e-9*(1+gotMean),
+				"degenerate multi-size mean")
+			gotVar := md.MultiSizeLimitVarWait(2, p, []int{m}, []float64{1})
+			almost(t, gotVar, md.LimitVarWait(pr), 1e-9*(1+gotVar),
+				"degenerate multi-size variance")
+		}
+	}
+}

@@ -35,7 +35,15 @@ func pointKey(p *Point, rootSeed uint64) uint64 {
 	}
 
 	wu(rootSeed)
-	wi(int(p.Engine))
+	// Reference is byte-identical to Fast by construction (the kernel's
+	// determinism contract), so the two share one identity: a result
+	// cached under either engine is valid for the other, and both draw
+	// the same per-point seed.
+	eng := p.Engine
+	if eng == Reference {
+		eng = Fast
+	}
+	wi(int(eng))
 	wi(p.reps())
 
 	cfg := &p.Cfg

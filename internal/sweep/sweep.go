@@ -39,15 +39,25 @@ import (
 type Engine int
 
 const (
-	// Fast is the message-level engine (infinite buffers, streaming).
+	// Fast is the message-level engine (infinite buffers, streaming),
+	// executed by the batch kernel.
 	Fast Engine = iota
 	// Literal is the cycle-driven engine (finite buffers, occupancy).
 	Literal
+	// Reference is the scalar message-level engine the batch kernel was
+	// derived from, kept as a differential oracle. It is byte-identical
+	// to Fast at every seed, so a point hashes — and caches — the same
+	// under either; selecting it only changes which code path computes
+	// the (identical) result.
+	Reference
 )
 
 func (e Engine) String() string {
-	if e == Literal {
+	switch e {
+	case Literal:
 		return "literal"
+	case Reference:
+		return "reference"
 	}
 	return "fast"
 }
@@ -508,12 +518,19 @@ func pointEvent(kind string, pr *PointResult) obs.Event {
 // runEngineCtx executes one replication on the selected engine, always
 // via the streaming arrival path, honouring ctx cancellation.
 func runEngineCtx(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Result, error) {
-	if e == Literal {
+	switch e {
+	case Literal:
 		src, err := simnet.NewTraceStream(cfg, 0)
 		if err != nil {
 			return nil, err
 		}
 		return simnet.RunLiteralSourceCtx(ctx, cfg, src)
+	case Reference:
+		src, err := simnet.NewTraceStream(cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		return simnet.RunSourceCtx(ctx, cfg, src)
 	}
 	return simnet.RunCtx(ctx, cfg)
 }

@@ -1,0 +1,177 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"banyan/internal/dist"
+)
+
+// samePMF asserts two arrival laws are the same distribution to floating
+// rounding: identical effective support and per-entry agreement at tol.
+func samePMF(t *testing.T, got, want dist.PMF, tol float64, msg string) {
+	t.Helper()
+	n := got.Support()
+	if w := want.Support(); w > n {
+		n = w
+	}
+	for j := 0; j < n; j++ {
+		if d := math.Abs(got.Prob(j) - want.Prob(j)); d > tol {
+			t.Fatalf("%s: P(%d) differs by %g (got %g, want %g)",
+				msg, j, d, got.Prob(j), want.Prob(j))
+		}
+	}
+}
+
+// TestNullParameterReductions: every structured law collapses to the
+// Section III-A-1 uniform model when its distinguishing parameter is
+// switched off — q = 0 favoritism, h = 0 hot traffic, b = 1 batches. The
+// reductions are algebraic identities of the PGFs, so the PMFs must agree
+// to rounding error, not statistically.
+func TestNullParameterReductions(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8} {
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			for _, b := range []int{1, 2, 3} {
+				base, err := Bulk(k, k, p, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nu, err := Nonuniform(k, p, 0, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				samePMF(t, nu.PMF(), base.PMF(), 1e-12, "Nonuniform q=0")
+				nx, err := NonuniformExclusive(k, p, 0, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				samePMF(t, nx.PMF(), base.PMF(), 1e-12, "NonuniformExclusive q=0")
+				hm, err := HotModule(k, p, 0, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				samePMF(t, hm.PMF(), base.PMF(), 1e-12, "HotModule h=0")
+			}
+			// b = 1 bulk is plain uniform traffic.
+			uni, err := Uniform(k, k, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := Bulk(k, k, p, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePMF(t, b1.PMF(), uni.PMF(), 1e-12, "Bulk b=1")
+		}
+	}
+}
+
+// TestFavoritismVanishesAtUniformRate: when each input routes to its
+// favorite with exactly the uniform probability q = 1/k and sprays the
+// remaining mass evenly over the other k-1 ports, the per-port law is
+// indistinguishable from uniform traffic:
+//
+//	Bernoulli(p·q) ⊗ Binomial(k-1, p(1-q)/(k-1)) = Binomial(k, p/k).
+//
+// This is the renormalized favorite-output law (favoritism measured as
+// extra mass on one port), and the identity pins the binomial
+// decomposition the Section III-A-3 analysis rests on.
+func TestFavoritismVanishesAtUniformRate(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8} {
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			q := 1 / float64(k)
+			fav := dist.MustPMF([]float64{1 - p*q, p * q})
+			rest := dist.Binomial(k-1, p*(1-q)/float64(k-1))
+			got := dist.Convolve(fav, rest)
+			samePMF(t, got, dist.Binomial(k, p/float64(k)), 1e-12,
+				"renormalized favorite at q=1/k")
+		}
+	}
+}
+
+// TestBulkScalingMoments: replacing unit messages by bulks of b scales
+// the arrival rate by exactly b and the r-th factorial moment pattern
+// accordingly — λ(Bulk b) = b·λ(Uniform) and the batch count law is
+// preserved under the b-fold dilation (mass only on multiples of b).
+func TestBulkScalingMoments(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		for _, b := range []int{2, 3, 5} {
+			p := 0.4
+			uni, err := Uniform(k, k, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blk, err := Bulk(k, k, p, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			almost(t, blk.Rate(), float64(b)*uni.Rate(), 1e-12, "bulk rate scaling")
+			pm := blk.PMF()
+			for j := 0; j < pm.Support(); j++ {
+				if j%b != 0 && pm.Prob(j) != 0 {
+					t.Fatalf("bulk b=%d has mass %g at non-multiple %d", b, pm.Prob(j), j)
+				}
+				if j%b == 0 {
+					almost(t, pm.Prob(j), uni.PMF().Prob(j/b), 1e-12, "bulk dilation")
+				}
+			}
+		}
+	}
+}
+
+// TestSamplerExactOnLaws reconstructs each law's PMF from its alias table
+// by brute-force integration over a fine grid of (u1, u2) pairs — every
+// cell of the alias table contributes prob[j]/n to its own value and
+// (1-prob[j])/n to its alias, so a uniform grid over u2 within each
+// column recovers the distribution to grid resolution. This pins the
+// sampler the kernel's batch-arrival path draws from to the analytic law
+// it claims to represent, with no Monte-Carlo noise.
+func TestSamplerExactOnLaws(t *testing.T) {
+	laws := []Arrivals{}
+	if a, err := Uniform(4, 4, 0.6); err == nil {
+		laws = append(laws, a)
+	}
+	if a, err := Nonuniform(3, 0.5, 0.3, 1); err == nil {
+		laws = append(laws, a)
+	}
+	if a, err := HotModule(2, 0.7, 0.2, 2); err == nil {
+		laws = append(laws, a)
+	}
+	for _, law := range laws {
+		pm := law.PMF()
+		s := law.Sampler()
+		n := pm.Support()
+		const grid = 4096
+		recon := make([]float64, n)
+		for col := 0; col < n; col++ {
+			u1 := (float64(col) + 0.5) / float64(n)
+			for g := 0; g < grid; g++ {
+				u2 := (float64(g) + 0.5) / grid
+				recon[s.Sample(u1, u2)] += 1 / (float64(n) * grid)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if d := math.Abs(recon[j] - pm.Prob(j)); d > 1.0/grid {
+				t.Fatalf("%s: sampler mass at %d off by %g", law, j, d)
+			}
+		}
+	}
+}
+
+// TestSamplerDegenerateConstant: a one-point service law yields a sampler
+// that returns the point for every (u1, u2) — the case config.go detects
+// to skip per-message service draws entirely.
+func TestSamplerDegenerateConstant(t *testing.T) {
+	svc, err := ConstService(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := svc.Sampler()
+	for _, u1 := range []float64{0, 0.25, 0.5, 0.999999} {
+		for _, u2 := range []float64{0, 0.5, 0.999999} {
+			if got := s.Sample(u1, u2); got != 7 {
+				t.Fatalf("constant sampler returned %d at (%g,%g)", got, u1, u2)
+			}
+		}
+	}
+}

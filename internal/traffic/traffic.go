@@ -39,6 +39,12 @@ func (a Arrivals) FactorialMoment(r int) float64 { return a.pmf.FactorialMoment(
 // String describes the model.
 func (a Arrivals) String() string { return a.desc }
 
+// Sampler returns an alias-method sampler over the batch-arrival law:
+// O(1) draws from R, the bridge between the analytic arrival PGFs and
+// the simulators' per-cycle batch generation. Each call builds a fresh
+// table; callers on a hot path should build once and reuse.
+func (a Arrivals) Sampler() *dist.Sampler { return dist.NewSampler(a.pmf) }
+
 // CustomArrivals wraps an arbitrary arrival-count PMF.
 func CustomArrivals(p dist.PMF) Arrivals {
 	return Arrivals{pmf: p, desc: fmt.Sprintf("custom arrivals (support %d)", p.Support())}
@@ -252,6 +258,11 @@ func (sv Service) FactorialMoment(r int) float64 { return sv.pmf.FactorialMoment
 
 // String describes the model.
 func (sv Service) String() string { return sv.desc }
+
+// Sampler returns an alias-method sampler over the service-time law,
+// the table the simulators draw from when resampling per-stage service.
+// Each call builds a fresh table; build once and reuse on hot paths.
+func (sv Service) Sampler() *dist.Sampler { return dist.NewSampler(sv.pmf) }
 
 // validateService enforces service times ≥ 1 (synchronous switches forward
 // at most one packet per cycle, so zero service is meaningless and would
