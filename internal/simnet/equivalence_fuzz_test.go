@@ -62,23 +62,41 @@ func fuzzConfig(k, n, svcKind uint8, pMille, qMille uint16, bulk uint8,
 			cfg.P = 0.9 * frac
 		}
 	}
-	// Bound saturated drains so divergent draws finish quickly.
+	// Bound saturated drains so divergent draws finish quickly, and let
+	// draws at or past the stability boundary run as truncated
+	// measurements instead of dying in Validate — the truncation paths
+	// are exactly where the engines are most likely to disagree.
 	cfg.MaxInFlight = 5000
 	cfg.DrainCycles = 20000
+	cfg.AllowUnstable = true
 	if cfg.Validate() != nil {
 		return cfg, 0, false
 	}
 	return cfg, cfg.P * float64(cfg.Bulk) * m, true
 }
 
-// FuzzEngineEquivalence cross-checks the three engines on arbitrary
+// fuzzLaneWidth derives the lock-step lane count for a fuzz execution
+// from seed bits fuzzConfig does not consume: 1..8, covering odd widths
+// and the degenerate W=1 group. The fuzz config itself rides at a
+// seed-chosen lane so every lane position gets exercised.
+func fuzzLaneWidth(seed uint64) (w, slot int) {
+	w = 1 + int((seed>>33)%8)
+	slot = int((seed >> 37) % uint64(w))
+	return w, slot
+}
+
+// FuzzEngineEquivalence cross-checks the four engines on arbitrary
 // bounded configurations: the batch kernel must match the scalar
-// reference engine bit for bit (the determinism contract), and — when
-// the run is not truncated — both must agree with the cycle-driven
-// literal engine on the measured population and, statistically, on the
-// mean wait. The seed corpus covers the edge regimes: saturation and
-// truncation, bulk batches, favorite outputs, hot modules, resampled
-// service and bursty sources.
+// reference engine bit for bit (the determinism contract); the laned
+// kernel — running the same configuration as one lane of a lock-step
+// group of seed-derived width, and again as a degenerate W=1 group —
+// must match the scalar kernel bit for bit on every lane; and, when the
+// run is not truncated, all must agree with the cycle-driven literal
+// engine on the measured population and, statistically, on the mean
+// wait. The seed corpus covers the edge regimes: saturation and
+// truncation (with AllowUnstable draws past ρ = 1), bulk batches,
+// favorite outputs, hot modules, resampled service, bursty sources, and
+// lane widths across 1..8 including odd group sizes.
 func FuzzEngineEquivalence(f *testing.F) {
 	//        k  n svc  p‰   q‰  bulk cyc  seed  resample burst hot
 	f.Add(uint8(0), uint8(3), uint8(0), uint16(400), uint16(0), uint8(0), uint16(600), uint64(1), false, false, false)  // plain uniform
@@ -89,6 +107,12 @@ func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(uint8(0), uint8(2), uint8(2), uint16(350), uint16(0), uint8(0), uint16(800), uint64(6), true, false, false)   // resampled multi-size service
 	f.Add(uint8(0), uint8(1), uint8(0), uint16(400), uint16(1), uint8(0), uint16(900), uint64(7), false, true, false)   // bursty source
 	f.Add(uint8(1), uint8(1), uint8(3), uint16(500), uint16(0), uint8(0), uint16(400), uint64(8), false, false, false)  // non-pow2 radix + geometric svc
+	// Lane-focused seeds: high seed bits select the lane width (1..8)
+	// and the fuzz config's lane position.
+	f.Add(uint8(0), uint8(3), uint8(0), uint16(400), uint16(0), uint8(0), uint16(600), uint64(1)<<33|9, false, false, false)   // W=2 group
+	f.Add(uint8(0), uint8(3), uint8(0), uint16(999), uint16(0), uint8(0), uint16(1100), uint64(2)<<33|10, false, false, false) // W=3 (odd) group, truncating
+	f.Add(uint8(0), uint8(2), uint8(1), uint16(999), uint16(0), uint8(1), uint16(500), uint64(4)<<33|11, false, false, false)  // W=5 group past ρ=1 (AllowUnstable)
+	f.Add(uint8(1), uint8(2), uint8(3), uint16(500), uint16(0), uint8(0), uint16(700), uint64(7)<<37|12, false, false, false)  // W=8 group, non-pow2 radix, off-zero slot
 
 	f.Fuzz(func(t *testing.T, k, n, svcKind uint8, pMille, qMille uint16, bulk uint8,
 		cycles uint16, seed uint64, resample, burst, hot bool) {
@@ -124,6 +148,49 @@ func FuzzEngineEquivalence(f *testing.F) {
 		}
 		if !reflect.DeepEqual(kres, rres) {
 			t.Fatalf("kernel and reference diverge (cfg %+v)\nkernel %+v\nref    %+v", cfg, kres, rres)
+		}
+
+		// Laned cross-check: the fuzz config runs as one lane of a
+		// lock-step group of seed-derived width, siblings at split seeds.
+		// Every lane is held bit-identical to a scalar run of its own
+		// configuration at the lanes' default block size — Offered counts
+		// pulled schedule, so truncated runs are block-size-sensitive and
+		// the oracle must pull the same blocks the lanes do.
+		w, slot := fuzzLaneWidth(seed)
+		lcfgs := make([]*Config, w)
+		for i := range lcfgs {
+			c := cfg
+			if i != slot {
+				c.Seed = SplitSeed(seed, uint64(i)+1)
+			}
+			lcfgs[i] = &c
+		}
+		gres, gerrs := RunLanes(lcfgs)
+		var slotRes *Result
+		var slotErr error
+		for i := range lcfgs {
+			oc := *lcfgs[i]
+			ores, oerr := Run(&oc)
+			if i == slot {
+				slotRes, slotErr = ores, oerr
+			}
+			if (gerrs[i] == nil) != (oerr == nil) {
+				t.Fatalf("lane %d/%d error mismatch: lanes %v, scalar %v (cfg %+v)", i, w, gerrs[i], oerr, cfg)
+			}
+			if !reflect.DeepEqual(gres[i], ores) {
+				t.Fatalf("lane %d/%d diverges from scalar (cfg %+v)\nlane   %+v\nscalar %+v", i, w, cfg, gres[i], ores)
+			}
+		}
+		if w > 1 {
+			// Degenerate W=1 group: the lane machinery with no siblings.
+			scfg := cfg
+			sres, serrs := RunLanes([]*Config{&scfg})
+			if (serrs[0] == nil) != (slotErr == nil) {
+				t.Fatalf("W=1 lane error mismatch: lane %v, scalar %v (cfg %+v)", serrs[0], slotErr, cfg)
+			}
+			if !reflect.DeepEqual(sres[0], slotRes) {
+				t.Fatalf("W=1 lane diverges from scalar (cfg %+v)\nlane   %+v\nscalar %+v", cfg, sres[0], slotRes)
+			}
 		}
 
 		// The literal engine shares no scheduling code; compare it

@@ -10,48 +10,79 @@ import "math/bits"
 // update, same unbiasing, same 32-bit fallback. The point is codegen,
 // not a different stream: rand.Rand draws every value through a Source
 // interface call, which the compiler cannot inline into the kernel's
-// hot loops; krand's draws inline fully, which is worth several ns per
-// draw across the ~10⁷ draws of a typical run. The equivalence is
-// pinned by TestKrandMatchesRandV2 and, transitively, by every golden
-// and differential test in the package, since the kernel and the
-// trace generator draw from krand while the reference engine draws
-// from math/rand/v2 itself.
+// hot loops; krand's draws come out of a batch-refilled ring instead,
+// which is worth several ns per draw across the ~10⁷ draws of a
+// typical run. The equivalence is pinned by TestKrandMatchesRandV2
+// and, transitively, by every golden and differential test in the
+// package, since the kernel and the trace generator draw from krand
+// while the reference engine draws from math/rand/v2 itself.
+//
+// Draws are produced krandBufN at a time by refill, which advances the
+// 128-bit LCG state in a tight loop the compiler keeps in registers:
+// the serial state chain pipelines across iterations while the DXSM
+// mixing of draw i overlaps the state update of draw i+1, instead of
+// the whole chain re-serializing at every consumption site. Running
+// the generator ahead of consumption is invisible — the state is
+// private to the owner and only ever observed through the draws, whose
+// sequence is unchanged.
 type krand struct {
 	hi, lo uint64
+	pos    int
+	buf    [krandBufN]uint64
 }
+
+// krandBufN is the refill batch: 32 draws (256 bytes) keeps the ring in
+// a few cache lines while amortizing the refill call across the hot
+// loops' draw mix.
+const krandBufN = 32
 
 func newKrand(seed1, seed2 uint64) *krand {
-	return &krand{hi: seed1, lo: seed2}
+	return &krand{hi: seed1, lo: seed2, pos: krandBufN}
 }
 
-// next advances the 128-bit LCG state.
-func (r *krand) next() (uint64, uint64) {
+// refill produces the next krandBufN draws: for each, advance the
+// 128-bit LCG state and apply the DXSM "double xorshift multiply"
+// output mixer.
+func (r *krand) refill() {
 	const (
-		mulHi = 2549297995355413924
-		mulLo = 4865540595714422341
-		incHi = 6364136223846793005
-		incLo = 1442695040888963407
+		mulHi    = 2549297995355413924
+		mulLo    = 4865540595714422341
+		incHi    = 6364136223846793005
+		incLo    = 1442695040888963407
+		cheapMul = 0xda942042e4dd58b5
 	)
-	// state = state * mul + inc
-	hi, lo := bits.Mul64(r.lo, mulLo)
-	hi += r.hi*mulLo + r.lo*mulHi
-	lo, c := bits.Add64(lo, incLo, 0)
-	hi, _ = bits.Add64(hi, incHi, c)
-	r.lo = lo
-	r.hi = hi
-	return hi, lo
+	hi, lo := r.hi, r.lo
+	for i := range r.buf {
+		// state = state * mul + inc
+		h, l := bits.Mul64(lo, mulLo)
+		h += hi*mulLo + lo*mulHi
+		l, c := bits.Add64(l, incLo, 0)
+		h, _ = bits.Add64(h, incHi, c)
+		hi, lo = h, l
+		// Output mixer, off the state chain's critical path.
+		o := h
+		o ^= o >> 32
+		o *= cheapMul
+		o ^= o >> 48
+		o *= l | 1
+		r.buf[i] = o
+	}
+	r.hi, r.lo = hi, lo
+	r.pos = 0
 }
 
 // Uint64 returns a uniformly-distributed random uint64 value.
+//
+// Structured to stay under the inlining budget (cost 79 of 80): the
+// rare refill is a bare statement, not a tail call, and the ring read
+// reuses r.pos rather than a hoisted local.
 func (r *krand) Uint64() uint64 {
-	hi, lo := r.next()
-	// DXSM "double xorshift multiply" output mixer.
-	const cheapMul = 0xda942042e4dd58b5
-	hi ^= hi >> 32
-	hi *= cheapMul
-	hi ^= hi >> 48
-	hi *= (lo | 1)
-	return hi
+	if r.pos == krandBufN {
+		r.refill()
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
 }
 
 // Float64 returns a pseudo-random number in [0.0, 1.0).

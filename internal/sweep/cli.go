@@ -32,6 +32,9 @@ type RunOptions struct {
 	Resume bool
 	// MaxRetries is the per-replication retry budget.
 	MaxRetries int
+	// Lanes is the lock-step lane width for Fast-engine replications
+	// (0 = auto, 1 = scalar kernel). Result-neutral; see Runner.Lanes.
+	Lanes int
 
 	// EventsPath appends one JSON line per point lifecycle event
 	// (started, retried, truncated, journaled, done, failed, cached,
@@ -74,6 +77,7 @@ func (o *RunOptions) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&o.Checkpoint, "checkpoint", "", "journal completed points to this file so an interrupted run can be resumed with -resume")
 	fs.BoolVar(&o.Resume, "resume", false, "reuse the completed points already in the -checkpoint journal")
 	fs.IntVar(&o.MaxRetries, "max-retries", 1, "retries per replication after a panic or simulation error")
+	fs.IntVar(&o.Lanes, "lanes", 0, "lock-step lane width: run this many replications of a point through one kernel invocation (0 = auto, 1 = scalar); never affects results")
 	fs.StringVar(&o.EventsPath, "events", "", "append structured sweep events as JSON lines to this file (\"-\" = stderr)")
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve live /metrics, /debug/vars, /debug/events and /debug/pprof on this address (e.g. :6060) while the run executes")
 	fs.BoolVar(&o.SimStats, "sim-stats", false, "collect simulator-internal statistics (free-list hit rate, per-stage backlog high water) and print a summary at exit")
@@ -94,6 +98,7 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 	}
 	r.PointBudget = o.PointBudget
 	r.MaxRetries = o.MaxRetries
+	r.Lanes = o.Lanes
 	if o.Checkpoint != "" {
 		j, err := SetupJournal(o.Checkpoint, o.Resume)
 		if err != nil {

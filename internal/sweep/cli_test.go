@@ -36,7 +36,7 @@ func TestRegisterFlags(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	o.RegisterFlags(fs)
 	err := fs.Parse([]string{
-		"-timeout", "10m", "-max-retries", "3",
+		"-timeout", "10m", "-max-retries", "3", "-lanes", "4",
 		"-events", "ev.jsonl", "-debug-addr", ":6060", "-sim-stats",
 		"-trace-out", "spans.jsonl", "-trace-sample", "32",
 		"-drift-check", "-drift-threshold", "0.2",
@@ -44,7 +44,7 @@ func TestRegisterFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o.EventsPath != "ev.jsonl" || o.DebugAddr != ":6060" || !o.SimStats || o.MaxRetries != 3 {
+	if o.EventsPath != "ev.jsonl" || o.DebugAddr != ":6060" || !o.SimStats || o.MaxRetries != 3 || o.Lanes != 4 {
 		t.Fatalf("flags not applied: %+v", o)
 	}
 	if o.TraceOut != "spans.jsonl" || o.TraceSample != 32 || !o.DriftCheck || o.DriftThreshold != 0.2 {

@@ -102,6 +102,77 @@ func (r *Runner) attempt(ctx context.Context, pr *PointResult, rep int, cfg *sim
 	}
 }
 
+// safeRunLanes executes one lock-step lane group with panic isolation
+// and the wall-clock budget. The budget applies per engine invocation,
+// and a group is one invocation: W replications advance through one
+// cycle loop, so they share one clock and one budget.
+func (r *Runner) safeRunLanes(ctx context.Context, cfgs []*simnet.Config) (results []*simnet.Result, errs []error, panicErr error) {
+	if r.PointBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.PointBudget)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			panicErr = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	results, errs = simnet.RunLanesCtx(ctx, cfgs)
+	return results, errs, nil
+}
+
+// attemptLanes runs one lane group of consecutive replications to a
+// final outcome, index-aligned with cfgs. A panic or any retryable lane
+// error retries the whole group: the engines are deterministic, so the
+// healthy lanes reproduce their results bit for bit and the group either
+// converges or fails together. Cancellation and deadline overruns are
+// never retried, exactly as in the scalar attempt.
+func (r *Runner) attemptLanes(ctx context.Context, pr *PointResult, rep0 int, cfgs []*simnet.Config) ([]*simnet.Result, []error) {
+	for a := 0; ; a++ {
+		results, errs, panicErr := r.safeRunLanes(ctx, cfgs)
+		if panicErr != nil {
+			// The panic unwound the whole group: no lane has a usable
+			// outcome, every replication carries the panic.
+			results = make([]*simnet.Result, len(cfgs))
+			errs = make([]error, len(cfgs))
+			for i := range errs {
+				errs[i] = panicErr
+			}
+		}
+		retryable := false
+		if ctx.Err() == nil {
+			for _, err := range errs {
+				if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					retryable = true
+					break
+				}
+			}
+		}
+		if !retryable || a >= r.MaxRetries {
+			return results, errs
+		}
+		r.ctr.retried()
+		ev := pointEvent(obs.EventPointRetried, pr)
+		ev.Rep = rep0
+		for _, err := range errs {
+			if err != nil {
+				ev.Err = err.Error()
+				break
+			}
+		}
+		r.emit(ev)
+		// The retry reuses every lane's cfg; discard any partially filled
+		// drift histograms, replacing entries in place as the scalar
+		// attempt does.
+		for _, cfg := range cfgs {
+			for i := range cfg.WaitHists {
+				cfg.WaitHists[i] = &stats.Hist{}
+			}
+		}
+		sleepCtx(ctx, r.backoff(a))
+	}
+}
+
 // engine returns the replication executor: the test hook when set, the
 // real simulators otherwise.
 func (r *Runner) engine() func(context.Context, Engine, *simnet.Config) (*simnet.Result, error) {

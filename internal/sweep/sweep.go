@@ -129,6 +129,15 @@ func (pr *PointResult) Truncated() bool {
 type Runner struct {
 	// Parallelism bounds the worker pool; 0 means GOMAXPROCS.
 	Parallelism int
+	// Lanes selects the lock-step lane width for Fast-engine points:
+	// each group of up to Lanes consecutive replications of a point runs
+	// as one multi-replication kernel invocation (simnet.RunLanes), every
+	// lane bit-identical to the scalar path at the same seed. 0 picks an
+	// automatic width (simnet.DefaultLaneWidth, clamped to the point's
+	// replication count); 1 forces the scalar kernel. Lane width never
+	// affects results, keys, seeds, caching, or journaling — only how
+	// many replications share one cycle loop.
+	Lanes int
 	// RootSeed is the seed every per-point seed is derived from.
 	RootSeed uint64
 	// Cache, when non-nil, stores completed points across Run calls.
@@ -187,6 +196,27 @@ func (r *Runner) parallelism() int {
 		return r.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// laneWidth picks the lock-step group width for a point's jobs. Only
+// Fast-engine points run laned — the other engines have no lane path,
+// and the fault-injection hook replaces engines one replication at a
+// time — and a group is never wider than the point's replication count.
+func (r *Runner) laneWidth(p *Point) int {
+	if p.Engine != Fast || r.runRep != nil {
+		return 1
+	}
+	lw := r.Lanes
+	if lw == 0 {
+		lw = simnet.DefaultLaneWidth(&p.Cfg, p.reps())
+	}
+	if lw < 1 {
+		lw = 1
+	}
+	if lw > p.reps() {
+		lw = p.reps()
+	}
+	return lw
 }
 
 // Run executes every point of the batch with Background context; see
@@ -250,7 +280,11 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 	}
 	states := make([]pointState, len(points))
 	byKey := make(map[uint64]int, len(points))
-	type job struct{ pi, rep int }
+	// A job is a contiguous group of w replications of one point,
+	// starting at rep. Fast-engine points are chunked into lock-step
+	// lane groups; everything else (and the fault-injection hook) runs
+	// one replication per job.
+	type job struct{ pi, rep, w int }
 	var jobs []job
 	for i := range points {
 		p := &points[i]
@@ -311,8 +345,13 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		if r.Drift != nil {
 			states[i].hists = make([][]*stats.Hist, p.reps())
 		}
-		for rep := 0; rep < p.reps(); rep++ {
-			jobs = append(jobs, job{pi: i, rep: rep})
+		lw := r.laneWidth(p)
+		for rep := 0; rep < p.reps(); rep += lw {
+			w := lw
+			if rep+w > p.reps() {
+				w = p.reps() - rep // non-divisible tail: a narrower group
+			}
+			jobs = append(jobs, job{pi: i, rep: rep, w: w})
 		}
 	}
 
@@ -347,59 +386,82 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				} else {
 					mu.Unlock()
 				}
-				var res *simnet.Result
-				var err error
-				if err = ctx.Err(); err == nil && !skip {
+				var results []*simnet.Result
+				var lerrs []error
+				if err := ctx.Err(); err != nil || skip {
+					// Cancelled or a sibling already failed the point: the
+					// group's replications resolve without running.
+					results = make([]*simnet.Result, j.w)
+					lerrs = make([]error, j.w)
+					for i := range lerrs {
+						lerrs[i] = err // nil when merely skipped
+					}
+				} else {
 					// Each replication re-derives its seed from the point's
 					// canonical key, so the result cannot depend on worker
-					// scheduling, retries, or batch composition.
-					cfg := st.pr.Point.Cfg
-					cfg.Seed = simnet.SplitSeed(st.pr.Seed, uint64(j.rep))
-					if r.Probe != nil {
-						cfg.Probe = r.Probe
-					}
-					if st.hists != nil {
-						// Drift data path: exact per-stage waiting-time
-						// histograms, filled by the engine, hash-excluded
-						// and result-neutral. Each replication slot is
-						// owned by exactly one worker, like Runs.
-						wh := make([]*stats.Hist, cfg.Stages)
-						for s := range wh {
-							wh[s] = &stats.Hist{}
+					// scheduling, retries, lane grouping, or batch
+					// composition.
+					cfgs := make([]*simnet.Config, j.w)
+					for i := range cfgs {
+						cfg := st.pr.Point.Cfg
+						cfg.Seed = simnet.SplitSeed(st.pr.Seed, uint64(j.rep+i))
+						if r.Probe != nil {
+							cfg.Probe = r.Probe
 						}
-						cfg.WaitHists = wh
-						st.hists[j.rep] = wh
+						if st.hists != nil {
+							// Drift data path: exact per-stage waiting-time
+							// histograms, filled by the engine, hash-excluded
+							// and result-neutral. Each replication slot is
+							// owned by exactly one worker, like Runs.
+							wh := make([]*stats.Hist, cfg.Stages)
+							for s := range wh {
+								wh[s] = &stats.Hist{}
+							}
+							cfg.WaitHists = wh
+							st.hists[j.rep+i] = wh
+						}
+						cfgs[i] = &cfg
 					}
-					res, err = r.attempt(ctx, st.pr, j.rep, &cfg)
+					if j.w == 1 {
+						res, err := r.attempt(ctx, st.pr, j.rep, cfgs[0])
+						results, lerrs = []*simnet.Result{res}, []error{err}
+					} else {
+						results, lerrs = r.attemptLanes(ctx, st.pr, j.rep, cfgs)
+					}
 				}
-				if res != nil {
-					st.pr.Runs[j.rep] = res // partial truncated results kept for inspection
-					if err == nil {
-						r.ctr.repDone(res)
-						if res.Truncated {
-							ev := pointEvent(obs.EventPointTruncated, st.pr)
-							ev.Rep = j.rep
-							ev.Cycles = res.TruncatedAt
-							ev.Messages = res.Messages
-							r.emit(ev)
+				var last, failed bool
+				var startedAt time.Time
+				for i := 0; i < j.w; i++ {
+					rep, res, err := j.rep+i, results[i], lerrs[i]
+					if res != nil {
+						st.pr.Runs[rep] = res // partial truncated results kept for inspection
+						if err == nil {
+							r.ctr.repDone(res)
+							if res.Truncated {
+								ev := pointEvent(obs.EventPointTruncated, st.pr)
+								ev.Rep = rep
+								ev.Cycles = res.TruncatedAt
+								ev.Messages = res.Messages
+								r.emit(ev)
+							}
 						}
 					}
-				}
-				if err != nil || res == nil {
-					r.ctr.repSettled()
-				}
-				mu.Lock()
-				if err != nil {
-					st.failed = true
-					if st.pr.Err == nil {
-						st.pr.Err = fmt.Errorf("sweep: point %q rep %d: %w", st.pr.Point.Label, j.rep, err)
+					if err != nil || res == nil {
+						r.ctr.repSettled()
 					}
+					mu.Lock()
+					if err != nil {
+						st.failed = true
+						if st.pr.Err == nil {
+							st.pr.Err = fmt.Errorf("sweep: point %q rep %d: %w", st.pr.Point.Label, rep, err)
+						}
+					}
+					st.pending--
+					last = st.pending == 0
+					failed = st.failed
+					startedAt = st.startedAt
+					mu.Unlock()
 				}
-				st.pending--
-				last := st.pending == 0
-				failed := st.failed
-				startedAt := st.startedAt
-				mu.Unlock()
 				if !last {
 					continue
 				}
