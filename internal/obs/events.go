@@ -20,6 +20,11 @@ const (
 	EventPointResumed   = "point_resumed"   // served from the checkpoint journal
 	EventPointAliased   = "point_aliased"   // in-batch duplicate of an earlier point
 	EventDrift          = "drift"           // empirical waits diverged from the analytic model
+
+	// Fault-tolerance events (chaos runs and supervised degradation).
+	EventFaultInjected = "fault_injected" // a deterministic injection point fired
+	EventWatchdogFired = "watchdog_fired" // the watchdog cancelled a stalled replication
+	EventPointDegraded = "point_degraded" // a lane group failed and reran as scalar replications
 )
 
 // StageQuantiles is a compact per-stage waiting-time digest attached to
@@ -51,6 +56,8 @@ type Event struct {
 	Messages int64     `json:"messages,omitempty"`
 	Dropped  int64     `json:"dropped,omitempty"`
 	Err      string    `json:"err,omitempty"`
+	Fault    string    `json:"fault,omitempty"`  // fault class (EventFaultInjected)
+	Record   int       `json:"record,omitempty"` // journal record ordinal, 1-based (journal faults)
 
 	// Drift-monitor fields (EventDrift) and histogram digests attached
 	// to point completion when waiting-time histograms are collected.

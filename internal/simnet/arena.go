@@ -1,6 +1,37 @@
 package simnet
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// arenaLive counts arenas currently checked out of the pools — scalar
+// and laned. Every engine entry point increments it at checkout and
+// release decrements it on every exit path (release runs deferred, so
+// panics and cancellations are covered too). The chaos battery asserts
+// it returns to zero after every scenario: a non-zero residue means an
+// exit path leaked pooled scratch.
+var arenaLive atomic.Int64
+
+// ArenaLive reports how many pooled kernel arenas are checked out right
+// now. Zero when no engine invocation is in flight.
+func ArenaLive() int64 { return arenaLive.Load() }
+
+// getArena checks a scalar arena out of the pool.
+func getArena() *arena {
+	a := arenaPool.Get().(*arena)
+	a.checkedOut = true
+	arenaLive.Add(1)
+	return a
+}
+
+// getLanesArena checks a laned arena out of the pool.
+func getLanesArena() *lanesArena {
+	a := lanesArenaPool.Get().(*lanesArena)
+	a.checkedOut = true
+	arenaLive.Add(1)
+	return a
+}
 
 // arena holds the batch kernel's reusable scratch state: the
 // structure-of-arrays in-flight message store, the per-stage schedule
@@ -44,6 +75,8 @@ type arena struct {
 	blkDest []uint32
 	blkSvc  []int16
 	blkMeas []bool
+
+	checkedOut bool // set by getArena, cleared by release (ArenaLive accounting)
 }
 
 // mrec is one in-flight message: the port it last departed (its input
@@ -151,6 +184,10 @@ func (a *arena) harvestBlockScratch(s *TraceStream) {
 // release returns the arena to the pool, dropping any scratch grown
 // past the retention caps.
 func (a *arena) release() {
+	if a.checkedOut {
+		a.checkedOut = false
+		arenaLive.Add(-1)
+	}
 	if len(a.msl) > maxRetainSlots {
 		a.msl = nil
 		a.freeSlots = nil
@@ -203,6 +240,8 @@ type lanesArena struct {
 	vec  []float64 // covariance scratch
 
 	blks []TraceBlock // per-lane trace-block scratch (lend/harvest)
+
+	checkedOut bool // set by getLanesArena, cleared by release (ArenaLive accounting)
 }
 
 var lanesArenaPool = sync.Pool{New: func() any { return new(lanesArena) }}
@@ -298,6 +337,10 @@ func (a *lanesArena) harvestBlockScratch(l int, s *TraceStream) {
 // retained bytes, so they apply to the shared arrays as a whole and to
 // each per-lane array individually.
 func (a *lanesArena) release() {
+	if a.checkedOut {
+		a.checkedOut = false
+		arenaLive.Add(-1)
+	}
 	for l := range a.msl {
 		if len(a.msl[l]) > maxRetainSlots {
 			a.msl[l] = nil

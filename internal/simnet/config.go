@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"banyan/internal/dist"
+	"banyan/internal/faultinject"
 	"banyan/internal/obs"
 	"banyan/internal/stats"
 	"banyan/internal/traffic"
@@ -155,6 +156,15 @@ type Config struct {
 	// config hashing, never touches the random streams, results are
 	// bit-identical with and without it.
 	WaitHists []*stats.Hist
+
+	// Fault, when non-nil, arms this replication's chaos injection points
+	// (see internal/faultinject): the engines consult it once per executed
+	// cycle and at every fresh slot allocation, and it may panic, stall,
+	// or fail the run with a typed injected error. Like Probe and
+	// WaitHists it is excluded from sweep config hashing and — because
+	// every armed fault fires at most once per plan — a retried
+	// replication converges back to the fault-free result bit for bit.
+	Fault *faultinject.RepFault
 }
 
 func (c *Config) bulk() int {

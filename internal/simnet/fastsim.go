@@ -98,7 +98,7 @@ func RunCtx(ctx context.Context, cfg *Config) (*Result, error) {
 	// The stream is private to this run, so it can borrow the arena's
 	// block scratch — back-to-back replications then allocate nothing
 	// for trace generation either.
-	ar := arenaPool.Get().(*arena)
+	ar := getArena()
 	ar.lendBlockScratch(src)
 	defer func() {
 		ar.harvestBlockScratch(src)
@@ -271,6 +271,7 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 	}
 	wh := cfg.WaitHists
 
+	fi := cfg.Fault
 	var slots []fastMsg
 	var freeSlots []int32
 	alloc := func() int32 {
@@ -281,6 +282,9 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 				pc.freeHits++
 			}
 			return i
+		}
+		if fi != nil {
+			fi.OnSlotAlloc() // may panic with a typed injected error
 		}
 		slots = append(slots, fastMsg{})
 		if pc != nil {
@@ -298,6 +302,12 @@ func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result,
 	drainLimit := cfg.drainLimit(meta.Horizon)
 
 	for ; ; t++ {
+		if fi != nil {
+			if err := fi.AtCycle(ctx, t); err != nil {
+				res.truncate(t, false)
+				return res, err
+			}
+		}
 		if t&ctxCheckMask == 0 {
 			if pc != nil {
 				pc.tick(cfg.Probe, t)

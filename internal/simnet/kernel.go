@@ -50,7 +50,7 @@ func RunKernelSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*R
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ar := arenaPool.Get().(*arena)
+	ar := getArena()
 	defer ar.release()
 	return runKernel(ctx, cfg, src, ar)
 }
@@ -91,6 +91,7 @@ func runKernel(ctx context.Context, cfg *Config, src ArrivalSource, ar *arena) (
 		defer func() { pc.flush(cfg.Probe, t, res) }()
 	}
 	wh := cfg.WaitHists
+	fi := cfg.Fault
 
 	// Routing tables: shift/mask when the radix (hence the row count, a
 	// power of k) is a power of two, the divisor table otherwise.
@@ -140,6 +141,15 @@ func runKernel(ctx context.Context, cfg *Config, src ArrivalSource, ar *arena) (
 	cur, blkLen := 0, 0
 
 	for ; ; t++ {
+		if fi != nil {
+			// Armed chaos faults fire on the executed-cycle sequence, which
+			// is deterministic for a config+seed; may panic, stall, or
+			// return a typed injected error.
+			if err := fi.AtCycle(ctx, t); err != nil {
+				res.truncate(t, false)
+				return res, err
+			}
+		}
 		if t&ctxCheckMask == 0 {
 			if pc != nil {
 				pc.tick(cfg.Probe, t)
@@ -215,6 +225,9 @@ func runKernel(ctx context.Context, cfg *Config, src ArrivalSource, ar *arena) (
 							pc.freeHits++
 						}
 					} else {
+						if fi != nil {
+							fi.OnSlotAlloc() // may panic with a typed injected error
+						}
 						if ar.used == len(msl) {
 							ar.growSlots(n, trackWaits)
 							msl = ar.msl

@@ -110,7 +110,7 @@ func RunLanesCtx(ctx context.Context, cfgs []*Config) ([]*Result, []error) {
 		}
 	}
 
-	la := lanesArenaPool.Get().(*lanesArena)
+	la := getLanesArena()
 	defer la.release()
 
 	lanes := make([]laneRun, nl)
@@ -203,6 +203,16 @@ func RunLanesCtx(ctx context.Context, cfgs []*Config) ([]*Result, []error) {
 	live := nl
 	var t int64
 
+	// Chaos injection is consulted only when some lane arms it, so the
+	// fault-free hot loop pays one boolean test per cycle.
+	anyFault := false
+	for _, cfg := range cfgs {
+		if cfg.Fault != nil {
+			anyFault = true
+			break
+		}
+	}
+
 	// finish retires a lane at cycle tc: flushes its probe (mirroring
 	// the scalar engine's deferred flush, which runs on every exit path
 	// while the Result is still reachable) and removes it from the live
@@ -216,6 +226,45 @@ func RunLanesCtx(ctx context.Context, cfgs []*Config) ([]*Result, []error) {
 	}
 
 	for ; ; t++ {
+		if anyFault {
+			// Per-lane injection points, then the group seam: a LaneFail
+			// armed on any live lane fails the whole lock-step group with
+			// one typed error, modelling the group sharing one fate (one
+			// clock, one arena, one goroutine). The sweep's degradation
+			// path then reruns each lane as a scalar replication, which
+			// never consults LaneGroup — so the retry recovers.
+			var groupErr error
+			for l := range lanes {
+				ln := &lanes[l]
+				if ln.done || ln.cfg.Fault == nil {
+					continue
+				}
+				if err := ln.cfg.Fault.LaneGroup(t); err != nil {
+					groupErr = err
+					break
+				}
+				if err := ln.cfg.Fault.AtCycle(ctx, t); err != nil {
+					ln.res.truncate(t, false)
+					ln.err = err
+					finish(ln, t)
+				}
+			}
+			if groupErr != nil {
+				for l := range lanes {
+					ln := &lanes[l]
+					if ln.done {
+						continue
+					}
+					ln.res.truncate(t, false)
+					ln.err = groupErr
+					finish(ln, t)
+				}
+				break
+			}
+			if live == 0 {
+				break
+			}
+		}
 		if t&ctxCheckMask == 0 {
 			for l := range lanes {
 				if ln := &lanes[l]; !ln.done && ln.pc != nil {
@@ -328,6 +377,9 @@ func RunLanesCtx(ctx context.Context, cfgs []*Config) ([]*Result, []error) {
 								ln.pc.freeHits++
 							}
 						} else {
+							if ln.cfg.Fault != nil {
+								ln.cfg.Fault.OnSlotAlloc() // may panic with a typed injected error
+							}
 							if ln.used == len(lmsl) {
 								la.growSlots(l, n, trackWaits)
 								lmsl = la.msl[l]

@@ -109,6 +109,7 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 	}
 	wh := cfg.WaitHists
 
+	fi := cfg.Fault
 	var slots []literalMsg
 	var freeSlots []int32
 	alloc := func() int32 {
@@ -119,6 +120,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 				pc.freeHits++
 			}
 			return i
+		}
+		if fi != nil {
+			fi.OnSlotAlloc() // may panic with a typed injected error
 		}
 		slots = append(slots, literalMsg{})
 		if pc != nil {
@@ -187,6 +191,12 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 	maxInFlight := cfg.maxInFlight()
 	drainLimit := cfg.drainLimit(meta.Horizon)
 	for ; ; t++ {
+		if fi != nil {
+			if err := fi.AtCycle(ctx, t); err != nil {
+				res.truncate(t, false)
+				return res, err
+			}
+		}
 		if t&ctxCheckMask == 0 {
 			if pc != nil {
 				pc.tick(cfg.Probe, t)

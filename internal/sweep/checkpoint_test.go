@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -190,6 +191,11 @@ func TestJournalCRLF(t *testing.T) {
 	if jc.Loaded() != len(pts) {
 		t.Fatalf("CRLF journal loaded %d of %d entries", jc.Loaded(), len(pts))
 	}
+	// Re-bind the recorded batch first (the header survived the CRLF
+	// rewrite), then append a fresh point from a new batch.
+	if _, err := (&Runner{RootSeed: 7, Journal: jc}).Run(pts); err != nil {
+		t.Fatal(err)
+	}
 	extra := pts[0]
 	extra.Label = "extra"
 	extra.Cfg.P = 0.3
@@ -256,8 +262,42 @@ func TestSetupJournal(t *testing.T) {
 	j2.Close()
 }
 
-// TestJournalSkipsVersionMismatch: entries from an incompatible journal
-// version are ignored (resimulated), not trusted.
+// reframeVersion rewrites record i (0-based; -1 = all) of a framed
+// journal with its version field set to v, recomputing the frame so the
+// CRC and length stay valid — the record is then a well-formed frame of
+// an incompatible version, not mere corruption.
+func reframeVersion(t *testing.T, data []byte, i, v int) []byte {
+	t.Helper()
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	var out []byte
+	changed := false
+	for n, line := range lines {
+		if i >= 0 && n != i {
+			out = append(out, line...)
+			out = append(out, '\n')
+			continue
+		}
+		payload, err := unframe(line)
+		if err != nil {
+			t.Fatalf("reframe record %d: %v", n, err)
+		}
+		mut := bytes.Replace(payload, []byte(`{"v":2`), []byte(fmt.Sprintf(`{"v":%d`, v)), 1)
+		if bytes.Equal(mut, payload) {
+			t.Fatalf("record %d: version field not found", n)
+		}
+		changed = true
+		out = append(out, frame(mut)...)
+	}
+	if !changed {
+		t.Fatal("no record reframed")
+	}
+	return out
+}
+
+// TestJournalSkipsVersionMismatch: well-formed records from an
+// incompatible journal version are never trusted. A whole file of them
+// is refused (it is not a version-2 journal); a mismatched record after
+// valid ones truncates recovery there, so the rest resimulates.
 func TestJournalSkipsVersionMismatch(t *testing.T) {
 	pts := quickPoints(1)
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
@@ -269,24 +309,95 @@ func TestJournalSkipsVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-
 	full, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := bytes.ReplaceAll(full, []byte(`{"v":1,`), []byte(`{"v":0,`))
-	if bytes.Equal(old, full) {
-		t.Fatal("test assumes the version field leads each entry")
-	}
-	if err := os.WriteFile(path, old, 0o644); err != nil {
+
+	// Every record (header + entries) rewritten as version 0: the file is
+	// simply not a version-2 journal, and truncating it to zero would
+	// destroy data some other tool may still want.
+	oldPath := filepath.Join(t.TempDir(), "old.jsonl")
+	if err := os.WriteFile(oldPath, reframeVersion(t, full, -1, 0), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	j2, err := OpenJournal(path)
+	if _, err := OpenJournal(oldPath); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("old-version journal: want version refusal, got %v", err)
+	}
+
+	// Only the final entry mismatched: recovery keeps the valid prefix
+	// and drops the rest.
+	mixPath := filepath.Join(t.TempDir(), "mixed.jsonl")
+	nrecs := bytes.Count(full, []byte("\n"))
+	if err := os.WriteFile(mixPath, reframeVersion(t, full, nrecs-1, 0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(mixPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	if j2.Loaded() != 0 {
-		t.Fatalf("version-mismatched entries must be ignored, got %d", j2.Loaded())
+	if j2.Loaded() != len(pts)-1 {
+		t.Fatalf("want %d entries before the mismatched record, got %d", len(pts)-1, j2.Loaded())
 	}
+}
+
+// TestJournalConfigMismatch: resuming a journal under different flags —
+// a batch whose hash is not among the journal's recorded headers — must
+// fail with a typed *ConfigMismatchError naming both hashes, while a
+// same-flags resume that progresses into new batches is accepted.
+func TestJournalConfigMismatch(t *testing.T) {
+	pts := quickPoints(1)
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Runner{RootSeed: 7, Journal: j}).Run(pts); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Changed flags: a different root seed hashes the batch differently.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = (&Runner{RootSeed: 8, Journal: j2}).Run(pts)
+	var cm *ConfigMismatchError
+	if !errors.As(err, &cm) {
+		t.Fatalf("want *ConfigMismatchError, got %v", err)
+	}
+	wantBatch := BatchKey(pts, 8)
+	oldBatch := BatchKey(pts, 7)
+	if cm.Batch != wantBatch {
+		t.Fatalf("error batch = %016x, want %016x", cm.Batch, wantBatch)
+	}
+	msg := err.Error()
+	for _, h := range []uint64{wantBatch, oldBatch} {
+		if !strings.Contains(msg, fmt.Sprintf("%016x", h)) {
+			t.Fatalf("mismatch message must name hash %016x: %q", h, msg)
+		}
+	}
+	// The rejected run must not have disturbed the journal.
+	if j2.Len() != len(pts) {
+		t.Fatalf("rejected resume altered the journal: %d entries", j2.Len())
+	}
+
+	// Same flags: the recorded batch re-binds, and a follow-on batch the
+	// journal has never seen (the post-crash continuation) is accepted.
+	r := &Runner{RootSeed: 7, Journal: j2}
+	if _, err := r.Run(pts); err != nil {
+		t.Fatalf("same-flags resume: %v", err)
+	}
+	next := pts[0]
+	next.Label = "next-batch"
+	next.Cfg.P = 0.35
+	if _, err := r.Run([]Point{next}); err != nil {
+		t.Fatalf("continuation batch after verified resume: %v", err)
+	}
+	if j2.Len() != len(pts)+1 {
+		t.Fatalf("continuation point not journaled: %d entries", j2.Len())
+	}
+	j2.Close()
 }

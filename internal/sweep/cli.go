@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"banyan/internal/faultinject"
 	"banyan/internal/obs"
 )
 
@@ -35,6 +36,19 @@ type RunOptions struct {
 	// Lanes is the lock-step lane width for Fast-engine replications
 	// (0 = auto, 1 = scalar kernel). Result-neutral; see Runner.Lanes.
 	Lanes int
+	// Chaos arms deterministic fault injection from a schedule spec —
+	// "seed=N" for a derived schedule or explicit classes like
+	// "rep.panic:prob=1;journal.torn:record=2" ("" = off). The armed
+	// schedule is printed to stderr so any chaos run can be reproduced
+	// verbatim. See faultinject.Parse.
+	Chaos string
+	// Watchdog arms the stalled-replication watchdog with this initial
+	// per-attempt budget (0 = off); once replications complete, the
+	// budget follows their recent wall times. See Watchdog.
+	Watchdog time.Duration
+	// CheckpointFsync is the journal durability cadence: fsync after
+	// every N-th appended point (0 = only at close/compaction).
+	CheckpointFsync int
 
 	// EventsPath appends one JSON line per point lifecycle event
 	// (started, retried, truncated, journaled, done, failed, cached,
@@ -78,6 +92,9 @@ func (o *RunOptions) RegisterFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Resume, "resume", false, "reuse the completed points already in the -checkpoint journal")
 	fs.IntVar(&o.MaxRetries, "max-retries", 1, "retries per replication after a panic or simulation error")
 	fs.IntVar(&o.Lanes, "lanes", 0, "lock-step lane width: run this many replications of a point through one kernel invocation (0 = auto, 1 = scalar); never affects results")
+	fs.StringVar(&o.Chaos, "chaos", "", "arm deterministic fault injection: \"seed=N\" or explicit classes like \"rep.panic:prob=1;journal.torn:record=2\"")
+	fs.DurationVar(&o.Watchdog, "watchdog", 0, "arm the stalled-replication watchdog with this initial per-attempt budget (e.g. 30s); stalls convert to retryable errors")
+	fs.IntVar(&o.CheckpointFsync, "checkpoint-fsync", 0, "fsync the -checkpoint journal after every N appended points (0 = only at close)")
 	fs.StringVar(&o.EventsPath, "events", "", "append structured sweep events as JSON lines to this file (\"-\" = stderr)")
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve live /metrics, /debug/vars, /debug/events and /debug/pprof on this address (e.g. :6060) while the run executes")
 	fs.BoolVar(&o.SimStats, "sim-stats", false, "collect simulator-internal statistics (free-list hit rate, per-stage backlog high water) and print a summary at exit")
@@ -99,16 +116,32 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 	r.PointBudget = o.PointBudget
 	r.MaxRetries = o.MaxRetries
 	r.Lanes = o.Lanes
+	if o.Chaos != "" {
+		sched, err := faultinject.Parse(o.Chaos)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: -chaos: %w", err)
+		}
+		r.Fault = faultinject.New(sched)
+		// The canonical spelling reproduces this exact schedule even when
+		// the flag only named a seed.
+		fmt.Fprintf(os.Stderr, "chaos: fault injection armed; reproduce with -chaos %q\n", sched.String())
+	}
+	if o.Watchdog > 0 {
+		r.Watchdog = &Watchdog{Initial: o.Watchdog}
+	}
 	if o.Checkpoint != "" {
 		j, err := SetupJournal(o.Checkpoint, o.Resume)
 		if err != nil {
 			return nil, nil, err
 		}
+		if o.CheckpointFsync > 0 {
+			j.SetFsync(o.CheckpointFsync)
+		}
 		r.Journal = j
 	}
 	fail := func(err error) (context.Context, func(), error) {
 		if r.Journal != nil {
-			r.Journal.Close()
+			r.Journal.Close() //nolint:errcheck // best-effort cleanup; the failure being reported matters more
 		}
 		return nil, nil, err
 	}
@@ -128,6 +161,9 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 	}
 	reg := obs.NewRegistry()
 	r.Counters().Register(reg)
+	if r.Fault != nil {
+		reg.Func("fault.injected", func() float64 { return float64(r.Fault.Injected()) })
+	}
 	if o.SimStats || o.TraceOut != "" || o.DebugAddr != "" {
 		r.Probe = obs.NewSimProbe()
 		r.Probe.Register(reg)
@@ -158,7 +194,7 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 		})
 		if err != nil {
 			if eventsFile != nil {
-				eventsFile.Close()
+				eventsFile.Close() //nolint:errcheck // best-effort cleanup; the failure being reported matters more
 			}
 			return fail(fmt.Errorf("sweep: debug server: %w", err))
 		}
@@ -167,6 +203,17 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 	}
 	if len(sinks) > 0 {
 		r.Events = sinks
+	}
+	if r.Fault != nil && r.Events != nil {
+		r.Fault.OnInject = func(e faultinject.Error) {
+			r.emit(obs.Event{
+				Event:  obs.EventFaultInjected,
+				Fault:  string(e.Class),
+				Cycles: e.Cycle,
+				Record: e.Record,
+				Err:    e.Error(),
+			})
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -178,7 +225,7 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 		cancelTimeout()
 		stop()
 		if srv != nil {
-			srv.Close()
+			srv.Close() //nolint:errcheck // best-effort cleanup; the failure being reported matters more
 		}
 		if o.SimStats && r.Probe != nil {
 			r.Probe.WriteSummary(os.Stderr)
@@ -190,14 +237,20 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 				if err := r.Probe.Tracer.WriteJSONL(f); err != nil {
 					fmt.Fprintf(os.Stderr, "sweep: trace out: %v\n", err)
 				}
-				f.Close()
+				f.Close() //nolint:errcheck // best-effort cleanup; the failure being reported matters more
 			}
 		}
 		if eventsFile != nil {
-			eventsFile.Close()
+			eventsFile.Close() //nolint:errcheck // best-effort cleanup; the failure being reported matters more
 		}
 		if r.Journal != nil {
-			r.Journal.Close()
+			// Compact through the atomic tmp+rename path: the final journal
+			// is rewritten in one piece, repairing any torn tail a faulted
+			// or interrupted append left behind.
+			if err := r.Journal.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: checkpoint: %v\n", err)
+			}
+			r.Journal.Close() //nolint:errcheck // best-effort cleanup; the failure being reported matters more
 		}
 	}
 	return ctx, cleanup, nil

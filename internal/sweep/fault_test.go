@@ -177,15 +177,9 @@ func TestCancellationNoGoroutineLeak(t *testing.T) {
 		t.Fatal("cancellation mid-batch must leave at least one point unfinished")
 	}
 
-	// Workers must all have exited: poll briefly, then compare against
-	// the pre-run goroutine count.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > baseline {
-		t.Fatalf("goroutine leak: %d before, %d after", baseline, n)
-	}
+	// Workers must all have exited and every arena checked back in; the
+	// shared helper also covers each chaos scenario.
+	checkNoLeaks(t, baseline)
 }
 
 // TestMixedFaultBatch is the robustness acceptance scenario: one healthy

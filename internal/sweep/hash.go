@@ -92,3 +92,23 @@ func Key(p Point, rootSeed uint64) uint64 { return pointKey(&p, rootSeed) }
 func SeedFor(p Point, rootSeed uint64) uint64 {
 	return simnet.SplitSeed(rootSeed, pointKey(&p, rootSeed))
 }
+
+// BatchKey hashes a whole batch's identity — every point's canonical
+// key, in batch order, under the root seed. The journal binds itself to
+// this hash (see Journal.bind): a resume whose flags hash differently
+// is rejected with a typed error instead of silently re-running every
+// point. Labels, probes and lane widths are excluded for the same
+// reason they are excluded from pointKey.
+func BatchKey(points []Point, rootSeed uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu(rootSeed)
+	for i := range points {
+		wu(pointKey(&points[i], rootSeed))
+	}
+	return h.Sum64()
+}

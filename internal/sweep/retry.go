@@ -24,30 +24,53 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("panic: %v", e.Value)
 }
 
+// Unwrap exposes a panic value that was itself an error, so callers can
+// errors.Is/As through a recovered panic — e.g. to recognise an
+// injected faultinject.Error without string matching.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // defaultRetryBackoff is the base delay before the first retry when
 // Runner.RetryBackoff is unset.
 const defaultRetryBackoff = 50 * time.Millisecond
 
-// backoff returns the capped exponential delay before retry attempt
-// (attempt 0 = first retry): base·2^attempt, capped at 32×base.
-func (r *Runner) backoff(attempt int) time.Duration {
+// backoff returns the delay before retry attempt (attempt 0 = first
+// retry): base·2^attempt capped at 32×base, with deterministic ±25%
+// jitter derived from the point seed, replication and attempt. The
+// jitter decorrelates retry wake-ups across workers hammering a shared
+// resource, and deriving it from the replication identity instead of a
+// global RNG keeps runs reproducible: the same failure schedule sleeps
+// the same delays.
+func (r *Runner) backoff(seed uint64, rep, attempt int) time.Duration {
 	base := r.RetryBackoff
 	if base <= 0 {
 		base = defaultRetryBackoff
 	}
-	if attempt > 5 {
-		attempt = 5
+	shift := attempt
+	if shift > 5 {
+		shift = 5
 	}
-	return base << attempt
+	d := base << shift
+	u := simnet.SplitSeed(simnet.SplitSeed(seed, uint64(int64(rep))), uint64(int64(attempt)))
+	frac := float64(u>>11) / (1 << 53) // uniform [0,1)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
 }
 
-// sleepCtx waits for d or until ctx is cancelled, whichever comes first.
-func sleepCtx(ctx context.Context, d time.Duration) {
+// sleepCtx waits for d or until ctx is cancelled, whichever comes
+// first, and reports the cancellation so retry loops abort promptly
+// instead of burning the remaining attempts against a dead context.
+func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
+		return ctx.Err()
 	case <-t.C:
+		return nil
 	}
 }
 
@@ -70,23 +93,28 @@ func (r *Runner) safeRun(ctx context.Context, e Engine, cfg *simnet.Config) (res
 }
 
 // attempt runs one replication to a final outcome: success, a truncated
-// partial result, or a terminal error after MaxRetries capped-backoff
-// retries. Cancellation and deadline overruns are never retried — the
-// former is the caller stopping the batch, the latter would just burn
-// the budget again.
+// partial result, or a terminal error after MaxRetries jittered-backoff
+// retries. Each try runs under the watchdog, so a hang converts into a
+// retryable *StallError instead of blocking forever. Cancellation and
+// deadline overruns are never retried — the former is the caller
+// stopping the batch, the latter would just burn the budget again.
 func (r *Runner) attempt(ctx context.Context, pr *PointResult, rep int, cfg *simnet.Config) (*simnet.Result, error) {
 	e := pr.Point.Engine
 	for a := 0; ; a++ {
-		res, err := r.safeRun(ctx, e, cfg)
-		if err == nil ||
-			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
-			ctx.Err() != nil {
-			return res, err
+		wctx, finish := r.withWatchdog(ctx, pr, rep)
+		start := time.Now()
+		res, err := r.safeRun(wctx, e, cfg)
+		err = finish(err)
+		if err == nil {
+			r.noteRepWall(time.Since(start))
+			return res, nil
 		}
-		if a >= r.MaxRetries {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			ctx.Err() != nil || a >= r.MaxRetries {
 			return res, err
 		}
 		r.ctr.retried()
+		r.noteRecovery(pr, "retry")
 		ev := pointEvent(obs.EventPointRetried, pr)
 		ev.Rep = rep
 		ev.Attempt = a + 1
@@ -98,7 +126,12 @@ func (r *Runner) attempt(ctx context.Context, pr *PointResult, rep int, cfg *sim
 		for i := range cfg.WaitHists {
 			cfg.WaitHists[i] = &stats.Hist{}
 		}
-		sleepCtx(ctx, r.backoff(a))
+		if sleepCtx(ctx, r.backoff(pr.Seed, rep, a)) != nil {
+			// Cancelled mid-backoff: surface the try's own error — it
+			// names the actual failure; the caller's context check covers
+			// the shutdown.
+			return res, err
+		}
 	}
 }
 
@@ -122,55 +155,66 @@ func (r *Runner) safeRunLanes(ctx context.Context, cfgs []*simnet.Config) (resul
 }
 
 // attemptLanes runs one lane group of consecutive replications to a
-// final outcome, index-aligned with cfgs. A panic or any retryable lane
-// error retries the whole group: the engines are deterministic, so the
-// healthy lanes reproduce their results bit for bit and the group either
-// converges or fails together. Cancellation and deadline overruns are
-// never retried, exactly as in the scalar attempt.
+// final outcome, index-aligned with cfgs. The group gets exactly one
+// lock-step try; any retryable failure — a panic, a lane error, a
+// watchdog stall — degrades the whole group to scalar replications,
+// each with its full independent retry budget. Degradation is the
+// recovery path, not a penalty: the engines are deterministic and the
+// fault plans are cached per replication, so the healthy lanes
+// reproduce their results bit for bit at width 1, and only the actually
+// faulty replication spends retries. Cancellation and deadline overruns
+// are never retried, exactly as in the scalar attempt.
 func (r *Runner) attemptLanes(ctx context.Context, pr *PointResult, rep0 int, cfgs []*simnet.Config) ([]*simnet.Result, []error) {
-	for a := 0; ; a++ {
-		results, errs, panicErr := r.safeRunLanes(ctx, cfgs)
-		if panicErr != nil {
-			// The panic unwound the whole group: no lane has a usable
-			// outcome, every replication carries the panic.
-			results = make([]*simnet.Result, len(cfgs))
-			errs = make([]error, len(cfgs))
-			for i := range errs {
-				errs[i] = panicErr
-			}
+	wctx, finish := r.withWatchdog(ctx, pr, rep0)
+	start := time.Now()
+	results, errs, panicErr := r.safeRunLanes(wctx, cfgs)
+	if panicErr != nil {
+		// The panic unwound the whole group: no lane has a usable
+		// outcome, every replication carries the panic.
+		results = make([]*simnet.Result, len(cfgs))
+		errs = make([]error, len(cfgs))
+		for i := range errs {
+			errs[i] = panicErr
 		}
-		retryable := false
-		if ctx.Err() == nil {
-			for _, err := range errs {
-				if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-					retryable = true
-					break
-				}
-			}
-		}
-		if !retryable || a >= r.MaxRetries {
-			return results, errs
-		}
-		r.ctr.retried()
-		ev := pointEvent(obs.EventPointRetried, pr)
-		ev.Rep = rep0
-		for _, err := range errs {
-			if err != nil {
-				ev.Err = err.Error()
-				break
-			}
-		}
-		r.emit(ev)
-		// The retry reuses every lane's cfg; discard any partially filled
-		// drift histograms, replacing entries in place as the scalar
-		// attempt does.
-		for _, cfg := range cfgs {
-			for i := range cfg.WaitHists {
-				cfg.WaitHists[i] = &stats.Hist{}
-			}
-		}
-		sleepCtx(ctx, r.backoff(a))
 	}
+	var groupErr error
+	for _, err := range errs {
+		if err != nil {
+			groupErr = err
+			break
+		}
+	}
+	// finish converts a watchdog-cancelled group error into a retryable
+	// *StallError; it must run even on success to stop the timer.
+	groupErr = finish(groupErr)
+	if groupErr == nil {
+		// One group invocation advanced len(cfgs) replications through a
+		// shared clock, so the per-replication cost is the group wall
+		// time split evenly.
+		r.noteRepWall(time.Since(start) / time.Duration(len(cfgs)))
+		return results, errs
+	}
+	if errors.Is(groupErr, context.Canceled) || errors.Is(groupErr, context.DeadlineExceeded) || ctx.Err() != nil {
+		return results, errs
+	}
+	// Degrade: rerun every lane as a scalar replication. WaitHists are
+	// reset first — the failed group partially filled them, and each
+	// scalar attempt refills its lane's from scratch.
+	r.ctr.laneDegraded()
+	r.noteRecovery(pr, "degrade.lane_to_scalar")
+	ev := pointEvent(obs.EventPointDegraded, pr)
+	ev.Rep = rep0
+	ev.Err = groupErr.Error()
+	r.emit(ev)
+	for _, cfg := range cfgs {
+		for i := range cfg.WaitHists {
+			cfg.WaitHists[i] = &stats.Hist{}
+		}
+	}
+	for i, cfg := range cfgs {
+		results[i], errs[i] = r.attempt(ctx, pr, rep0+i, cfg)
+	}
+	return results, errs
 }
 
 // engine returns the replication executor: the test hook when set, the

@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"banyan/internal/faultinject"
 	"banyan/internal/obs"
 	"banyan/internal/simnet"
 	"banyan/internal/stats"
@@ -95,10 +97,17 @@ type PointResult struct {
 
 	// Err is the point's terminal error: a validation failure, a
 	// recovered panic (*PanicError), a simulation error that survived
-	// every retry, a context cancellation, or a wall-clock budget
-	// overrun. Nil for points that completed — including deterministic
-	// saturation truncations, which are flagged on the Result instead.
+	// every retry, a context cancellation, a watchdog stall
+	// (*StallError), or a wall-clock budget overrun. Nil for points that
+	// completed — including deterministic saturation truncations, which
+	// are flagged on the Result instead.
 	Err error
+
+	// Recovery lists the recovery actions the point survived on its way
+	// to completion — "retry", "watchdog", "degrade.lane_to_scalar" —
+	// in the order they happened. Journaled alongside the results, so a
+	// resumed sweep knows which of its points needed help.
+	Recovery []string
 }
 
 // Result returns the first replication's result — the common case for
@@ -180,8 +189,24 @@ type Runner struct {
 	// offending stage on divergence. Cached, journaled and aliased
 	// points are served without re-simulation and are not re-checked.
 	Drift *DriftMonitor
+	// Fault, when non-nil, arms the deterministic chaos injection points
+	// (see internal/faultinject) on every freshly simulated replication
+	// and on the journal's append/checkpoint path. Hash-excluded and —
+	// because armed faults fire at most once per replication plan —
+	// recovery converges back to the fault-free results bit for bit.
+	Fault *faultinject.Injector
+	// Watchdog, when non-nil, deadlines each replication attempt with a
+	// budget derived from recent replication wall times and converts a
+	// hang into a typed, retryable *StallError. See Watchdog.
+	Watchdog *Watchdog
 
 	ctr Counters
+	// repWall holds the exponentially-weighted mean replication wall
+	// time in nanoseconds — the watchdog's throughput signal.
+	repWall atomic.Int64
+	// notesMu guards every PointResult.Recovery append (PointResult
+	// itself stays a plain copyable struct).
+	notesMu sync.Mutex
 
 	// runRep, when non-nil, replaces the simulation engines (test hook
 	// for fault injection).
@@ -256,6 +281,18 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 	}
 	if len(verrs) > 0 {
 		return nil, errors.Join(verrs...)
+	}
+	if r.Journal != nil {
+		// Bind the journal to this batch's identity before serving any
+		// resume hits: a journal written under different flags fails here
+		// with a typed *ConfigMismatchError instead of silently
+		// re-running (or worse, silently skipping) every point.
+		if err := r.Journal.bind(BatchKey(points, r.RootSeed)); err != nil {
+			return nil, err
+		}
+		if r.Fault != nil {
+			r.Journal.setFault(r.Fault.Journal())
+		}
 	}
 	repsTotal := 0
 	for i := range points {
@@ -408,6 +445,13 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 						if r.Probe != nil {
 							cfg.Probe = r.Probe
 						}
+						if r.Fault != nil {
+							// The fault plan is a pure function of (schedule
+							// seed, point key, rep) and is cached per
+							// replication, so retries and degraded reruns
+							// share its one-shot state.
+							cfg.Fault = r.Fault.Rep(st.pr.Key, j.rep+i)
+						}
 						if st.hists != nil {
 							// Drift data path: exact per-stage waiting-time
 							// histograms, filled by the engine, hash-excluded
@@ -490,7 +534,7 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				if r.Journal != nil {
 					// Errorless completions are deterministic — including
 					// saturation truncations — so they are safe to replay.
-					if jerr := r.Journal.append(st.pr.Key, st.pr.Point.Label, st.pr.Runs); jerr != nil {
+					if jerr := r.Journal.append(st.pr.Key, st.pr.Point.Label, st.pr.Runs, r.recoveryNotes(st.pr)); jerr != nil {
 						mu.Lock()
 						if journalErr == nil {
 							journalErr = jerr
@@ -553,6 +597,26 @@ func (r *Runner) report(pr *PointResult) {
 	if r.Reporter != nil {
 		r.Reporter.PointDone(pr, r.ctr.Snapshot())
 	}
+}
+
+// noteRecovery records a recovery action on a point. Workers of one
+// point may race here; PointResult itself stays a plain struct (it is
+// copied for aliases and cache shares), so the runner holds the lock.
+func (r *Runner) noteRecovery(pr *PointResult, note string) {
+	r.notesMu.Lock()
+	pr.Recovery = append(pr.Recovery, note)
+	r.notesMu.Unlock()
+}
+
+// recoveryNotes snapshots a point's recovery annotations for the
+// journal.
+func (r *Runner) recoveryNotes(pr *PointResult) []string {
+	r.notesMu.Lock()
+	defer r.notesMu.Unlock()
+	if len(pr.Recovery) == 0 {
+		return nil
+	}
+	return append([]string(nil), pr.Recovery...)
 }
 
 // emit sends an event to the runner's sink, if any.
@@ -631,6 +695,8 @@ type Counters struct {
 	truncated     int64
 	messages      int64
 	dropped       int64
+	watchdog      int64 // replications the watchdog converted to StallError
+	degraded      int64 // lane groups degraded to scalar replications
 
 	msgMeter obs.Meter
 	repMeter obs.Meter
@@ -650,6 +716,8 @@ type Progress struct {
 	Truncated     int64 // completed replications stopped early by a guard
 	Messages      int64 // measured messages over all completed replications
 	Dropped       int64 // messages lost to full buffers
+	WatchdogFired int64 // stalled replications the watchdog cancelled (typed retryable)
+	Degraded      int64 // lane groups that fell back to scalar replications
 	// Elapsed is the busy wall-clock time: the union of intervals during
 	// which at least one batch was running on this Runner.
 	Elapsed time.Duration
@@ -768,6 +836,22 @@ func (c *Counters) retried() {
 	c.retries++
 }
 
+// watchdogFired accounts a replication the watchdog cancelled and
+// converted into a typed retryable stall.
+func (c *Counters) watchdogFired() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.watchdog++
+}
+
+// laneDegraded accounts a failed lane group falling back to scalar
+// replications.
+func (c *Counters) laneDegraded() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.degraded++
+}
+
 // Snapshot returns the current progress.
 func (c *Counters) Snapshot() Progress {
 	msgRate := c.msgMeter.Rate()
@@ -791,6 +875,8 @@ func (c *Counters) Snapshot() Progress {
 		Truncated:      c.truncated,
 		Messages:       c.messages,
 		Dropped:        c.dropped,
+		WatchdogFired:  c.watchdog,
+		Degraded:       c.degraded,
 		Elapsed:        elapsed,
 		MessagesPerSec: msgRate,
 		RepsPerSec:     repRate,
@@ -827,6 +913,8 @@ func (c *Counters) Register(reg *obs.Registry) {
 	reg.Func("sweep.reps.done", get(func(p Progress) float64 { return float64(p.RepsDone) }))
 	reg.Func("sweep.reps.per_sec", get(func(p Progress) float64 { return p.RepsPerSec }))
 	reg.Func("sweep.retries", get(func(p Progress) float64 { return float64(p.Retries) }))
+	reg.Func("sweep.watchdog.fired", get(func(p Progress) float64 { return float64(p.WatchdogFired) }))
+	reg.Func("sweep.degrade.lane_to_scalar", get(func(p Progress) float64 { return float64(p.Degraded) }))
 	reg.Func("sweep.truncated", get(func(p Progress) float64 { return float64(p.Truncated) }))
 	reg.Func("sweep.messages", get(func(p Progress) float64 { return float64(p.Messages) }))
 	reg.Func("sweep.messages.per_sec", get(func(p Progress) float64 { return p.MessagesPerSec }))

@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"banyan/internal/obs"
+)
+
+// Watchdog deadlines stuck replications. Each attempt runs under a
+// wall-clock budget derived from the runner's recent replication
+// throughput — an exponentially-weighted mean of completed replication
+// wall times, scaled by Factor and padded by Grace — so the budget
+// tracks the workload instead of needing per-grid tuning. An attempt
+// that exceeds its budget is cancelled and its error converted into a
+// typed *StallError, which the retry loop treats as retryable: a hang
+// becomes a bounded, recoverable failure instead of a stuck sweep.
+//
+// The watchdog differs from Runner.PointBudget in both signal and
+// verdict: the budget is an absolute per-replication cost ceiling and
+// over-budget points fail terminally (re-running would just burn the
+// budget again), while the watchdog flags replications that are slow
+// relative to their recent siblings — the signature of a stall, not of
+// an expensive point — and hands them back for retry.
+type Watchdog struct {
+	// Initial is the budget used before any replication has completed
+	// (no throughput signal yet). 0 disarms the watchdog until the
+	// first completion provides one.
+	Initial time.Duration
+	// Grace pads the scaled estimate; it absorbs scheduling noise on
+	// loaded machines. 0 means 1s.
+	Grace time.Duration
+	// Factor scales the recent mean replication wall time. 0 means 16 —
+	// generous, because a replication legitimately slower than 16× its
+	// recent siblings is indistinguishable from a stall.
+	Factor float64
+}
+
+// budget returns the attempt deadline for the given recent mean
+// replication wall time; 0 disarms.
+func (w *Watchdog) budget(recent time.Duration) time.Duration {
+	if w == nil {
+		return 0
+	}
+	if recent <= 0 {
+		return w.Initial
+	}
+	f := w.Factor
+	if f <= 0 {
+		f = 16
+	}
+	g := w.Grace
+	if g <= 0 {
+		g = time.Second
+	}
+	return g + time.Duration(f*float64(recent))
+}
+
+// StallError reports a replication the watchdog cancelled for running
+// far past the recent per-replication wall time. It is retryable: the
+// engines are deterministic, so unless the stall's cause persists the
+// retry completes bit-identically to an unstalled run.
+type StallError struct {
+	Elapsed time.Duration // how long the attempt ran before the watchdog fired
+	Budget  time.Duration // the budget it exceeded
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("sweep: replication stalled: ran %v against a %v watchdog budget", e.Elapsed.Round(time.Millisecond), e.Budget.Round(time.Millisecond))
+}
+
+// noteRepWall folds a completed replication's wall time into the
+// watchdog's throughput signal (EWMA, ¾ old + ¼ new). Plain
+// load-then-store: a lost update under contention only costs the
+// estimate one sample.
+func (r *Runner) noteRepWall(d time.Duration) {
+	old := r.repWall.Load()
+	if old == 0 {
+		r.repWall.Store(int64(d))
+		return
+	}
+	r.repWall.Store((3*old + int64(d)) / 4)
+}
+
+// withWatchdog wraps ctx with this attempt's watchdog deadline. The
+// returned finish function must be called with the attempt's error: it
+// stops the timer and, when the watchdog (and not the caller or the
+// point budget) caused the cancellation, converts the error into a
+// typed *StallError, counts it, and emits an EventWatchdogFired.
+func (r *Runner) withWatchdog(ctx context.Context, pr *PointResult, rep int) (context.Context, func(error) error) {
+	b := r.Watchdog.budget(time.Duration(r.repWall.Load()))
+	if b <= 0 {
+		return ctx, func(err error) error { return err }
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	var fired atomic.Bool
+	start := time.Now()
+	timer := time.AfterFunc(b, func() {
+		fired.Store(true)
+		cancel()
+	})
+	return wctx, func(err error) error {
+		timer.Stop()
+		cancel()
+		if err == nil || !fired.Load() || ctx.Err() != nil {
+			// No error, the watchdog never fired, or the caller's own
+			// context ended the attempt — nothing to convert.
+			return err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		serr := &StallError{Elapsed: time.Since(start), Budget: b}
+		r.ctr.watchdogFired()
+		r.noteRecovery(pr, "watchdog")
+		ev := pointEvent(obs.EventWatchdogFired, pr)
+		ev.Rep = rep
+		ev.WallMS = float64(serr.Elapsed) / float64(time.Millisecond)
+		ev.Err = serr.Error()
+		r.emit(ev)
+		return serr
+	}
+}
