@@ -15,9 +15,17 @@
 //	-ns-tol F        allowed fractional ns/op regression (default 0.20)
 //	-b-tol F         allowed fractional B/op regression (default 0.20)
 //	-allocs-tol F    allowed fractional allocs/op regression (default 0.20)
+//	-extra-tol F     allowed fractional shortfall of custom metrics (default 0.20)
 //	-require LIST    comma-separated benchmarks that must appear in the input
 //	-gate-ns         gate on ns/op (default true; disable on noisy shared
 //	                 runners, where B/op and allocs/op remain deterministic)
+//
+// Custom metrics reported with b.ReportMetric (any unit besides ns/op,
+// B/op and allocs/op) land in the baseline's "extra" map and are gated
+// higher-is-better: the gate fails when the measured value falls more
+// than -extra-tol below the baseline. Units ending in "_per_sec" are
+// wall-clock-dependent and follow -gate-ns; all other custom metrics
+// (deterministic ratios like ess_speedup) are always gated.
 //
 // Benchmarks present in the input but absent from the baseline are
 // reported and skipped; improvements are reported and pass. Sub-benchmark
@@ -33,6 +41,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,6 +53,9 @@ type metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. "ess_speedup"),
+	// gated higher-is-better.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type baseline struct {
@@ -79,13 +91,24 @@ func parseBenchOutput(r io.Reader) (map[string]metrics, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				m.NsPerOp, seen = v, true
 			case "B/op":
 				m.BytesPerOp = v
 			case "allocs/op":
 				m.AllocsPerOp = v
+			default:
+				// Custom b.ReportMetric units ride along ("12.4
+				// ess_speedup"); MB/s is go test's own throughput
+				// column and stays out of the gate.
+				if unit == "MB/s" {
+					continue
+				}
+				if m.Extra == nil {
+					m.Extra = map[string]float64{}
+				}
+				m.Extra[unit] = v
 			}
 		}
 		if seen {
@@ -104,10 +127,20 @@ func regression(base, got float64) float64 {
 	return (got - base) / base
 }
 
+// shortfall is regression's higher-is-better mirror for custom metrics:
+// the fractional drop of got below base, 0 when the metric held or
+// improved.
+func shortfall(base, got float64) float64 {
+	if base <= 0 || got >= base {
+		return 0
+	}
+	return (base - got) / base
+}
+
 // diff compares measured benchmarks against the baseline and returns
 // human-readable failure lines. gateNs disables ns/op gating (for noisy
 // runners); B/op and allocs/op are always gated — they are deterministic.
-func diff(base, got map[string]metrics, nsTol, bTol, allocsTol float64,
+func diff(base, got map[string]metrics, nsTol, bTol, allocsTol, extraTol float64,
 	gateNs bool, logf func(string, ...any)) []string {
 	var failures []string
 	for name, g := range got {
@@ -141,6 +174,34 @@ func diff(base, got map[string]metrics, nsTol, bTol, allocsTol float64,
 				logf("%s %s improved: %.6g -> %.6g", name, c.metric, c.base, c.got)
 			}
 		}
+		units := make([]string, 0, len(g.Extra))
+		for unit := range g.Extra {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			gv := g.Extra[unit]
+			bv, ok := b.Extra[unit]
+			if !ok {
+				logf("%s %s: not in baseline, skipped", name, unit)
+				continue
+			}
+			// Custom metrics are higher-is-better; wall-clock-derived
+			// ones (*_per_sec) follow the ns/op gate switch.
+			gated := gateNs || !strings.HasSuffix(unit, "_per_sec")
+			s := shortfall(bv, gv)
+			switch {
+			case s > extraTol && gated:
+				failures = append(failures, fmt.Sprintf(
+					"%s %s fell %.1f%%: %.6g -> %.6g (tolerance %.0f%%)",
+					name, unit, 100*s, bv, gv, 100*extraTol))
+			case s > extraTol:
+				logf("%s %s fell %.1f%% (%.6g -> %.6g), not gated",
+					name, unit, 100*s, bv, gv)
+			case gv > bv:
+				logf("%s %s improved: %.6g -> %.6g", name, unit, bv, gv)
+			}
+		}
 	}
 	return failures
 }
@@ -167,6 +228,7 @@ func main() {
 	nsTol := flag.Float64("ns-tol", 0.20, "allowed fractional ns/op regression")
 	bTol := flag.Float64("b-tol", 0.20, "allowed fractional B/op regression")
 	allocsTol := flag.Float64("allocs-tol", 0.20, "allowed fractional allocs/op regression")
+	extraTol := flag.Float64("extra-tol", 0.20, "allowed fractional shortfall of custom (higher-is-better) metrics")
 	require := flag.String("require", "", "comma-separated benchmarks that must be present")
 	gateNs := flag.Bool("gate-ns", true, "fail on ns/op regressions (disable on noisy runners)")
 	flag.Parse()
@@ -204,7 +266,7 @@ func main() {
 		ok = false
 		log.Printf("required benchmarks missing from input: %s", strings.Join(m, ", "))
 	}
-	for _, f := range diff(base.Benchmarks, got, *nsTol, *bTol, *allocsTol, *gateNs, log.Printf) {
+	for _, f := range diff(base.Benchmarks, got, *nsTol, *bTol, *allocsTol, *extraTol, *gateNs, log.Printf) {
 		ok = false
 		log.Print(f)
 	}

@@ -12,6 +12,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkSweepSequential 	       3	 164052734 ns/op	   35482 B/op	     347 allocs/op
 BenchmarkSweepParallel-8 	       3	 160123456 ns/op	   35490 B/op	     348 allocs/op
 BenchmarkTiny-4          	 1000000	      1052.5 ns/op
+BenchmarkVREffectiveness 	       1	 212345678 ns/op	      14.2 ess_per_sec	      12.5 ess_speedup	    1024 B/op	       9 allocs/op
 --- BENCH: BenchmarkSweepParallel-8
     bench_test.go:42: GOMAXPROCS=8
 PASS
@@ -23,8 +24,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(got), got)
 	}
 	seq := got["BenchmarkSweepSequential"]
 	if seq.NsPerOp != 164052734 || seq.BytesPerOp != 35482 || seq.AllocsPerOp != 347 {
@@ -38,6 +39,15 @@ func TestParseBenchOutput(t *testing.T) {
 	if tiny := got["BenchmarkTiny"]; tiny.NsPerOp != 1052.5 || tiny.AllocsPerOp != 0 {
 		t.Fatalf("tiny metrics wrong: %+v", tiny)
 	}
+	// Custom b.ReportMetric units land in Extra alongside the standard
+	// triple.
+	vre := got["BenchmarkVREffectiveness"]
+	if vre.Extra["ess_speedup"] != 12.5 || vre.Extra["ess_per_sec"] != 14.2 {
+		t.Fatalf("extra metrics wrong: %+v", vre)
+	}
+	if vre.BytesPerOp != 1024 || vre.AllocsPerOp != 9 {
+		t.Fatalf("standard metrics lost around extras: %+v", vre)
+	}
 }
 
 func discardLogf(string, ...any) {}
@@ -49,31 +59,76 @@ func TestDiffGatesRegressions(t *testing.T) {
 
 	// Within tolerance: pass.
 	got := map[string]metrics{"BenchmarkA": {NsPerOp: 110, BytesPerOp: 1100, AllocsPerOp: 11}}
-	if f := diff(base, got, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
+	if f := diff(base, got, 0.2, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
 		t.Fatalf("within-tolerance run failed: %v", f)
 	}
 
 	// Past tolerance on every metric: three failures.
 	got = map[string]metrics{"BenchmarkA": {NsPerOp: 130, BytesPerOp: 1300, AllocsPerOp: 13}}
-	if f := diff(base, got, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 3 {
+	if f := diff(base, got, 0.2, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 3 {
 		t.Fatalf("want 3 failures, got %v", f)
 	}
 
 	// ns/op gating disabled: the time regression logs but does not fail.
-	if f := diff(base, got, 0.2, 0.2, 0.2, false, discardLogf); len(f) != 2 {
+	if f := diff(base, got, 0.2, 0.2, 0.2, 0.2, false, discardLogf); len(f) != 2 {
 		t.Fatalf("want 2 failures with -gate-ns=false, got %v", f)
 	}
 
 	// Improvements never fail.
 	got = map[string]metrics{"BenchmarkA": {NsPerOp: 50, BytesPerOp: 500, AllocsPerOp: 5}}
-	if f := diff(base, got, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
+	if f := diff(base, got, 0.2, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
 		t.Fatalf("improvement flagged as regression: %v", f)
 	}
 
 	// Unknown benchmarks are skipped, not failed.
 	got = map[string]metrics{"BenchmarkNew": {NsPerOp: 1e9}}
-	if f := diff(base, got, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
+	if f := diff(base, got, 0.2, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
 		t.Fatalf("unknown benchmark failed the gate: %v", f)
+	}
+}
+
+func TestDiffGatesExtraMetrics(t *testing.T) {
+	base := map[string]metrics{
+		"BenchmarkVR": {NsPerOp: 100, Extra: map[string]float64{
+			"ess_speedup": 10, "ess_per_sec": 20,
+		}},
+	}
+
+	// Custom metrics are higher-is-better: holding or improving passes.
+	got := map[string]metrics{
+		"BenchmarkVR": {NsPerOp: 100, Extra: map[string]float64{
+			"ess_speedup": 12, "ess_per_sec": 25,
+		}},
+	}
+	if f := diff(base, got, 0.2, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
+		t.Fatalf("improved extras flagged: %v", f)
+	}
+
+	// Both fall past tolerance: two failures when everything is gated.
+	got = map[string]metrics{
+		"BenchmarkVR": {NsPerOp: 100, Extra: map[string]float64{
+			"ess_speedup": 7, "ess_per_sec": 14,
+		}},
+	}
+	if f := diff(base, got, 0.2, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 2 {
+		t.Fatalf("want 2 extra-metric failures, got %v", f)
+	}
+
+	// With -gate-ns=false the wall-clock-derived *_per_sec metric is
+	// logged only; the deterministic ratio still fails.
+	f := diff(base, got, 0.2, 0.2, 0.2, 0.2, false, discardLogf)
+	if len(f) != 1 || !strings.Contains(f[0], "ess_speedup") {
+		t.Fatalf("want only ess_speedup gated with -gate-ns=false, got %v", f)
+	}
+
+	// Extras missing from the baseline are skipped, not failed.
+	got = map[string]metrics{
+		"BenchmarkVR": {NsPerOp: 100, Extra: map[string]float64{
+			"ess_speedup": 10, "new_metric": 1,
+		}},
+	}
+	if f := diff(base, got, 0.2, 0.2, 0.2, 0.2, true, discardLogf); len(f) != 0 {
+		t.Fatalf("unknown extra failed the gate: %v", f)
 	}
 }
 

@@ -198,3 +198,160 @@ func normQuantile(p float64) float64 {
 
 // NormQuantile exposes the standard normal quantile function.
 func NormQuantile(p float64) float64 { return normQuantile(p) }
+
+// RegIncBeta returns the regularized incomplete beta function
+// I_x(a, b) for a, b > 0 and x in [0, 1], via the Lentz continued
+// fraction (Abramowitz & Stegun §26.5.8), using the symmetry
+// I_x(a,b) = 1 - I_{1-x}(b,a) to keep the fraction in its
+// fast-converging region x < (a+1)/(a+b+2).
+func RegIncBeta(a, b, x float64) (float64, error) {
+	switch {
+	case a <= 0 || b <= 0 || math.IsNaN(a) || math.IsNaN(b):
+		return 0, fmt.Errorf("dist: RegIncBeta shapes (a, b) = (%g, %g) must be positive", a, b)
+	case x < 0 || x > 1 || math.IsNaN(x):
+		return 0, fmt.Errorf("dist: RegIncBeta argument x = %g out of [0,1]", x)
+	case x == 0:
+		return 0, nil
+	case x == 1:
+		return 1, nil
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		cf, err := incBetaCF(a, b, x)
+		if err != nil {
+			return 0, err
+		}
+		return front * cf / a, nil
+	}
+	cf, err := incBetaCF(b, a, 1-x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - front*cf/b, nil
+}
+
+// incBetaCF evaluates the incomplete-beta continued fraction by the
+// modified Lentz method.
+func incBetaCF(a, b, x float64) (float64, error) {
+	const tiny = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= igamMaxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < igamEps {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("dist: incomplete beta continued fraction failed to converge for a=%g b=%g x=%g", a, b, x)
+}
+
+// TCDF returns P(T ≤ t) for Student's t distribution with df > 0
+// degrees of freedom: 1 - I_x(df/2, 1/2)/2 with x = df/(df+t²) for
+// t ≥ 0, extended by symmetry.
+func TCDF(df, t float64) (float64, error) {
+	if df <= 0 || math.IsNaN(df) {
+		return 0, fmt.Errorf("dist: TCDF degrees of freedom %g must be positive", df)
+	}
+	ib, err := RegIncBeta(df/2, 0.5, df/(df+t*t))
+	if err != nil {
+		return 0, err
+	}
+	if t >= 0 {
+		return 1 - ib/2, nil
+	}
+	return ib / 2, nil
+}
+
+// TQuantile returns the Student-t quantile t such that P(T ≤ t) = p for
+// df degrees of freedom — the critical value behind small-sample
+// confidence intervals (use p = 0.5 + confidence/2 for a two-sided
+// interval). It returns ±Inf at the boundaries and NaN for df ≤ 0. The
+// CDF is strictly monotone, so bisection from a normal-quantile bracket
+// always converges; convergence failures in the special functions
+// (unreachable for these arguments) surface as NaN.
+func TQuantile(df, p float64) float64 {
+	switch {
+	case df <= 0 || math.IsNaN(df) || math.IsNaN(p):
+		return math.NaN()
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	case p == 0.5:
+		return 0
+	}
+	// Symmetry: solve in the upper tail.
+	if p < 0.5 {
+		return -TQuantile(df, 1-p)
+	}
+	// Bracket: the t quantile is at least the normal quantile; grow the
+	// upper bound until the CDF clears p.
+	lo := normQuantile(p)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := lo + 1
+	for i := 0; ; i++ {
+		c, err := TCDF(df, hi)
+		if err != nil {
+			return math.NaN()
+		}
+		if c >= p {
+			break
+		}
+		if i > 200 {
+			return math.NaN()
+		}
+		lo = hi
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		c, err := TCDF(df, mid)
+		if err != nil {
+			return math.NaN()
+		}
+		if c < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

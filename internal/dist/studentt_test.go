@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.3, 0.3},     // uniform CDF
+		{2, 1, 0.5, 0.25},    // I_x(2,1) = x²
+		{1, 2, 0.5, 0.75},    // I_x(1,2) = 1-(1-x)²
+		{0.5, 0.5, 0.5, 0.5}, // arcsine distribution median
+		// I_x(5,3) = P(Bin(7, x) ≥ 5) = 0.6470695 at x = 0.7.
+		{5, 3, 0.7, 0.6470695},
+	}
+	for _, c := range cases {
+		got, err := RegIncBeta(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("RegIncBeta(%g,%g,%g): %v", c.a, c.b, c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("RegIncBeta(%g,%g,%g) = %.12g, want %.12g", c.a, c.b, c.x, got, c.want)
+		}
+	}
+	if _, err := RegIncBeta(0, 1, 0.5); err == nil {
+		t.Error("RegIncBeta accepted a = 0")
+	}
+	if _, err := RegIncBeta(1, 1, 1.5); err == nil {
+		t.Error("RegIncBeta accepted x = 1.5")
+	}
+}
+
+func TestTCDFMatchesSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 30, 200} {
+		for _, x := range []float64{0, 0.5, 1, 2.5, 7} {
+			up, err := TCDF(df, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, err := TCDF(df, -x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(up+lo-1) > 1e-12 {
+				t.Errorf("df=%g x=%g: F(x)+F(-x) = %g, want 1", df, x, up+lo)
+			}
+		}
+	}
+	// df=1 is the standard Cauchy: F(1) = 3/4.
+	c, err := TCDF(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.75) > 1e-10 {
+		t.Errorf("Cauchy F(1) = %.12g, want 0.75", c)
+	}
+}
+
+// TestTQuantileCriticalValues pins the two-sided 95% critical values the
+// confidence-interval machinery uses, against the standard t table.
+func TestTQuantileCriticalValues(t *testing.T) {
+	cases := []struct {
+		df   float64
+		want float64 // t_{0.975, df}
+	}{
+		{1, 12.7062},
+		{2, 4.30265},
+		{4, 2.77645},
+		{9, 2.26216},
+		{29, 2.04523},
+		{99, 1.98422},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.df, 0.975)
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("TQuantile(%g, 0.975) = %.5f, want %.5f", c.df, got, c.want)
+		}
+	}
+	// Large df converges to the normal critical value.
+	if got := TQuantile(1e6, 0.975); math.Abs(got-1.959964) > 1e-3 {
+		t.Errorf("TQuantile(1e6, 0.975) = %.5f, want ≈1.95996", got)
+	}
+}
+
+func TestTQuantileRoundTripAndEdges(t *testing.T) {
+	for _, df := range []float64{1, 3, 7, 24, 120} {
+		for _, p := range []float64{0.55, 0.9, 0.975, 0.995, 0.9999} {
+			q := TQuantile(df, p)
+			back, err := TCDF(df, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("TCDF(%g, TQuantile(%g, %g)) = %.12g", df, df, p, back)
+			}
+			if lo := TQuantile(df, 1-p); math.Abs(lo+q) > 1e-9*(1+q) {
+				t.Errorf("TQuantile asymmetric: df=%g p=%g: %g vs %g", df, p, lo, q)
+			}
+		}
+	}
+	if !math.IsInf(TQuantile(5, 1), 1) || !math.IsInf(TQuantile(5, 0), -1) {
+		t.Error("TQuantile boundary values not ±Inf")
+	}
+	if TQuantile(5, 0.5) != 0 {
+		t.Error("TQuantile median not 0")
+	}
+	if !math.IsNaN(TQuantile(0, 0.9)) || !math.IsNaN(TQuantile(-1, 0.9)) {
+		t.Error("TQuantile accepted nonpositive df")
+	}
+}

@@ -19,6 +19,7 @@ const (
 	EventPointCached    = "point_cached"    // served from the cross-batch cache
 	EventPointResumed   = "point_resumed"   // served from the checkpoint journal
 	EventPointAliased   = "point_aliased"   // in-batch duplicate of an earlier point
+	EventPointStopped   = "point_stopped"   // adaptive point met its CI target before the replication cap
 	EventDrift          = "drift"           // empirical waits diverged from the analytic model
 
 	// Fault-tolerance events (chaos runs and supervised degradation).
@@ -65,6 +66,10 @@ type Event struct {
 	KS        float64          `json:"ks,omitempty"`
 	Threshold float64          `json:"threshold,omitempty"`
 	Waits     []StageQuantiles `json:"waits,omitempty"`
+
+	// HalfWidth is the confidence-interval half-width an adaptive point
+	// stopped at (EventPointStopped; Rep carries the replication count).
+	HalfWidth float64 `json:"half_width,omitempty"`
 }
 
 // Sink receives events. Emit may be called from any goroutine;

@@ -90,6 +90,36 @@ type Config struct {
 	// Seed seeds the deterministic PCG random stream.
 	Seed uint64
 
+	// Antithetic mirrors every trace-generation draw: uniforms u become
+	// 1-u and uniform destinations d become destSpace-1-d, at the
+	// TraceStream level, so every engine (fast, reference, literal,
+	// lanes) sees the same mirrored schedule. A run with Antithetic set
+	// has exactly the simulator's marginal distribution — mirroring is
+	// measure-preserving — but is negatively correlated with the run at
+	// the same Seed without it; averaging such a pair cancels the
+	// monotone part of the seed noise (antithetic variates, see
+	// internal/vr). Runner-managed and excluded from sweep config
+	// hashing, like Seed: the variance-reduction plan decides which
+	// replications mirror, not the point's identity.
+	Antithetic bool
+
+	// SyncDraws makes trace generation consume the same number of random
+	// draws per (cycle, input) slot whether or not a message is generated
+	// there. Without it, destination and service uniforms are drawn only
+	// for generated messages, so two runs at the same Seed but different
+	// P desynchronize at the first slot where exactly one of them
+	// generates — from then on their destinations are independent and
+	// common-random-numbers coupling collapses to the arrival indicators
+	// alone. With SyncDraws every slot consumes its full draw budget and
+	// equal-seed runs across neighboring sweep points stay coupled
+	// end-to-end. The marginal law is unchanged (the extra draws are
+	// discarded, and each message's destination/service remain i.i.d.);
+	// the realization at a given seed differs from the default stream,
+	// which is why the variance-reduction layer salts its artifact keys.
+	// Runner-managed and excluded from sweep config hashing, like Seed
+	// and Antithetic.
+	SyncDraws bool
+
 	// MaxRows caps the number of rows per stage. A full k-ary n-stage
 	// banyan has k^n rows; when that exceeds MaxRows the simulator uses
 	// the largest power of k not exceeding it and wraps the shuffle

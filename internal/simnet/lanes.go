@@ -73,7 +73,7 @@ func RunLanes(cfgs []*Config) ([]*Result, []error) {
 // RunLanesCtx advances W = len(cfgs) replications of one configuration
 // through a single cycle loop — W lanes in lock-step — and returns one
 // (Result, error) pair per lane, index-aligned with cfgs. The cfgs must
-// be identical except for Seed, WaitHists and Probe: one clock, one
+// be identical except for Seed, Antithetic, WaitHists and Probe: one clock, one
 // topology, one set of guards drives all lanes, while each lane owns
 // its trace stream, its kernel RNG, its network state and its result.
 //

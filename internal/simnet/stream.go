@@ -106,6 +106,8 @@ type TraceStream struct {
 	burst     *BurstParams
 	on        []bool // bursty per-input ON state
 	warmup    int
+	anti      bool // mirror every draw (antithetic variates)
+	sync      bool // fixed draw budget per slot (CRN synchronization)
 
 	blk TraceBlock // reused between Next calls
 }
@@ -146,6 +148,8 @@ func newTraceStreamSampler(cfg *Config, blockCycles int, svcSampler *dist.Sample
 		destSpace:   uint64(intPow(cfg.K, cfg.Stages)),
 		burst:       cfg.Burst,
 		warmup:      cfg.Warmup,
+		anti:        cfg.Antithetic,
+		sync:        cfg.SyncDraws,
 	}
 	if sup := svcPMF.SortedSupport(0); len(sup) == 1 {
 		s.constSvc = sup[0]
@@ -163,7 +167,7 @@ func newTraceStreamSampler(cfg *Config, blockCycles int, svcSampler *dist.Sample
 		frac := cfg.Burst.onFraction()
 		s.on = make([]bool, meta.Rows)
 		for i := range s.on {
-			s.on[i] = s.rng.Float64() < frac
+			s.on[i] = s.u() < frac
 		}
 	}
 	return s, nil
@@ -171,6 +175,21 @@ func newTraceStreamSampler(cfg *Config, blockCycles int, svcSampler *dist.Sample
 
 // Meta returns the schedule's fixed context.
 func (s *TraceStream) Meta() *TraceMeta { return &s.meta }
+
+// u draws one generation uniform, mirrored to 1-u under Antithetic.
+// The mirror changes each comparison u < p into 1-u < p, an event of
+// identical probability up to one part in 2⁵³ (Float64 draws a 53-bit
+// lattice; its mirror is the same lattice shifted half a step), so the
+// mirrored schedule is distributed exactly like an independent one
+// while being maximally anticorrelated with the unmirrored schedule at
+// the same seed.
+func (s *TraceStream) u() float64 {
+	u := s.rng.Float64()
+	if s.anti {
+		return 1 - u
+	}
+	return u
+}
 
 // Next generates the next block of up to blockCycles cycles. It returns
 // nil once the horizon is reached. The returned block reuses the
@@ -194,43 +213,91 @@ func (s *TraceStream) Next() (*TraceBlock, error) {
 	// Hoisted loop state: the generator calls into rng between field
 	// reads, so without locals the compiler must reload every field per
 	// iteration — and this loop runs rows times per simulated cycle.
+	// Antithetic mirroring (see Config.Antithetic) stays inline for the
+	// same reason: each draw site flips its own uniform behind one
+	// predictable branch instead of a closure call.
 	rng := s.rng
 	rows := s.meta.Rows
 	p, q, hot := s.p, s.q, s.hot
 	bulk, constSvc := s.bulk, s.constSvc
 	destSpace := s.destSpace
+	anti, sync := s.anti, s.sync
 	for t := s.next; t < end; t++ {
 		meas := t >= s.warmup
 		for in := 0; in < rows; in++ {
 			if s.on != nil {
 				if s.on[in] {
-					if rng.Float64() < s.burst.POffRate {
+					u := rng.Float64()
+					if anti {
+						u = 1 - u
+					}
+					if u < s.burst.POffRate {
 						s.on[in] = false
 					}
-				} else if rng.Float64() < s.burst.POnRate {
-					s.on[in] = true
+				} else {
+					u := rng.Float64()
+					if anti {
+						u = 1 - u
+					}
+					if u < s.burst.POnRate {
+						s.on[in] = true
+					}
 				}
 				if !s.on[in] {
 					continue
 				}
 			}
-			if rng.Float64() >= p {
+			u := rng.Float64()
+			if anti {
+				u = 1 - u
+			}
+			// SyncDraws: a non-generating slot still consumes its full
+			// draw budget below (the draws are discarded), so equal-seed
+			// streams at different p never shift against each other.
+			gen := u < p
+			if !gen && !sync {
 				continue
 			}
 			var dest uint32
-			switch {
-			case q > 0 && rng.Float64() < q:
-				dest = uint32(in) // favorite: the output with the input's own index
-			case hot > 0 && rng.Float64() < hot:
-				dest = 0 // the shared hot module
-			default:
-				dest = uint32(rng.Uint64N(destSpace))
+			hit := false
+			if q > 0 {
+				u = rng.Float64()
+				if anti {
+					u = 1 - u
+				}
+				if u < q {
+					dest = uint32(in) // favorite: the output with the input's own index
+					hit = true
+				}
+			} else if hot > 0 {
+				u = rng.Float64()
+				if anti {
+					u = 1 - u
+				}
+				if u < hot {
+					dest = 0 // the shared hot module
+					hit = true
+				}
+			}
+			if !hit {
+				v := rng.Uint64N(destSpace)
+				if anti {
+					v = destSpace - 1 - v
+				}
+				dest = uint32(v)
 			}
 			sv := int16(1)
 			if constSvc > 0 {
 				sv = int16(constSvc)
 			} else {
-				sv = int16(s.sampler.Sample(rng.Float64(), rng.Float64()))
+				u1, u2 := rng.Float64(), rng.Float64()
+				if anti {
+					u1, u2 = 1-u1, 1-u2
+				}
+				sv = int16(s.sampler.Sample(u1, u2))
+			}
+			if !gen {
+				continue
 			}
 			for j := 0; j < bulk; j++ {
 				blk.T = append(blk.T, int32(t))

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// TestBatchMeansSmallSampleHalfWidth pins the Student-t half-widths at
+// the small batch counts the sequential stopping rules actually see.
+// With batch size 1 and observations 0..n-1 the sample variance is
+// n(n+1)/12, so hw = t_{0.975,n-1}·sqrt(var/n) is known in closed form;
+// the old normal-critical-value code returned 1.96·sqrt(var/n), which
+// understates these by 6.5× at n=2 and 29% at n=5.
+func TestBatchMeansSmallSampleHalfWidth(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{2, 6.35311},  // t1 = 12.7062
+		{5, 1.96325},  // t4 = 2.77645
+		{10, 2.16585}, // t9 = 2.26216
+		{30, 3.28723}, // t29 = 2.04523
+	}
+	for _, c := range cases {
+		b := NewBatchMeans(1)
+		for i := 0; i < c.n; i++ {
+			b.Add(float64(i))
+		}
+		if got := b.HalfWidth(); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("n=%d: HalfWidth = %.5f, want %.5f", c.n, got, c.want)
+		}
+		// The normal-z value would be strictly smaller at every finite n —
+		// guard against a regression back to 1.96.
+		z := 1.96 * math.Sqrt(b.batches.SampleVariance()/float64(b.batches.N()))
+		if got := b.HalfWidth(); got <= z {
+			t.Errorf("n=%d: HalfWidth %.5f not above the normal half-width %.5f", c.n, got, z)
+		}
+	}
+}
+
+func TestWelfordMeanHalfWidth(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	if !math.IsInf(w.MeanHalfWidth(0.95), 1) {
+		t.Error("one observation must give an infinite half-width")
+	}
+	w.Add(3)
+	// n=2: mean 2, sample var 2, hw = 12.7062·sqrt(2/2) = 12.7062.
+	if got := w.MeanHalfWidth(0.95); math.Abs(got-12.7062) > 1e-3 {
+		t.Errorf("MeanHalfWidth = %.4f, want 12.7062", got)
+	}
+	// Higher confidence widens the interval.
+	if w.MeanHalfWidth(0.99) <= w.MeanHalfWidth(0.95) {
+		t.Error("99% interval not wider than 95%")
+	}
+}
+
+// TestWelfordVarianceClampDegenerate drives the parallel-merge update
+// through blocks of identical values whose means differ only in the last
+// ulp — the cancellation pattern that used to leave m2 a hair below zero
+// and turn StdDev/half-widths into NaN.
+func TestWelfordVarianceClampDegenerate(t *testing.T) {
+	const v = 1.0e8 + 1.0/3.0
+	var w Welford
+	for i := 0; i < 200; i++ {
+		var b Welford
+		b.AddN(v, int64(1+i%3))
+		w.Merge(b)
+	}
+	if got := w.Variance(); got < 0 || math.IsNaN(got) {
+		t.Errorf("Variance = %g", got)
+	}
+	if got := w.SampleVariance(); got < 0 || math.IsNaN(got) {
+		t.Errorf("SampleVariance = %g", got)
+	}
+	if got := w.StdDev(); math.IsNaN(got) {
+		t.Errorf("StdDev = %g", got)
+	}
+	if got := w.MeanHalfWidth(0.95); math.IsNaN(got) {
+		t.Errorf("MeanHalfWidth = %g", got)
+	}
+}
+
+// FuzzWelfordMergeOrder merges a fuzzed value stream in fuzzed block
+// sizes and orders and asserts the variance estimates never go negative
+// or NaN — the invariant the -target-ci stopping rule depends on.
+func FuzzWelfordMergeOrder(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3))
+	f.Add([]byte{255, 0, 255, 0, 128, 128}, uint8(1))
+	f.Add([]byte{10, 10, 10, 10, 10, 10, 10, 10, 10, 10}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, blk uint8) {
+		if len(raw) == 0 {
+			return
+		}
+		width := int(blk%7) + 1
+		// Values near a large offset maximize cancellation in the merge.
+		vals := make([]float64, 0, len(raw))
+		for _, b := range raw {
+			vals = append(vals, 1e9+float64(b)/255)
+		}
+		var blocks []Welford
+		for i := 0; i < len(vals); i += width {
+			end := i + width
+			if end > len(vals) {
+				end = len(vals)
+			}
+			var b Welford
+			for _, v := range vals[i:end] {
+				if int(b.N())%2 == 0 {
+					b.Add(v)
+				} else {
+					b.AddN(v, 1+int64(blk%3))
+				}
+			}
+			blocks = append(blocks, b)
+		}
+		// Deterministic pseudo-random merge order derived from the input.
+		order := make([]int, len(blocks))
+		for i := range order {
+			order[i] = i
+		}
+		seed := uint64(len(raw))*2654435761 + uint64(blk)
+		if len(raw) >= 8 {
+			seed ^= binary.LittleEndian.Uint64(raw)
+		}
+		for i := len(order) - 1; i > 0; i-- {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			j := int(seed % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		var w Welford
+		for _, i := range order {
+			w.Merge(blocks[i])
+		}
+		if v := w.Variance(); v < 0 || math.IsNaN(v) {
+			t.Fatalf("Variance = %g after %d merges", v, len(blocks))
+		}
+		if v := w.SampleVariance(); v < 0 || math.IsNaN(v) {
+			t.Fatalf("SampleVariance = %g after %d merges", v, len(blocks))
+		}
+		if v := w.StdDev(); math.IsNaN(v) {
+			t.Fatalf("StdDev = %g", v)
+		}
+		if w.N() >= 2 {
+			if hw := w.MeanHalfWidth(0.95); math.IsNaN(hw) || hw < 0 {
+				t.Fatalf("MeanHalfWidth = %g", hw)
+			}
+		}
+	})
+}

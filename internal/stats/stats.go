@@ -8,6 +8,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"banyan/internal/dist"
 )
 
 // Welford accumulates count, mean and variance of a stream of
@@ -64,17 +66,23 @@ func (w *Welford) N() int64 { return w.n }
 // Mean returns the sample mean (0 for an empty accumulator).
 func (w *Welford) Mean() float64 { return w.mean }
 
-// Variance returns the population variance Σ(x-μ)²/n.
+// Variance returns the population variance Σ(x-μ)²/n. The running
+// second moment can drift a hair below zero from floating-point
+// cancellation (AddN/Merge combine blocks whose means nearly coincide),
+// so the result is clamped at 0 — StdDev and the confidence-interval
+// half-widths built on it must never go NaN and silently satisfy a
+// precision target.
 func (w *Welford) Variance() float64 {
-	if w.n == 0 {
+	if w.n == 0 || w.m2 <= 0 {
 		return 0
 	}
 	return w.m2 / float64(w.n)
 }
 
-// SampleVariance returns the unbiased sample variance Σ(x-μ)²/(n-1).
+// SampleVariance returns the unbiased sample variance Σ(x-μ)²/(n-1),
+// clamped at 0 like Variance.
 func (w *Welford) SampleVariance() float64 {
-	if w.n < 2 {
+	if w.n < 2 || w.m2 <= 0 {
 		return 0
 	}
 	return w.m2 / float64(w.n-1)
@@ -91,6 +99,22 @@ func (w *Welford) StdErr() float64 {
 		return 0
 	}
 	return math.Sqrt(w.SampleVariance() / float64(w.n))
+}
+
+// MeanHalfWidth returns the half-width of a two-sided confidence
+// interval for the mean at the given confidence level (e.g. 0.95),
+// assuming i.i.d. observations, using the Student-t critical value with
+// n-1 degrees of freedom. The t correction matters exactly where the
+// variance-reduction stopping rules operate — a handful of replications
+// or batches — where the normal value 1.96 understates the interval by
+// up to 6.5× (n = 2). Returns +Inf below two observations: no dispersion
+// estimate exists, and +Inf can never satisfy a precision target.
+func (w *Welford) MeanHalfWidth(confidence float64) float64 {
+	if w.n < 2 {
+		return math.Inf(1)
+	}
+	t := dist.TQuantile(float64(w.n-1), 0.5+confidence/2)
+	return t * math.Sqrt(w.SampleVariance()/float64(w.n))
 }
 
 // Cov accumulates the covariance of paired observations (x, y).
@@ -430,10 +454,11 @@ func (b *BatchMeans) Batches() int64 { return b.batches.N() }
 func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
 
 // HalfWidth returns the half-width of an approximate 95% confidence
-// interval for the mean (normal critical value; fine for ≥ 20 batches).
+// interval for the mean, using the Student-t critical value with
+// batches-1 degrees of freedom. Batch counts below ~20 are exactly
+// where sequential stopping rules read this value, and the normal
+// approximation (1.96) understates the half-width there — by 6.5× at 2
+// batches, 29% at 5, 3.5% at 30.
 func (b *BatchMeans) HalfWidth() float64 {
-	if b.batches.N() < 2 {
-		return math.Inf(1)
-	}
-	return 1.96 * math.Sqrt(b.batches.SampleVariance()/float64(b.batches.N()))
+	return b.batches.MeanHalfWidth(0.95)
 }

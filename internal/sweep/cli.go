@@ -12,6 +12,7 @@ import (
 
 	"banyan/internal/faultinject"
 	"banyan/internal/obs"
+	"banyan/internal/vr"
 )
 
 // RunOptions bundles the fault-tolerance and observability command-line
@@ -36,6 +37,16 @@ type RunOptions struct {
 	// Lanes is the lock-step lane width for Fast-engine replications
 	// (0 = auto, 1 = scalar kernel). Result-neutral; see Runner.Lanes.
 	Lanes int
+	// VR is the comma-separated variance-reduction technique list:
+	// "crn", "cv", "anti" ("" or "off" = none). See vr.Parse.
+	VR string
+	// TargetCI, when positive, runs each point until the 95% CI
+	// half-width of its mean-wait estimate is at most this (sequential
+	// stopping on the vr.Plan checkpoint cadence).
+	TargetCI float64
+	// VRMaxReps caps adaptive growth under -target-ci (0 = the point's
+	// configured replication count).
+	VRMaxReps int
 	// Chaos arms deterministic fault injection from a schedule spec —
 	// "seed=N" for a derived schedule or explicit classes like
 	// "rep.panic:prob=1;journal.torn:record=2" ("" = off). The armed
@@ -92,6 +103,9 @@ func (o *RunOptions) RegisterFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Resume, "resume", false, "reuse the completed points already in the -checkpoint journal")
 	fs.IntVar(&o.MaxRetries, "max-retries", 1, "retries per replication after a panic or simulation error")
 	fs.IntVar(&o.Lanes, "lanes", 0, "lock-step lane width: run this many replications of a point through one kernel invocation (0 = auto, 1 = scalar); never affects results")
+	fs.StringVar(&o.VR, "vr", "", "variance-reduction techniques, comma-separated: crn (common random numbers across points), cv (control variates), anti (antithetic replication pairs)")
+	fs.Float64Var(&o.TargetCI, "target-ci", 0, "run each point until the 95% CI half-width of its mean wait is at most this many cycles (0 = fixed replication count)")
+	fs.IntVar(&o.VRMaxReps, "vr-max-reps", 0, "replication cap per point for -target-ci (0 = the point's configured count)")
 	fs.StringVar(&o.Chaos, "chaos", "", "arm deterministic fault injection: \"seed=N\" or explicit classes like \"rep.panic:prob=1;journal.torn:record=2\"")
 	fs.DurationVar(&o.Watchdog, "watchdog", 0, "arm the stalled-replication watchdog with this initial per-attempt budget (e.g. 30s); stalls convert to retryable errors")
 	fs.IntVar(&o.CheckpointFsync, "checkpoint-fsync", 0, "fsync the -checkpoint journal after every N appended points (0 = only at close)")
@@ -116,6 +130,20 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 	r.PointBudget = o.PointBudget
 	r.MaxRetries = o.MaxRetries
 	r.Lanes = o.Lanes
+	plan, err := vr.Parse(o.VR)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: -vr: %w", err)
+	}
+	if o.TargetCI > 0 {
+		if plan == nil {
+			plan = &vr.Plan{}
+		}
+		plan.TargetCI = o.TargetCI
+		plan.MaxReps = o.VRMaxReps
+	} else if o.VRMaxReps > 0 {
+		return nil, nil, fmt.Errorf("sweep: -vr-max-reps requires -target-ci")
+	}
+	r.VR = plan
 	if o.Chaos != "" {
 		sched, err := faultinject.Parse(o.Chaos)
 		if err != nil {

@@ -32,8 +32,14 @@ func NewLogReporter(w io.Writer) *LogReporter { return &LogReporter{W: w} }
 func (lr *LogReporter) PointDone(pr *PointResult, p Progress) {
 	settled := p.PointsDone + p.PointsFailed + p.PointsAliased
 	var b strings.Builder
-	fmt.Fprintf(&b, "sweep: [%d/%d] %s (%d msgs, %.0f msg/s",
-		settled, p.PointsTotal, pr.Point.Label, p.Messages, p.MessagesPerSec)
+	fmt.Fprintf(&b, "sweep: [%d/%d] %s", settled, p.PointsTotal, pr.Point.Label)
+	if pr.VR != nil {
+		fmt.Fprintf(&b, " w=%.4g±%.3g", pr.VR.Mean, pr.VR.HalfWidth)
+		if pr.VR.Stopped {
+			fmt.Fprintf(&b, " @%d reps", pr.VR.Reps)
+		}
+	}
+	fmt.Fprintf(&b, " (%d msgs, %.0f msg/s", p.Messages, p.MessagesPerSec)
 	if p.ETA > 0 {
 		fmt.Fprintf(&b, ", ETA %s", p.ETA.Round(time.Second))
 	}

@@ -35,6 +35,7 @@ import (
 	"banyan/internal/obs"
 	"banyan/internal/simnet"
 	"banyan/internal/stats"
+	"banyan/internal/vr"
 )
 
 // Engine selects which simulator executes a point.
@@ -94,6 +95,11 @@ type PointResult struct {
 	Runs []*simnet.Result
 	// Agg pools the replications; nil when the point failed.
 	Agg *simnet.Replicated
+	// VR is the variance-reduced estimate of the mean total wait —
+	// control-variate-adjusted, antithetic pairs folded into units,
+	// Student-t interval — computed whenever the runner has a VR plan.
+	// Nil on failed points and on runs without a plan.
+	VR *vr.Estimate
 
 	// Err is the point's terminal error: a validation failure, a
 	// recovered panic (*PanicError), a simulation error that survived
@@ -149,6 +155,14 @@ type Runner struct {
 	Lanes int
 	// RootSeed is the seed every per-point seed is derived from.
 	RootSeed uint64
+	// VR selects the variance-reduction plan: common random numbers,
+	// antithetic replication pairs, control variates, and CI-targeted
+	// sequential stopping (see internal/vr). Nil (or the zero plan) is
+	// bit-identical to a run without the layer. Plans whose salt is
+	// non-zero (CRN, antithetic, adaptive stopping — anything that
+	// changes seeds or replication counts) address the cache and
+	// journal under salted keys, so VR and non-VR artifacts never mix.
+	VR *vr.Plan
 	// Cache, when non-nil, stores completed points across Run calls.
 	Cache *Cache
 	// Reporter, when non-nil, observes point completions.
@@ -244,6 +258,41 @@ func (r *Runner) laneWidth(p *Point) int {
 	return lw
 }
 
+// pointCap returns how many replication slots a point may consume: its
+// configured count, or the adaptive plan's cap when CI-targeted
+// stopping is on.
+func (r *Runner) pointCap(p *Point) int {
+	if r.VR.Adaptive() {
+		return r.VR.Cap(p.reps())
+	}
+	return p.reps()
+}
+
+// artifactKey addresses the cache and journal: the canonical config
+// hash XORed with the VR plan's salt, so runs produced under a
+// different seed derivation or stopping rule never alias runs produced
+// without one. A zero salt (no seed-affecting VR, including plain
+// control variates) preserves legacy addressing bit for bit.
+func (r *Runner) artifactKey(key uint64) uint64 { return key ^ r.VR.Salt() }
+
+// resumable reports whether a journaled replication count restores the
+// point. Fixed-rep points need the exact count; adaptive points accept
+// any count up to the cap, because the stopping rule is deterministic
+// and the salted batch key guarantees the journal was written under
+// the identical plan — so a journaled count is the count this run
+// would reproduce.
+func (r *Runner) resumable(n int, p *Point) bool {
+	if r.VR.Adaptive() {
+		return n >= 1 && n <= r.pointCap(p)
+	}
+	return n == p.reps()
+}
+
+// crnStream is the SplitSeed stream index reserved for the sweep-wide
+// common-random-numbers base, so CRN replication seeds are shared by
+// every point of a root seed but disjoint from the per-point streams.
+const crnStream = 0x43524e62617365 // "CRNbase"
+
 // Run executes every point of the batch with Background context; see
 // RunCtx.
 func (r *Runner) Run(points []Point) ([]*PointResult, error) {
@@ -287,16 +336,22 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		// resume hits: a journal written under different flags fails here
 		// with a typed *ConfigMismatchError instead of silently
 		// re-running (or worse, silently skipping) every point.
-		if err := r.Journal.bind(BatchKey(points, r.RootSeed)); err != nil {
+		// The batch key carries the VR salt for the same reason point
+		// artifacts do: a journal written under a different plan replays
+		// different simulations.
+		if err := r.Journal.bind(r.artifactKey(BatchKey(points, r.RootSeed))); err != nil {
 			return nil, err
 		}
 		if r.Fault != nil {
 			r.Journal.setFault(r.Fault.Journal())
 		}
 	}
+	// crnBase is the sweep-wide replication seed base shared by every
+	// point when common random numbers are on.
+	crnBase := simnet.SplitSeed(r.RootSeed, crnStream)
 	repsTotal := 0
 	for i := range points {
-		repsTotal += points[i].reps()
+		repsTotal += r.pointCap(&points[i])
 	}
 	r.ctr.begin(len(points), repsTotal)
 	defer r.ctr.end()
@@ -314,6 +369,13 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		// histograms (drift-monitor data path); nil unless r.Drift is set
 		// and the point is freshly simulated.
 		hists [][]*stats.Hist
+		// Adaptive (CI-targeted) scheduling state: cks is the point's
+		// checkpoint cadence, sched the replication count scheduled so
+		// far (cks[ck]). Written only under mu by the worker that settles
+		// a wave; fixed-rep points keep sched == reps for the whole run.
+		cks   []int
+		sched int
+		ck    int
 	}
 	states := make([]pointState, len(points))
 	byKey := make(map[uint64]int, len(points))
@@ -322,16 +384,31 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 	// lane groups; everything else (and the fault-injection hook) runs
 	// one replication per job.
 	type job struct{ pi, rep, w int }
+	// chunk cuts replications [from, to) of a point into lane-group
+	// jobs, with a narrower group on a non-divisible tail.
+	chunk := func(pi, from, to int, p *Point) []job {
+		lw := r.laneWidth(p)
+		var out []job
+		for rep := from; rep < to; rep += lw {
+			w := lw
+			if rep+w > to {
+				w = to - rep
+			}
+			out = append(out, job{pi: pi, rep: rep, w: w})
+		}
+		return out
+	}
 	var jobs []job
 	for i := range points {
 		p := &points[i]
 		key := pointKey(p, r.RootSeed)
+		repCap := r.pointCap(p)
 		states[i].aliasOf = -1
 		if j, ok := byKey[key]; ok {
 			states[i].aliasOf = j
 			states[i].pending = -1
 			// Terminal state: the alias settles now, never via a worker.
-			r.ctr.pointAliased(p.reps())
+			r.ctr.pointAliased(repCap)
 			r.emit(obs.Event{
 				Event: obs.EventPointAliased, Label: p.Label,
 				Key: keyHex(key), Engine: p.Engine.String(),
@@ -343,53 +420,68 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 			Point: *p,
 			Key:   key,
 			Seed:  simnet.SplitSeed(r.RootSeed, key),
-			Runs:  make([]*simnet.Result, p.reps()),
+			Runs:  make([]*simnet.Result, repCap),
 		}
 		states[i].pr = pr
 		if r.Cache != nil {
-			if hit, ok := r.Cache.get(key); ok {
+			if hit, ok := r.Cache.get(r.artifactKey(key)); ok {
 				// Share the cached runs but relabel: the hit may have been
 				// computed under a different Point.Label in an earlier
 				// batch, and callers key their output off the label.
 				shared := *hit
 				shared.Point = *p
+				if r.VR.Enabled() {
+					if shared.VR == nil {
+						shared.VR = r.VR.Estimate(&p.Cfg, shared.Runs)
+					}
+				} else {
+					shared.VR = nil
+				}
 				states[i].pr = &shared
 				states[i].pending = -1
-				r.ctr.pointCached(p.reps())
+				r.ctr.pointCached(repCap)
 				r.emit(pointEvent(obs.EventPointCached, &shared))
 				r.report(&shared)
 				continue
 			}
 		}
 		if r.Journal != nil {
-			if runs, ok := r.Journal.get(key); ok && len(runs) == p.reps() {
+			if runs, ok := r.Journal.get(r.artifactKey(key)); ok && r.resumable(len(runs), p) {
 				// Resume: the journaled replications restore exactly, and
 				// aggregation in replication order reproduces the pooled
-				// statistics bit for bit.
+				// statistics bit for bit. Under adaptive stopping, the
+				// journaled count is whatever the deterministic rule chose.
 				pr.Runs = runs
 				pr.Agg = simnet.Aggregate(runs, p.Cfg.Stages)
+				if r.VR.Enabled() {
+					pr.VR = r.VR.Estimate(&p.Cfg, runs)
+					if r.VR.Adaptive() {
+						pr.VR.Stopped = len(runs) < repCap || pr.VR.HalfWidth <= r.VR.TargetCI
+					}
+				}
 				states[i].pending = -1
 				if r.Cache != nil {
-					r.Cache.put(key, pr)
+					r.Cache.put(r.artifactKey(key), pr)
 				}
-				r.ctr.pointResumed(p.reps())
+				r.ctr.pointResumed(repCap)
 				r.emit(pointEvent(obs.EventPointResumed, pr))
 				r.report(pr)
 				continue
 			}
 		}
-		states[i].pending = p.reps()
+		if r.VR.Adaptive() {
+			// First wave only; later waves are scheduled by the worker
+			// that settles a wave under the CI target.
+			states[i].cks = r.VR.Checkpoints(p.reps())
+			states[i].sched = states[i].cks[0]
+		} else {
+			states[i].sched = repCap
+		}
+		states[i].pending = states[i].sched
 		if r.Drift != nil {
-			states[i].hists = make([][]*stats.Hist, p.reps())
+			states[i].hists = make([][]*stats.Hist, repCap)
 		}
-		lw := r.laneWidth(p)
-		for rep := 0; rep < p.reps(); rep += lw {
-			w := lw
-			if rep+w > p.reps() {
-				w = p.reps() - rep // non-divisible tail: a narrower group
-			}
-			jobs = append(jobs, job{pi: i, rep: rep, w: w})
-		}
+		jobs = append(jobs, chunk(i, 0, states[i].sched, p)...)
 	}
 
 	// Bounded worker pool over (point, replication) jobs: replication
@@ -402,7 +494,222 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		journalErr error
 		wg         sync.WaitGroup
 	)
-	jobCh := make(chan job)
+	// process runs one job to completion and, when it settles the last
+	// pending replication of an adaptive point whose CI target is not yet
+	// met, returns the next wave of jobs for that point.
+	process := func(j job) []job {
+		st := &states[j.pi]
+		mu.Lock()
+		skip := st.failed
+		if !skip && !st.started {
+			st.started = true
+			st.startedAt = time.Now()
+			mu.Unlock()
+			r.emit(pointEvent(obs.EventPointStarted, st.pr))
+		} else {
+			mu.Unlock()
+		}
+		var results []*simnet.Result
+		var lerrs []error
+		if err := ctx.Err(); err != nil || skip {
+			// Cancelled or a sibling already failed the point: the
+			// group's replications resolve without running.
+			results = make([]*simnet.Result, j.w)
+			lerrs = make([]error, j.w)
+			for i := range lerrs {
+				lerrs[i] = err // nil when merely skipped
+			}
+		} else {
+			// Each replication re-derives its seed from the point's
+			// canonical key, so the result cannot depend on worker
+			// scheduling, retries, lane grouping, or batch
+			// composition. The VR plan may redirect the derivation
+			// (CRN base, antithetic pair sharing) — still a pure
+			// function of (plan, point, rep).
+			cfgs := make([]*simnet.Config, j.w)
+			for i := range cfgs {
+				cfg := st.pr.Point.Cfg
+				cfg.Seed, cfg.Antithetic = r.VR.RepSeed(st.pr.Seed, crnBase, j.rep+i)
+				cfg.SyncDraws = r.VR.Synchronized()
+				if r.Probe != nil {
+					cfg.Probe = r.Probe
+				}
+				if r.Fault != nil {
+					// The fault plan is a pure function of (schedule
+					// seed, point key, rep) and is cached per
+					// replication, so retries and degraded reruns
+					// share its one-shot state.
+					cfg.Fault = r.Fault.Rep(st.pr.Key, j.rep+i)
+				}
+				if st.hists != nil {
+					// Drift data path: exact per-stage waiting-time
+					// histograms, filled by the engine, hash-excluded
+					// and result-neutral. Each replication slot is
+					// owned by exactly one worker, like Runs.
+					wh := make([]*stats.Hist, cfg.Stages)
+					for s := range wh {
+						wh[s] = &stats.Hist{}
+					}
+					cfg.WaitHists = wh
+					st.hists[j.rep+i] = wh
+				}
+				cfgs[i] = &cfg
+			}
+			if j.w == 1 {
+				res, err := r.attempt(ctx, st.pr, j.rep, cfgs[0])
+				results, lerrs = []*simnet.Result{res}, []error{err}
+			} else {
+				results, lerrs = r.attemptLanes(ctx, st.pr, j.rep, cfgs)
+			}
+		}
+		var last, failed bool
+		var startedAt time.Time
+		for i := 0; i < j.w; i++ {
+			rep, res, err := j.rep+i, results[i], lerrs[i]
+			if res != nil {
+				st.pr.Runs[rep] = res // partial truncated results kept for inspection
+				if err == nil {
+					r.ctr.repDone(res)
+					if res.Truncated {
+						ev := pointEvent(obs.EventPointTruncated, st.pr)
+						ev.Rep = rep
+						ev.Cycles = res.TruncatedAt
+						ev.Messages = res.Messages
+						r.emit(ev)
+					}
+				}
+			}
+			if err != nil || res == nil {
+				r.ctr.repSettled()
+			}
+			mu.Lock()
+			if err != nil {
+				st.failed = true
+				if st.pr.Err == nil {
+					st.pr.Err = fmt.Errorf("sweep: point %q rep %d: %w", st.pr.Point.Label, rep, err)
+				}
+			}
+			st.pending--
+			last = st.pending == 0
+			failed = st.failed
+			startedAt = st.startedAt
+			mu.Unlock()
+		}
+		if !last {
+			return nil
+		}
+		wallMS := 0.0
+		if !startedAt.IsZero() {
+			wallMS = float64(time.Since(startedAt)) / float64(time.Millisecond)
+		}
+		if failed {
+			if r.VR.Adaptive() && st.sched < len(st.pr.Runs) {
+				// Replications beyond the settled wave were never
+				// scheduled; account them so the settled
+				// invariant and the ETA still converge.
+				r.ctr.repsSkipped(len(st.pr.Runs) - st.sched)
+			}
+			r.ctr.pointFailed()
+			ev := pointEvent(obs.EventPointFailed, st.pr)
+			ev.WallMS = wallMS
+			if st.pr.Err != nil {
+				ev.Err = st.pr.Err.Error()
+			}
+			r.emit(ev)
+			r.report(st.pr)
+			return nil
+		}
+		if r.VR.Adaptive() {
+			// CI-targeted stopping: the worker that settles a
+			// wave consults the estimate on the checkpoint
+			// cadence — never more often, to protect coverage
+			// (see internal/vr) — and either schedules the next
+			// wave or finalizes the point on the replications
+			// run so far.
+			runs := st.pr.Runs[:st.sched]
+			est := r.VR.Estimate(&st.pr.Point.Cfg, runs)
+			met := est.HalfWidth <= r.VR.TargetCI
+			if !met && st.ck+1 < len(st.cks) && ctx.Err() == nil {
+				mu.Lock()
+				st.ck++
+				prev, next := st.sched, st.cks[st.ck]
+				st.sched = next
+				st.pending = next - prev
+				mu.Unlock()
+				return chunk(j.pi, prev, next, &st.pr.Point)
+			}
+			est.Stopped = met
+			st.pr.VR = est
+			if st.sched < len(st.pr.Runs) {
+				r.ctr.repsSkipped(len(st.pr.Runs) - st.sched)
+				st.pr.Runs = runs
+				if st.hists != nil {
+					st.hists = st.hists[:st.sched]
+				}
+			}
+			if met {
+				sev := pointEvent(obs.EventPointStopped, st.pr)
+				sev.Rep = st.sched
+				sev.HalfWidth = est.HalfWidth
+				r.emit(sev)
+			}
+		} else if r.VR.Enabled() {
+			st.pr.VR = r.VR.Estimate(&st.pr.Point.Cfg, st.pr.Runs)
+		}
+		// Aggregation iterates replications in order, so the
+		// pooled statistics do not depend on which worker
+		// finished last.
+		st.pr.Agg = simnet.Aggregate(st.pr.Runs, st.pr.Point.Cfg.Stages)
+		if r.Cache != nil {
+			r.Cache.put(r.artifactKey(st.pr.Key), st.pr)
+		}
+		if r.Journal != nil {
+			// Errorless completions are deterministic — including
+			// saturation truncations — so they are safe to replay.
+			if jerr := r.Journal.append(r.artifactKey(st.pr.Key), st.pr.Point.Label, st.pr.Runs, r.recoveryNotes(st.pr)); jerr != nil {
+				mu.Lock()
+				if journalErr == nil {
+					journalErr = jerr
+				}
+				mu.Unlock()
+			} else {
+				r.emit(pointEvent(obs.EventPointJournaled, st.pr))
+			}
+		}
+		r.ctr.pointDone()
+		ev := pointEvent(obs.EventPointDone, st.pr)
+		ev.WallMS = wallMS
+		for _, run := range st.pr.Runs {
+			if run != nil {
+				ev.Messages += run.Messages
+				ev.Dropped += run.Dropped
+			}
+		}
+		merged := mergeWaitHists(st.hists, st.pr.Point.Cfg.Stages, st.pr.Truncated())
+		if merged != nil {
+			ev.Waits = stageQuantiles(merged)
+		}
+		r.emit(ev)
+		if merged != nil && r.Drift != nil {
+			r.checkDrift(st.pr, merged)
+		}
+		r.report(st.pr)
+		return nil
+	}
+
+	adaptive := r.VR.Adaptive()
+	chCap := 0
+	if adaptive {
+		// Adaptive waves are injected into the channel by the workers
+		// themselves. Sizing the buffer to the whole replication budget
+		// (every replication appears in at most one job, ever) means no
+		// send can block, so an injecting worker cannot deadlock against
+		// workers waiting for jobs.
+		chCap = repsTotal
+	}
+	jobCh := make(chan job, chCap)
+	var outstanding atomic.Int64
+	outstanding.Store(int64(len(jobs)))
 	workers := r.parallelism()
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -412,163 +719,35 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				st := &states[j.pi]
-				mu.Lock()
-				skip := st.failed
-				if !skip && !st.started {
-					st.started = true
-					st.startedAt = time.Now()
-					mu.Unlock()
-					r.emit(pointEvent(obs.EventPointStarted, st.pr))
-				} else {
-					mu.Unlock()
-				}
-				var results []*simnet.Result
-				var lerrs []error
-				if err := ctx.Err(); err != nil || skip {
-					// Cancelled or a sibling already failed the point: the
-					// group's replications resolve without running.
-					results = make([]*simnet.Result, j.w)
-					lerrs = make([]error, j.w)
-					for i := range lerrs {
-						lerrs[i] = err // nil when merely skipped
-					}
-				} else {
-					// Each replication re-derives its seed from the point's
-					// canonical key, so the result cannot depend on worker
-					// scheduling, retries, lane grouping, or batch
-					// composition.
-					cfgs := make([]*simnet.Config, j.w)
-					for i := range cfgs {
-						cfg := st.pr.Point.Cfg
-						cfg.Seed = simnet.SplitSeed(st.pr.Seed, uint64(j.rep+i))
-						if r.Probe != nil {
-							cfg.Probe = r.Probe
-						}
-						if r.Fault != nil {
-							// The fault plan is a pure function of (schedule
-							// seed, point key, rep) and is cached per
-							// replication, so retries and degraded reruns
-							// share its one-shot state.
-							cfg.Fault = r.Fault.Rep(st.pr.Key, j.rep+i)
-						}
-						if st.hists != nil {
-							// Drift data path: exact per-stage waiting-time
-							// histograms, filled by the engine, hash-excluded
-							// and result-neutral. Each replication slot is
-							// owned by exactly one worker, like Runs.
-							wh := make([]*stats.Hist, cfg.Stages)
-							for s := range wh {
-								wh[s] = &stats.Hist{}
-							}
-							cfg.WaitHists = wh
-							st.hists[j.rep+i] = wh
-						}
-						cfgs[i] = &cfg
-					}
-					if j.w == 1 {
-						res, err := r.attempt(ctx, st.pr, j.rep, cfgs[0])
-						results, lerrs = []*simnet.Result{res}, []error{err}
-					} else {
-						results, lerrs = r.attemptLanes(ctx, st.pr, j.rep, cfgs)
-					}
-				}
-				var last, failed bool
-				var startedAt time.Time
-				for i := 0; i < j.w; i++ {
-					rep, res, err := j.rep+i, results[i], lerrs[i]
-					if res != nil {
-						st.pr.Runs[rep] = res // partial truncated results kept for inspection
-						if err == nil {
-							r.ctr.repDone(res)
-							if res.Truncated {
-								ev := pointEvent(obs.EventPointTruncated, st.pr)
-								ev.Rep = rep
-								ev.Cycles = res.TruncatedAt
-								ev.Messages = res.Messages
-								r.emit(ev)
-							}
-						}
-					}
-					if err != nil || res == nil {
-						r.ctr.repSettled()
-					}
-					mu.Lock()
-					if err != nil {
-						st.failed = true
-						if st.pr.Err == nil {
-							st.pr.Err = fmt.Errorf("sweep: point %q rep %d: %w", st.pr.Point.Label, rep, err)
-						}
-					}
-					st.pending--
-					last = st.pending == 0
-					failed = st.failed
-					startedAt = st.startedAt
-					mu.Unlock()
-				}
-				if !last {
+				extra := process(j)
+				if !adaptive {
 					continue
 				}
-				wallMS := 0.0
-				if !startedAt.IsZero() {
-					wallMS = float64(time.Since(startedAt)) / float64(time.Millisecond)
-				}
-				if failed {
-					r.ctr.pointFailed()
-					ev := pointEvent(obs.EventPointFailed, st.pr)
-					ev.WallMS = wallMS
-					if st.pr.Err != nil {
-						ev.Err = st.pr.Err.Error()
-					}
-					r.emit(ev)
-					r.report(st.pr)
-					continue
-				}
-				// Aggregation iterates replications in order, so the
-				// pooled statistics do not depend on which worker
-				// finished last.
-				st.pr.Agg = simnet.Aggregate(st.pr.Runs, st.pr.Point.Cfg.Stages)
-				if r.Cache != nil {
-					r.Cache.put(st.pr.Key, st.pr)
-				}
-				if r.Journal != nil {
-					// Errorless completions are deterministic — including
-					// saturation truncations — so they are safe to replay.
-					if jerr := r.Journal.append(st.pr.Key, st.pr.Point.Label, st.pr.Runs, r.recoveryNotes(st.pr)); jerr != nil {
-						mu.Lock()
-						if journalErr == nil {
-							journalErr = jerr
-						}
-						mu.Unlock()
-					} else {
-						r.emit(pointEvent(obs.EventPointJournaled, st.pr))
+				// Inject the next wave before retiring this job, so the
+				// outstanding count never touches zero while work
+				// remains; the worker that retires the true last job
+				// closes the channel and ends the pool.
+				if len(extra) > 0 {
+					outstanding.Add(int64(len(extra)))
+					for _, e := range extra {
+						jobCh <- e
 					}
 				}
-				r.ctr.pointDone()
-				ev := pointEvent(obs.EventPointDone, st.pr)
-				ev.WallMS = wallMS
-				for _, run := range st.pr.Runs {
-					if run != nil {
-						ev.Messages += run.Messages
-						ev.Dropped += run.Dropped
-					}
+				if outstanding.Add(-1) == 0 {
+					close(jobCh)
 				}
-				merged := mergeWaitHists(st.hists, st.pr.Point.Cfg.Stages, st.pr.Truncated())
-				if merged != nil {
-					ev.Waits = stageQuantiles(merged)
-				}
-				r.emit(ev)
-				if merged != nil && r.Drift != nil {
-					r.checkDrift(st.pr, merged)
-				}
-				r.report(st.pr)
 			}
 		}()
 	}
 	for _, j := range jobs {
 		jobCh <- j
 	}
-	close(jobCh)
+	if !adaptive || len(jobs) == 0 {
+		// A fixed-replication batch has a static job list; an adaptive
+		// batch is closed by the worker retiring its last job (or here,
+		// when the whole batch was served without simulation).
+		close(jobCh)
+	}
 	wg.Wait()
 
 	var errs []error
@@ -788,6 +967,15 @@ func (c *Counters) repSettled() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.repsSettled++
+}
+
+// repsSkipped accounts replications an adaptive point never ran —
+// its CI target was met (or the point failed) below the cap — keeping
+// the settled invariant and the ETA exact.
+func (c *Counters) repsSkipped(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.repsSettled += int64(n)
 }
 
 func (c *Counters) pointDone() {

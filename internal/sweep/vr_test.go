@@ -1,0 +1,338 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"banyan/internal/vr"
+)
+
+// vrBatteryPoints is a small grid with enough replications for the
+// adaptive rules to have room to move.
+func vrBatteryPoints(reps int) []Point {
+	g := Grid{
+		Ks: []int{2}, Ns: []int{4},
+		Ps:     []float64{0.3, 0.55, 0.8},
+		Cycles: 1200, Warmup: 150,
+		Reps: reps,
+	}
+	pts, err := g.Points()
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+// TestVROffBitIdentical pins the central contract of the VR layer: a
+// nil plan and the zero plan reproduce the no-VR sweep bit for bit —
+// same keys, same seeds, same per-replication results, same pooled
+// statistics (the golden values) — and attach no estimate.
+func TestVROffBitIdentical(t *testing.T) {
+	base := &Runner{Parallelism: 4, RootSeed: 0x5eed}
+	want, err := base.Run(goldenSweepPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepGolden(t, "no VR field", want)
+
+	for name, plan := range map[string]*vr.Plan{"nil": nil, "zero": {}} {
+		r := &Runner{Parallelism: 4, RootSeed: 0x5eed, VR: plan}
+		got, err := r.Run(goldenSweepPoints())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSweepGolden(t, name+" plan", got)
+		for i := range got {
+			if got[i].Key != want[i].Key || got[i].Seed != want[i].Seed {
+				t.Fatalf("%s plan: point %q key/seed diverged", name, got[i].Point.Label)
+			}
+			if !reflect.DeepEqual(got[i].Runs, want[i].Runs) {
+				t.Fatalf("%s plan: point %q runs diverged from legacy", name, got[i].Point.Label)
+			}
+			if got[i].VR != nil {
+				t.Fatalf("%s plan: point %q carries an estimate", name, got[i].Point.Label)
+			}
+		}
+	}
+}
+
+// TestVRSweepDeterministicAcrossScheduling: a full plan — CRN,
+// antithetic pairs, control variates, and CI-targeted stopping — yields
+// identical replication counts, runs, and estimates at every worker
+// count and lane width. Adaptive wave scheduling must not leak
+// scheduling order into results.
+func TestVRSweepDeterministicAcrossScheduling(t *testing.T) {
+	plan := &vr.Plan{CRN: true, Antithetic: true, ControlVariates: true, TargetCI: 0.4, MaxReps: 32}
+	var want []*PointResult
+	for _, par := range []int{1, 4, 16} {
+		for _, lanes := range []int{1, 4} {
+			r := &Runner{Parallelism: par, Lanes: lanes, RootSeed: 0x5eed, VR: plan}
+			got, err := r.Run(vrBatteryPoints(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap := r.Counters().Snapshot(); !snap.Settled() {
+				t.Fatalf("par=%d lanes=%d: counters not settled: %+v", par, lanes, snap)
+			}
+			if want == nil {
+				want = got
+				for _, pr := range got {
+					if pr.VR == nil {
+						t.Fatalf("point %q has no estimate", pr.Point.Label)
+					}
+					if pr.VR.Reps != len(pr.Runs) {
+						t.Fatalf("point %q: estimate reps %d != runs %d", pr.Point.Label, pr.VR.Reps, len(pr.Runs))
+					}
+				}
+				continue
+			}
+			for i := range got {
+				g, w := got[i], want[i]
+				if len(g.Runs) != len(w.Runs) {
+					t.Fatalf("par=%d lanes=%d: point %q stopped at %d reps, want %d",
+						par, lanes, g.Point.Label, len(g.Runs), len(w.Runs))
+				}
+				if !reflect.DeepEqual(g.Runs, w.Runs) {
+					t.Fatalf("par=%d lanes=%d: point %q runs diverged", par, lanes, g.Point.Label)
+				}
+				if g.VR.Mean != w.VR.Mean || g.VR.HalfWidth != w.VR.HalfWidth || g.VR.Stopped != w.VR.Stopped {
+					t.Fatalf("par=%d lanes=%d: point %q estimate diverged: %+v vs %+v",
+						par, lanes, g.Point.Label, g.VR, w.VR)
+				}
+			}
+		}
+	}
+}
+
+// TestVRUnbiasedAgainstPlain: every VR technique changes the noise, not
+// the answer. Each single-technique sweep's estimate must agree with
+// plain MC within the joint confidence interval.
+func TestVRUnbiasedAgainstPlain(t *testing.T) {
+	points := vrBatteryPoints(24)
+	plain := &Runner{Parallelism: 4, RootSeed: 7}
+	pres, err := plain.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var none *vr.Plan
+
+	for _, plan := range []*vr.Plan{
+		{CRN: true},
+		{Antithetic: true},
+		{ControlVariates: true},
+		{CRN: true, Antithetic: true, ControlVariates: true},
+	} {
+		r := &Runner{Parallelism: 4, RootSeed: 7, VR: plan}
+		vres, err := r.Run(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vres {
+			ve := vres[i].VR
+			if ve == nil {
+				t.Fatalf("plan %v: point %q has no estimate", plan, vres[i].Point.Label)
+			}
+			pe := none.Estimate(&pres[i].Point.Cfg, pres[i].Runs)
+			joint := math.Sqrt(ve.HalfWidth*ve.HalfWidth + pe.HalfWidth*pe.HalfWidth)
+			if diff := math.Abs(ve.Mean - pe.Mean); diff > 3*joint {
+				t.Errorf("plan %v: point %q VR mean %.5g vs plain %.5g differ by %.3g (> %.3g)",
+					plan, vres[i].Point.Label, ve.Mean, pe.Mean, diff, 3*joint)
+			}
+			if ve.VarReduction < 1 {
+				t.Errorf("plan %v: point %q variance increased: %+v", plan, vres[i].Point.Label, ve)
+			}
+		}
+	}
+}
+
+// TestVRAdaptiveStopsEarlyAndCaps: a loose CI target stops points below
+// the replication cap (marking them Stopped); an unattainable target
+// runs every point to the cap.
+func TestVRAdaptiveStopsEarlyAndCaps(t *testing.T) {
+	points := vrBatteryPoints(64)
+
+	loose := &Runner{Parallelism: 4, RootSeed: 3, VR: &vr.Plan{TargetCI: 2.0}}
+	lres, err := loose.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := 0
+	for _, pr := range lres {
+		if pr.VR == nil {
+			t.Fatalf("point %q has no estimate", pr.Point.Label)
+		}
+		if pr.VR.Stopped {
+			stopped++
+			if len(pr.Runs) >= 64 {
+				t.Errorf("point %q marked stopped at the cap", pr.Point.Label)
+			}
+			if pr.VR.HalfWidth > 2.0 {
+				t.Errorf("point %q stopped above target: hw=%g", pr.Point.Label, pr.VR.HalfWidth)
+			}
+		}
+	}
+	if stopped == 0 {
+		t.Error("loose target stopped no point early")
+	}
+	if snap := loose.Counters().Snapshot(); !snap.Settled() {
+		t.Errorf("adaptive counters not settled: %+v", snap)
+	}
+
+	tight := &Runner{Parallelism: 4, RootSeed: 3, VR: &vr.Plan{TargetCI: 1e-9}}
+	tres, err := tight.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range tres {
+		if len(pr.Runs) != 64 || pr.VR.Stopped {
+			t.Errorf("point %q: unattainable target ran %d reps (stopped=%v), want the cap 64",
+				pr.Point.Label, len(pr.Runs), pr.VR.Stopped)
+		}
+	}
+}
+
+// TestVRAdaptiveJournalResume: an adaptive sweep's journal restores the
+// deterministically chosen replication counts without resimulating, and
+// reproduces the same estimates.
+func TestVRAdaptiveJournalResume(t *testing.T) {
+	plan := &vr.Plan{Antithetic: true, TargetCI: 1.0, MaxReps: 32}
+	points := vrBatteryPoints(8)
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := &Runner{Parallelism: 4, RootSeed: 0x5eed, VR: plan, Journal: j1}
+	want, err := r1.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r2 := &Runner{Parallelism: 1, RootSeed: 0x5eed, VR: plan, Journal: j2}
+	got, err := r2.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := r2.Counters().Snapshot(); snap.RepsDone != 0 {
+		t.Fatalf("resume resimulated %d replications", snap.RepsDone)
+	}
+	if gb, wb := marshalRuns(t, got), marshalRuns(t, want); !bytes.Equal(gb, wb) {
+		t.Fatal("resumed adaptive sweep is not byte-identical to the original run")
+	}
+	for i := range got {
+		if len(got[i].Runs) != len(want[i].Runs) {
+			t.Fatalf("point %q resumed with %d reps, want %d", got[i].Point.Label, len(got[i].Runs), len(want[i].Runs))
+		}
+		if got[i].VR == nil || got[i].VR.Mean != want[i].VR.Mean || got[i].VR.Stopped != want[i].VR.Stopped {
+			t.Fatalf("point %q resumed estimate diverged: %+v vs %+v", got[i].Point.Label, got[i].VR, want[i].VR)
+		}
+	}
+}
+
+// TestVRSaltSeparatesArtifacts: VR and non-VR runs must never share
+// artifacts. A shared cache serves hits only to runners with the same
+// plan salt, and a journal written under one plan refuses to bind to a
+// batch run under another.
+func TestVRSaltSeparatesArtifacts(t *testing.T) {
+	cache := NewCache()
+	points := goldenSweepPoints()
+
+	plainRunner := &Runner{Parallelism: 2, RootSeed: 0x5eed, Cache: cache}
+	if _, err := plainRunner.Run(points); err != nil {
+		t.Fatal(err)
+	}
+
+	// A CRN runner sharing the cache must miss every plain entry...
+	crn := &Runner{Parallelism: 2, RootSeed: 0x5eed, Cache: cache, VR: &vr.Plan{CRN: true}}
+	if _, err := crn.Run(points); err != nil {
+		t.Fatal(err)
+	}
+	if snap := crn.Counters().Snapshot(); snap.PointsCached != 0 {
+		t.Fatalf("CRN runner served %d points from the plain cache", snap.PointsCached)
+	}
+	// ...while a second CRN runner hits every CRN entry.
+	crn2 := &Runner{Parallelism: 2, RootSeed: 0x5eed, Cache: cache, VR: &vr.Plan{CRN: true}}
+	res, err := crn2.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := crn2.Counters().Snapshot(); snap.PointsCached != int64(len(points)) {
+		t.Fatalf("CRN rerun cached %d of %d points", snap.PointsCached, len(points))
+	}
+	for _, pr := range res {
+		if pr.VR == nil {
+			t.Fatalf("cached point %q lost its estimate", pr.Point.Label)
+		}
+	}
+
+	// A CV-only plan post-processes identical runs: zero salt, so it
+	// shares the plain artifacts (and attaches an estimate on the hit).
+	cv := &Runner{Parallelism: 2, RootSeed: 0x5eed, Cache: cache, VR: &vr.Plan{ControlVariates: true}}
+	cres, err := cv.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := cv.Counters().Snapshot(); snap.PointsCached != int64(len(points)) {
+		t.Fatalf("CV runner cached %d of %d plain points", snap.PointsCached, len(points))
+	}
+	for _, pr := range cres {
+		if pr.VR == nil {
+			t.Fatalf("CV cache hit %q carries no estimate", pr.Point.Label)
+		}
+	}
+
+	// Journals carry the salt in their batch key: a journal written
+	// without VR refuses to serve a VR batch.
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := &Runner{Parallelism: 2, RootSeed: 0x5eed, Journal: j1}
+	if _, err := jr.Run(points); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	jvr := &Runner{Parallelism: 2, RootSeed: 0x5eed, Journal: j2, VR: &vr.Plan{CRN: true}}
+	if _, err := jvr.Run(points); err == nil {
+		t.Fatal("plain journal bound to a CRN batch")
+	}
+}
+
+// TestVRReporterLine: the log reporter annotates VR points with their
+// estimate so adaptive sweeps read correctly at a glance.
+func TestVRReporterLine(t *testing.T) {
+	pr := &PointResult{
+		Point: Point{Label: "k=2/p=0.5"},
+		VR:    &vr.Estimate{Mean: 1.2345, HalfWidth: 0.067, Reps: 12, Stopped: true},
+	}
+	var sb strings.Builder
+	lr := NewLogReporter(&sb)
+	lr.PointDone(pr, Progress{PointsDone: 1, PointsTotal: 1})
+	line := sb.String()
+	want := fmt.Sprintf("w=%.4g±%.3g @%d reps", 1.2345, 0.067, 12)
+	if !strings.Contains(line, want) {
+		t.Fatalf("reporter line %q missing %q", line, want)
+	}
+}

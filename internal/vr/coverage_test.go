@@ -1,0 +1,94 @@
+package vr
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"banyan/internal/stats"
+)
+
+// stopAt runs the sequential rule on a synthetic i.i.d. stream: grow
+// along the plan's checkpoints, stop when the t half-width meets the
+// target, and report the final interval.
+func stopAt(p *Plan, draw func() float64, cap int) (mean, hw float64, n int) {
+	var w stats.Welford
+	have := 0
+	for _, ck := range p.Checkpoints(cap) {
+		for have < ck {
+			w.Add(draw())
+			have++
+		}
+		if hw := w.MeanHalfWidth(p.ConfidenceLevel()); hw <= p.TargetCI {
+			break
+		}
+	}
+	return w.Mean(), w.MeanHalfWidth(p.ConfidenceLevel()), have
+}
+
+// TestSequentialStoppingCoverage is the optional-stopping regression:
+// the geometric checkpoint cadence must keep the empirical coverage of
+// the nominal 95% interval at or above 93% on i.i.d. normal data. A
+// rule that re-checks the CI after every observation fails this — each
+// extra look is an extra chance to catch a transiently small
+// half-width, and coverage decays with the number of looks — which is
+// why the runner only evaluates the target on the Checkpoints cadence.
+func TestSequentialStoppingCoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2026, 8))
+	p := &Plan{TargetCI: 0.25}
+	const trials, cap = 2000, 512
+	const trueMean = 3.0
+
+	covered, greedyCovered := 0, 0
+	for i := 0; i < trials; i++ {
+		draw := func() float64 { return trueMean + rng.NormFloat64() }
+		mean, hw, n := stopAt(p, draw, cap)
+		if n < p.minReps() {
+			t.Fatalf("stopped at %d < MinReps %d", n, p.minReps())
+		}
+		if math.Abs(mean-trueMean) <= hw {
+			covered++
+		}
+
+		// The buggy rule for contrast: check after every single draw.
+		var w stats.Welford
+		for j := 0; j < cap; j++ {
+			w.Add(trueMean + rng.NormFloat64())
+			if j+1 >= 2 && w.MeanHalfWidth(0.95) <= p.TargetCI {
+				break
+			}
+		}
+		if math.Abs(w.Mean()-trueMean) <= w.MeanHalfWidth(0.95) {
+			greedyCovered++
+		}
+	}
+
+	cov := float64(covered) / trials
+	greedy := float64(greedyCovered) / trials
+	t.Logf("coverage: cadence %.1f%%, every-draw %.1f%%", 100*cov, 100*greedy)
+	if cov < 0.93 {
+		t.Errorf("empirical coverage %.3f below 0.93 at nominal 0.95", cov)
+	}
+	// The every-draw rule must be visibly worse — if it isn't, this
+	// test has lost its power to detect a cadence regression.
+	if greedy >= cov {
+		t.Logf("warning: every-draw coverage %.3f not below cadence %.3f", greedy, cov)
+	}
+}
+
+// TestSequentialStoppingStopsEarly: on low-variance data the rule must
+// actually stop near MinReps rather than running to the cap, and on
+// high-variance data it must run further — the adaptivity being paid
+// for.
+func TestSequentialStoppingStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	p := &Plan{TargetCI: 0.5}
+	_, _, nLow := stopAt(p, func() float64 { return 1 + 0.1*rng.NormFloat64() }, 4096)
+	_, _, nHigh := stopAt(p, func() float64 { return 1 + 5*rng.NormFloat64() }, 4096)
+	if nLow != p.minReps() {
+		t.Errorf("low-variance stream ran %d reps, want MinReps %d", nLow, p.minReps())
+	}
+	if nHigh < 20*nLow {
+		t.Errorf("high-variance stream stopped after only %d reps (low: %d)", nHigh, nLow)
+	}
+}

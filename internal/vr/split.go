@@ -1,0 +1,263 @@
+package vr
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"banyan/internal/core"
+	"banyan/internal/dist"
+	"banyan/internal/stats"
+	"banyan/internal/traffic"
+)
+
+// TailEstimator estimates deep waiting-time tail probabilities
+// P(W ≥ ℓ) by importance sampling the unfinished-work random walk
+// under Siegmund's exponential tilt.
+//
+// The stationary unfinished work U obeys the Lindley recursion
+// s' = (s + a - 1)⁺ with per-cycle work a ~ A = R∘U(z), so
+// P(U ≥ v) = P(sup_n S_n ≥ v) for the free walk S with increments
+// a - 1. Tilting the increment law by z₀^a — where z₀ > 1 solves
+// A(z) = z, the reciprocal of core.TailDecayRate — turns the drift
+// positive while keeping the likelihood ratio of a first-passage path
+// to level v exactly z₀^{-S_τ}. One tilted excursion from 0 to level L
+// therefore yields the unbiased estimate z₀^{-S_τv} of P(U ≥ v)
+// simultaneously for every v ≤ L (first passages happen at the walk's
+// successive record highs), and the relative error stays bounded in L
+// instead of exploding like z₀^L as it does for plain Monte Carlo.
+//
+// The waiting time adds the same-batch head start: W = U + B with B
+// the service of the tagged message's predecessors in its own batch,
+// pgf (1-A(z))/(λ(1-U(z))) from Theorem 1. B's exact PMF is computed
+// by convolution and folded in per excursion, so the per-excursion
+// W-tail estimates are i.i.d. and carry an honest Student-t CI at any
+// depth — including the p99.9999 territory plain simulation cannot
+// reach.
+type TailEstimator struct {
+	an    *core.Analysis
+	z0    float64
+	tilt  *dist.Sampler
+	batch dist.PMF // same-batch predecessor work B
+	rng   *rand.Rand
+}
+
+// NewTailEstimator validates the stage-1 model and prepares the tilted
+// walk. The seed fixes the excursion stream: estimates are
+// deterministic for a given (model, seed, excursions, maxLevel).
+func NewTailEstimator(arr traffic.Arrivals, svc traffic.Service, seed uint64) (*TailEstimator, error) {
+	an, err := core.New(arr, svc)
+	if err != nil {
+		return nil, err
+	}
+	if arr.Rate() == 0 {
+		return nil, fmt.Errorf("vr: no arrivals, waiting time has no tail")
+	}
+	decay, err := an.TailDecayRate()
+	if err != nil {
+		return nil, fmt.Errorf("vr: tail decay rate: %w", err)
+	}
+	z0 := 1 / decay
+
+	// Per-cycle work PMF A = Σ_r p_r·U^{*r}, exact (finite supports).
+	arrPMF, svcPMF := arr.PMF(), svc.PMF()
+	work := compoundPMF(arrPMF, svcPMF, arrPMF.Support()-1)
+
+	// Tilted increment law q(a) ∝ p(a)·z₀^a; the total Σ p(a)·z₀^a is
+	// A(z₀) = z₀, so q sums to 1 after dividing by z₀ — normalize
+	// explicitly to absorb the root finder's bisection tolerance.
+	tilted := make([]float64, len(work))
+	sum := 0.0
+	pw := 1.0
+	for a := range work {
+		tilted[a] = work[a] * pw
+		sum += tilted[a]
+		pw *= z0
+	}
+	for a := range tilted {
+		tilted[a] /= sum
+	}
+	tiltPMF, err := dist.NewPMF(tilted)
+	if err != nil {
+		return nil, fmt.Errorf("vr: tilted work law: %w", err)
+	}
+
+	// Same-batch predecessor work: the tagged message is a size-biased
+	// uniform pick within its batch, so position i (i predecessors)
+	// carries weight Σ_{r>i} p_r and B = Σ_i weight_i·U^{*i} / λ.
+	maxBatch := arrPMF.Support() - 1
+	bw := make([]float64, 1)
+	cur := []float64{1} // U^{*0}
+	for i := 0; i < maxBatch; i++ {
+		w := arrPMF.Tail(i) // Σ_{r ≥ i+1} p_r = weight of position i
+		if w <= 0 {
+			break
+		}
+		bw = accumulate(bw, cur, w)
+		cur = convolveRaw(cur, svcPMF)
+	}
+	bsum := 0.0
+	for _, v := range bw {
+		bsum += v
+	}
+	for j := range bw {
+		bw[j] /= bsum
+	}
+	batch, err := dist.NewPMF(bw)
+	if err != nil {
+		return nil, fmt.Errorf("vr: batch-work law: %w", err)
+	}
+
+	return &TailEstimator{
+		an:    an,
+		z0:    z0,
+		tilt:  dist.NewSampler(tiltPMF),
+		batch: batch,
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}, nil
+}
+
+// Z0 returns the tilting root z₀ > 1 of A(z) = z; the waiting-time tail
+// decays like z₀^{-ℓ}.
+func (e *TailEstimator) Z0() float64 { return e.z0 }
+
+// compoundPMF returns Σ_{r=0..maxN} n(r)·u^{*r} as raw weights.
+func compoundPMF(n, u dist.PMF, maxN int) []float64 {
+	out := []float64{0}
+	cur := []float64{1}
+	for r := 0; r <= maxN; r++ {
+		if p := n.Prob(r); p > 0 {
+			out = accumulate(out, cur, p)
+		}
+		if r < maxN {
+			cur = convolveRaw(cur, u)
+		}
+	}
+	return out
+}
+
+// accumulate returns dst + w·src, growing dst as needed.
+func accumulate(dst, src []float64, w float64) []float64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for j, v := range src {
+		dst[j] += w * v
+	}
+	return dst
+}
+
+// convolveRaw convolves raw weights with a PMF.
+func convolveRaw(a []float64, b dist.PMF) []float64 {
+	out := make([]float64, len(a)+b.Support()-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j := 0; j < b.Support(); j++ {
+			out[i+j] += av * b.Prob(j)
+		}
+	}
+	return out
+}
+
+// TailCurve holds importance-sampled tail estimates for every level
+// 1..MaxLevel.
+type TailCurve struct {
+	MaxLevel   int
+	Excursions int
+	Z0         float64
+
+	// WaitTail[v-1] estimates P(W ≥ v) with Student-t half-width
+	// HalfWidth[v-1] at 95% confidence.
+	WaitTail  []float64
+	HalfWidth []float64
+}
+
+// Tail returns the estimate and half-width for P(W ≥ level).
+func (c *TailCurve) Tail(level int) (p, hw float64) {
+	if level <= 0 {
+		return 1, 0
+	}
+	if level > c.MaxLevel {
+		return math.NaN(), math.Inf(1)
+	}
+	return c.WaitTail[level-1], c.HalfWidth[level-1]
+}
+
+// Quantile returns the smallest level ℓ with estimated P(W ≥ ℓ) ≤ eps,
+// together with that level's estimate and half-width. ok is false when
+// the curve does not reach eps (raise MaxLevel).
+func (c *TailCurve) Quantile(eps float64) (level int, p, hw float64, ok bool) {
+	for v := 1; v <= c.MaxLevel; v++ {
+		if c.WaitTail[v-1] <= eps {
+			p, hw = c.Tail(v)
+			return v, p, hw, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// WaitTailCurve runs the given number of independent tilted excursions
+// and returns tail estimates for every waiting-time level 1..maxLevel.
+func (e *TailEstimator) WaitTailCurve(maxLevel, excursions int) (*TailCurve, error) {
+	if maxLevel < 1 {
+		return nil, fmt.Errorf("vr: maxLevel %d < 1", maxLevel)
+	}
+	if excursions < 2 {
+		return nil, fmt.Errorf("vr: need ≥ 2 excursions for a CI, got %d", excursions)
+	}
+	// U-levels needed: W-level ℓ uses U-tails at ℓ-b for every batch
+	// offset b < ℓ, i.e. up to maxLevel.
+	uMax := maxLevel
+	logZ0 := math.Log(e.z0)
+	uEst := make([]float64, uMax+1) // uEst[v] = this excursion's P(U ≥ v)
+	wW := make([]stats.Welford, maxLevel+1)
+
+	for ex := 0; ex < excursions; ex++ {
+		// One excursion: walk S up under the tilt, recording the
+		// likelihood ratio z₀^{-S} at the first passage of each level.
+		s, maxS := 0, 0
+		for maxS < uMax {
+			a := e.tilt.Sample(e.rng.Float64(), e.rng.Float64())
+			s += a - 1
+			if s > maxS {
+				lr := math.Exp(-float64(s) * logZ0)
+				for v := maxS + 1; v <= s && v <= uMax; v++ {
+					uEst[v] = lr
+				}
+				maxS = s
+			}
+		}
+		// Fold in the same-batch head start: W-tail at ℓ mixes U-tails
+		// at ℓ-b over the exact batch-offset law.
+		for l := 1; l <= maxLevel; l++ {
+			wt := 0.0
+			for b := 0; b < e.batch.Support(); b++ {
+				pb := e.batch.Prob(b)
+				if pb == 0 {
+					continue
+				}
+				if b >= l {
+					wt += pb // U ≥ ℓ-b ≤ 0: certain
+				} else {
+					wt += pb * uEst[l-b]
+				}
+			}
+			wW[l].Add(wt)
+		}
+	}
+
+	c := &TailCurve{
+		MaxLevel:   maxLevel,
+		Excursions: excursions,
+		Z0:         e.z0,
+		WaitTail:   make([]float64, maxLevel),
+		HalfWidth:  make([]float64, maxLevel),
+	}
+	for l := 1; l <= maxLevel; l++ {
+		c.WaitTail[l-1] = wW[l].Mean()
+		c.HalfWidth[l-1] = wW[l].MeanHalfWidth(0.95)
+	}
+	return c, nil
+}

@@ -1,0 +1,151 @@
+package vr
+
+import (
+	"math"
+	"testing"
+
+	"banyan/internal/core"
+	"banyan/internal/traffic"
+)
+
+// bench-grid stage-1 model: k = 4, unit service, p = 0.9 → ρ = 0.9.
+func benchModel(t testing.TB) (traffic.Arrivals, traffic.Service) {
+	t.Helper()
+	arr, err := traffic.Uniform(4, 4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr, traffic.UnitService()
+}
+
+// TestTailEstimatorMatchesExact holds the importance-sampled tail
+// curve to the exact Theorem-1 waiting-time distribution across the
+// range where the transform expansion is still accurate: every level's
+// estimate must cover the exact tail within its own confidence
+// interval (plus a small slack for the handful of levels where the CI
+// is sharpest), and the estimates must be reproducible for a fixed
+// seed.
+func TestTailEstimatorMatchesExact(t *testing.T) {
+	arr, svc := benchModel(t)
+	an := core.MustNew(arr, svc)
+	exact, _, err := an.WaitDistribution(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewTailEstimator(arr, svc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxLevel, excursions = 120, 4000
+	c, err := e.WaitTailCurve(maxLevel, excursions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := 0
+	for l := 1; l <= maxLevel; l += 7 {
+		want := exact.Tail(l - 1) // P(W ≥ l) = P(W > l-1)
+		got, hw := c.Tail(l)
+		if math.IsInf(hw, 1) || math.IsNaN(got) {
+			t.Fatalf("level %d: unusable estimate %g ± %g", l, got, hw)
+		}
+		if math.Abs(got-want) > 3*hw+1e-12 {
+			t.Errorf("level %d: P(W ≥ l) = %.6g, exact %.6g, hw %.2g", l, got, hw, want)
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d levels outside 3 half-widths", bad)
+	}
+
+	// Determinism: the same seed reproduces the curve bit for bit.
+	e2, err := NewTailEstimator(arr, svc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e2.WaitTailCurve(maxLevel, excursions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= maxLevel; l++ {
+		if c.WaitTail[l-1] != c2.WaitTail[l-1] {
+			t.Fatalf("level %d not reproducible: %g vs %g", l, c.WaitTail[l-1], c2.WaitTail[l-1])
+		}
+	}
+}
+
+// TestTailEstimatorAsymptoticSlope checks the estimated deep tail
+// decays at the analytic rate: the log-tail slope over a deep window
+// must match -log z₀ from the A(z) = z root, the geometric-tail
+// constant the whole construction is built on.
+func TestTailEstimatorAsymptoticSlope(t *testing.T) {
+	arr, svc := benchModel(t)
+	e, err := NewTailEstimator(arr, svc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lo, hi = 150, 250
+	c, err := e.WaitTailCurve(hi, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLo, _ := c.Tail(lo)
+	pHi, _ := c.Tail(hi)
+	slope := (math.Log(pHi) - math.Log(pLo)) / float64(hi-lo)
+	want := -math.Log(e.Z0())
+	if math.Abs(slope-want) > 0.02*math.Abs(want) {
+		t.Errorf("log-tail slope %.5f, want -log z0 = %.5f", slope, want)
+	}
+}
+
+// TestTailEstimatorDeepQuantile is the rare-event acceptance check:
+// at ρ = 0.9 the p99.9999 waiting-time quantile must come back with a
+// finite, tight confidence interval — the regime where plain
+// simulation would need ~10⁸ replications per digit.
+func TestTailEstimatorDeepQuantile(t *testing.T) {
+	arr, svc := benchModel(t)
+	e, err := NewTailEstimator(arr, svc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.WaitTailCurve(300, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level, p, hw, ok := c.Quantile(1e-6)
+	if !ok {
+		t.Fatal("curve did not reach 1e-6")
+	}
+	if level < 10 {
+		t.Fatalf("implausible p99.9999 level %d at ρ=0.9", level)
+	}
+	if math.IsInf(hw, 1) || math.IsNaN(hw) || hw <= 0 {
+		t.Fatalf("no usable CI at the deep quantile: hw = %g", hw)
+	}
+	// Relative precision: a few thousand excursions should bound the
+	// tail probability within ~±20% of itself at this depth.
+	if hw > 0.5*p {
+		t.Errorf("CI too loose at level %d: %.3g ± %.3g", level, p, hw)
+	}
+	t.Logf("p99.9999 wait ≈ %d cycles (P = %.3g ± %.3g, z0 = %.5f)", level, p, hw, e.Z0())
+}
+
+// TestTailEstimatorRejectsDegenerate covers the error paths: unstable
+// and arrival-free models must be refused up front.
+func TestTailEstimatorRejectsDegenerate(t *testing.T) {
+	arr, err := traffic.Uniform(2, 2, 1) // ρ = 1: unstable
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTailEstimator(arr, traffic.UnitService(), 1); err == nil {
+		t.Error("accepted an unstable model")
+	}
+	none, err := traffic.Uniform(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTailEstimator(none, traffic.UnitService(), 1); err == nil {
+		t.Error("accepted a zero-rate model")
+	}
+}
