@@ -1,6 +1,7 @@
 package banyan_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"banyan/internal/simnet"
 	"banyan/internal/stages"
 	"banyan/internal/stats"
+	"banyan/internal/sweep"
 )
 
 // Every table and figure of the paper's evaluation has a benchmark that
@@ -332,6 +334,76 @@ func BenchmarkObservability(b *testing.B) {
 				cfg.WaitHists[i] = &stats.Hist{}
 			}
 		})
+	})
+}
+
+// BenchmarkObsExposition prices the scrape-path observability surfaces
+// behind the live dashboard: rendering a populated registry as an
+// OpenMetrics page (/metrics), one TSDB sampling tick (the /debug/ts
+// cadence), and assembling the end-of-run ledger from a finished sweep.
+// None of these run inside the simulation loop, but all three run
+// concurrently with it, so their cost is gated (BENCH_obs.json)
+// alongside the in-engine probes above.
+func BenchmarkObsExposition(b *testing.B) {
+	// A registry populated like a mid-sweep scrape: a few dozen series
+	// plus one live waiting-time histogram family.
+	reg := obs.NewRegistry()
+	for i := 0; i < 24; i++ {
+		reg.Counter(fmt.Sprintf("bench.counter.%02d", i)).Add(int64(i) * 97)
+	}
+	for i := 0; i < 8; i++ {
+		reg.Gauge(fmt.Sprintf("bench.gauge.%02d", i)).Set(int64(i))
+	}
+	h := &obs.Hist{}
+	for v := int64(0); v < 4096; v++ {
+		h.Record(v % 257)
+	}
+	fams := []obs.HistFamily{{
+		Name: "wait_cycles", Help: "waiting time in cycles",
+		Labels: map[string]string{"stage": "total"},
+		Hist:   h,
+	}}
+
+	b.Run("openmetrics", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := obs.WriteOpenMetrics(io.Discard, reg, fams); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	tsdb := obs.NewTSDB(reg, 120)
+	b.Run("tsdb-sample", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tsdb.Sample()
+		}
+	})
+
+	b.Run("ledger-build", func(b *testing.B) {
+		pts := make([]sweep.Point, 12)
+		for i := range pts {
+			pts[i] = sweep.Point{
+				Label: fmt.Sprintf("pt-%02d", i),
+				Cfg: simnet.Config{
+					K: 2, Stages: 4, P: 0.2 + 0.05*float64(i),
+					Cycles: 400, Warmup: 50, Seed: 1,
+				},
+			}
+		}
+		r := &sweep.Runner{RootSeed: 31, Ledger: sweep.NewLedgerCollector()}
+		if _, err := r.Run(pts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			led := r.BuildLedger()
+			if !led.Reconciled {
+				b.Fatalf("ledger does not reconcile: %s", led.Note)
+			}
+		}
 	})
 }
 

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"banyan"
 	"banyan/internal/obs"
@@ -115,17 +116,22 @@ func main() {
 		probe.Register(reg)
 		probe.Hists = obs.NewHistSet()
 		probe.Hists.Register(reg, "wait")
+		obs.RegisterRuntimeMetrics(reg)
 		reg.PublishExpvar("banyan")
+		tsdb := obs.NewTSDB(reg, 120)
+		tsdb.Start(time.Second)
+		defer tsdb.Stop()
 		srv, err := obs.StartDebugServer(*debugAddr, obs.DebugOptions{
 			Registry: reg,
 			Hists:    probe.Hists,
 			Tracer:   probe.Tracer,
+			TSDB:     tsdb,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/hist, /debug/trace and /debug/pprof on http://%s\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/hist, /debug/ts, /debug/trace and /debug/pprof on http://%s\n", srv.Addr())
 		if *debugHold {
 			// Runs before srv.Close (LIFO): the populated endpoints stay
 			// scrapeable after the run — the CI smoke test relies on it.

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"banyan/internal/design"
 	"banyan/internal/obs"
@@ -33,16 +34,23 @@ func main() {
 	m := flag.Int("m", 1, "message size in packets")
 	slo := flag.Float64("slo", 30, "p99 transit objective, cycles")
 	radixList := flag.String("radices", "2,4,8", "candidate switch radices")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address while the study runs")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/ts and /debug/pprof on this address while the study runs")
 	flag.Parse()
 
 	if *debugAddr != "" {
-		srv, err := obs.StartDebugServer(*debugAddr, obs.DebugOptions{})
+		// Purely analytic, so the scrape surface is the process itself:
+		// runtime read-outs in OpenMetrics form plus their history.
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		tsdb := obs.NewTSDB(reg, 120)
+		tsdb.Start(time.Second)
+		defer tsdb.Stop()
+		srv, err := obs.StartDebugServer(*debugAddr, obs.DebugOptions{Registry: reg, TSDB: tsdb})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug: serving /debug/vars and /debug/pprof on http://%s\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/ts and /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	var radices []int

@@ -3,9 +3,12 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"banyan/internal/textplot"
@@ -13,10 +16,14 @@ import (
 
 // DebugServer serves live observability over HTTP while a sweep runs:
 //
-//	/metrics        the Registry as "name value" text
+//	/metrics        OpenMetrics exposition (counters, gauges, le-bucketed
+//	                histograms); ?format=legacy for the old "name value" text
 //	/debug/vars     expvar JSON (including registries published there)
 //	/debug/events   the RingSink's recent events as JSONL
-//	/debug/hist     live waiting-time histograms as JSON (with sparklines)
+//	/debug/hist     live waiting-time histograms as JSON (with sparklines;
+//	                ?width= sets the sparkline width, 8…512)
+//	/debug/ts       the TSDB's retained series as JSON (?name=, ?window=,
+//	                ?buckets=) or text sparklines (?format=spark)
 //	/debug/trace    the Tracer's retained message spans as JSONL
 //	/debug/pprof/   the standard pprof index (profile, heap, trace, …)
 //
@@ -34,6 +41,33 @@ type DebugOptions struct {
 	Events   *RingSink
 	Hists    *HistSet
 	Tracer   *Tracer
+	TSDB     *TSDB
+}
+
+// Query-parameter bounds: values outside these are a client error, and
+// the handlers answer 400 instead of silently misrendering.
+const (
+	sparkWidthDefault = 48
+	sparkWidthMin     = 8
+	sparkWidthMax     = 512
+	tsBucketsDefault  = 60
+	tsBucketsMax      = 2048
+	tsWindowMax       = 24 * time.Hour
+)
+
+// intParam parses an optional positive-int query parameter within
+// [lo, hi]; a missing/empty parameter yields def. The bool reports
+// whether the value was acceptable.
+func intParam(r *http.Request, name string, def, lo, hi int) (int, bool) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < lo || v > hi {
+		return 0, false
+	}
+	return v, true
 }
 
 // histJSON is one histogram in the /debug/hist response: the snapshot
@@ -58,14 +92,42 @@ func histToJSON(h *Hist, width int) histJSON {
 	return out
 }
 
+// histFamilies renders the live waiting-time histograms as OpenMetrics
+// histogram families: one family, banyan_wait_cycles, with a stage
+// label ("total", "1", "2", …).
+func histFamilies(hists *HistSet) []HistFamily {
+	if hists == nil {
+		return nil
+	}
+	const help = "waiting time per measured message, in cycles"
+	fams := []HistFamily{{
+		Name: "wait_cycles", Help: help,
+		Labels: map[string]string{"stage": "total"},
+		Hist:   hists.Total(),
+	}}
+	for i, h := range hists.Stages(hists.NumStages()) {
+		fams = append(fams, HistFamily{
+			Name: "wait_cycles", Help: help,
+			Labels: map[string]string{"stage": strconv.Itoa(i + 1)},
+			Hist:   h,
+		})
+	}
+	return fams
+}
+
 // StartDebugServer listens on addr and serves the configured surfaces.
 func StartDebugServer(addr string, opts DebugOptions) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	if opts.Registry != nil {
-		reg := opts.Registry
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			reg.WriteText(w)
+		reg, hists := opts.Registry, opts.Hists
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Query().Get("format") == "legacy" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				reg.WriteText(w)
+				return
+			}
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			WriteOpenMetrics(w, reg, histFamilies(hists))
 		})
 	}
 	if opts.Events != nil {
@@ -77,22 +139,32 @@ func StartDebugServer(addr string, opts DebugOptions) (*DebugServer, error) {
 	}
 	if opts.Hists != nil {
 		hists := opts.Hists
-		mux.HandleFunc("/debug/hist", func(w http.ResponseWriter, _ *http.Request) {
-			const sparkWidth = 48
+		mux.HandleFunc("/debug/hist", func(w http.ResponseWriter, r *http.Request) {
+			width, ok := intParam(r, "width", sparkWidthDefault, sparkWidthMin, sparkWidthMax)
+			if !ok {
+				http.Error(w, fmt.Sprintf("bad width: want integer in [%d,%d]", sparkWidthMin, sparkWidthMax), http.StatusBadRequest)
+				return
+			}
 			resp := struct {
 				Total  histJSON   `json:"total"`
 				Stages []histJSON `json:"stages"`
 			}{
-				Total:  histToJSON(hists.Total(), sparkWidth),
+				Total:  histToJSON(hists.Total(), width),
 				Stages: []histJSON{},
 			}
 			for _, h := range hists.Stages(hists.NumStages()) {
-				resp.Stages = append(resp.Stages, histToJSON(h, sparkWidth))
+				resp.Stages = append(resp.Stages, histToJSON(h, width))
 			}
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			enc.Encode(resp)
+		})
+	}
+	if opts.TSDB != nil {
+		tsdb := opts.TSDB
+		mux.HandleFunc("/debug/ts", func(w http.ResponseWriter, r *http.Request) {
+			handleTS(w, r, tsdb)
 		})
 	}
 	if opts.Tracer != nil {
@@ -116,6 +188,92 @@ func StartDebugServer(addr string, opts DebugOptions) (*DebugServer, error) {
 	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// tsSeriesJSON is one series in the /debug/ts JSON response. Values are
+// encoded via []any so NaN gaps become JSON null.
+type tsSeriesJSON struct {
+	Name   string  `json:"name"`
+	Times  []int64 `json:"unix_ms"`
+	Values []any   `json:"values"`
+}
+
+// handleTS answers /debug/ts: windowed downsampled queries over the
+// store's series, as JSON (default) or text sparklines (?format=spark).
+// ?name= restricts to one series; ?window= (a Go duration, e.g. 2m)
+// and ?buckets= control the downsampling.
+func handleTS(w http.ResponseWriter, r *http.Request, tsdb *TSDB) {
+	q := r.URL.Query()
+	buckets, ok := intParam(r, "buckets", tsBucketsDefault, 1, tsBucketsMax)
+	if !ok {
+		http.Error(w, fmt.Sprintf("bad buckets: want integer in [1,%d]", tsBucketsMax), http.StatusBadRequest)
+		return
+	}
+	var window time.Duration
+	if s := q.Get("window"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 || d > tsWindowMax {
+			http.Error(w, fmt.Sprintf("bad window: want duration in (0,%s]", tsWindowMax), http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	names := tsdb.SeriesNames()
+	if want := q.Get("name"); want != "" {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			http.Error(w, "unknown series", http.StatusNotFound)
+			return
+		}
+		names = []string{want}
+	}
+
+	if q.Get("format") == "spark" {
+		width, ok := intParam(r, "width", sparkWidthDefault, sparkWidthMin, sparkWidthMax)
+		if !ok {
+			http.Error(w, fmt.Sprintf("bad width: want integer in [%d,%d]", sparkWidthMin, sparkWidthMax), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, n := range names {
+			pts := tsdb.Query(n, window, buckets)
+			vals := make([]float64, 0, len(pts))
+			last := math.NaN()
+			for _, p := range pts {
+				if !math.IsNaN(p.Value) {
+					last = p.Value
+				}
+				vals = append(vals, p.Value)
+			}
+			fmt.Fprintf(w, "%-32s %s %v\n", n, textplot.Sparkline(vals, width), last)
+		}
+		return
+	}
+
+	resp := make([]tsSeriesJSON, 0, len(names))
+	for _, n := range names {
+		pts := tsdb.Query(n, window, buckets)
+		s := tsSeriesJSON{Name: n, Times: make([]int64, 0, len(pts)), Values: make([]any, 0, len(pts))}
+		for _, p := range pts {
+			s.Times = append(s.Times, p.UnixMilli)
+			if math.IsNaN(p.Value) {
+				s.Values = append(s.Values, nil)
+			} else {
+				s.Values = append(s.Values, p.Value)
+			}
+		}
+		resp = append(resp, s)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
 }
 
 // Addr returns the bound address (useful with ":0").

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func startTestServer(t *testing.T, opts DebugOptions) *DebugServer {
@@ -98,9 +99,108 @@ func TestDebugTraceEndpoint(t *testing.T) {
 // empty data that looks real.
 func TestDebugEndpointsAbsent(t *testing.T) {
 	srv := startTestServer(t, DebugOptions{})
-	for _, path := range []string{"/metrics", "/debug/events", "/debug/hist", "/debug/trace"} {
+	for _, path := range []string{"/metrics", "/debug/events", "/debug/hist", "/debug/trace", "/debug/ts"} {
 		if code, _ := get(t, srv, path); code != http.StatusNotFound {
 			t.Fatalf("GET %s with nil backing: status %d, want 404", path, code)
+		}
+	}
+}
+
+// TestMetricsOpenMetricsDefault: /metrics serves OpenMetrics by default
+// (correct content type, parseable, histogram family from live Hist
+// data) with ?format=legacy preserving the old text.
+func TestMetricsOpenMetricsDefault(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("points.done").Add(5)
+	hs := NewHistSet()
+	hs.Total().Record(3)
+	hs.Total().Record(7)
+	srv := startTestServer(t, DebugOptions{Registry: reg, Hists: hs})
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("content type %q, want application/openmetrics-text", ct)
+	}
+	fams, err := ParseOpenMetrics(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics is not valid OpenMetrics: %v", err)
+	}
+	var sawHist bool
+	for _, f := range fams {
+		if f.Name == "banyan_wait_cycles" && f.Type == "histogram" {
+			sawHist = true
+		}
+	}
+	if !sawHist {
+		t.Fatal("live histogram family missing from /metrics")
+	}
+
+	if code, body := get(t, srv, "/metrics?format=legacy"); code != http.StatusOK || !strings.Contains(body, "points.done 5\n") {
+		t.Fatalf("legacy format broken: %d\n%s", code, body)
+	}
+}
+
+// TestDebugHistParamValidation: out-of-range or non-numeric ?width= is
+// a 400, not a silently clamped render.
+func TestDebugHistParamValidation(t *testing.T) {
+	hs := NewHistSet()
+	hs.Total().Record(1)
+	srv := startTestServer(t, DebugOptions{Hists: hs})
+	for _, q := range []string{"?width=4", "?width=9999", "?width=abc", "?width=-1"} {
+		if code, _ := get(t, srv, "/debug/hist"+q); code != http.StatusBadRequest {
+			t.Fatalf("GET /debug/hist%s: status %d, want 400", q, code)
+		}
+	}
+	if code, _ := get(t, srv, "/debug/hist?width=16"); code != http.StatusOK {
+		t.Fatal("valid width rejected")
+	}
+}
+
+// TestDebugTSEndpoint drives /debug/ts: JSON with null gaps, the spark
+// format, name filtering, and 400/404 on bad parameters.
+func TestDebugTSEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	var v float64
+	reg.Func("x", func() float64 { return v })
+	tsdb := NewTSDB(reg, 32)
+	clk := &tsdbClock{t: time.UnixMilli(0)}
+	tsdb.Now = clk.now
+	for i := 0; i < 6; i++ {
+		v = float64(i)
+		tsdb.Sample()
+		clk.tick()
+	}
+	srv := startTestServer(t, DebugOptions{TSDB: tsdb})
+
+	code, body := get(t, srv, "/debug/ts?buckets=5")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/ts status %d", code)
+	}
+	var series []struct {
+		Name   string  `json:"name"`
+		Times  []int64 `json:"unix_ms"`
+		Values []any   `json:"values"`
+	}
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/debug/ts not JSON: %v\n%s", err, body)
+	}
+	if len(series) != 1 || series[0].Name != "x" || len(series[0].Values) != 5 {
+		t.Fatalf("series shape wrong: %+v", series)
+	}
+
+	if code, body := get(t, srv, "/debug/ts?format=spark&name=x"); code != http.StatusOK || !strings.Contains(body, "x") {
+		t.Fatalf("spark format broken: %d\n%s", code, body)
+	}
+	if code, _ := get(t, srv, "/debug/ts?name=nope"); code != http.StatusNotFound {
+		t.Fatal("unknown series must 404")
+	}
+	for _, q := range []string{"?buckets=0", "?buckets=99999", "?buckets=x", "?window=nope", "?window=-5s", "?window=48h", "?format=spark&width=2"} {
+		if code, _ := get(t, srv, "/debug/ts"+q); code != http.StatusBadRequest {
+			t.Fatalf("GET /debug/ts%s: status %d, want 400", q, code)
 		}
 	}
 }

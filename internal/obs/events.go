@@ -70,6 +70,23 @@ type Event struct {
 	// HalfWidth is the confidence-interval half-width an adaptive point
 	// stopped at (EventPointStopped; Rep carries the replication count).
 	HalfWidth float64 `json:"half_width,omitempty"`
+
+	// Cost is the point's resource-cost digest, attached to completion
+	// events when the runner attributes cost (see sweep.PointCost).
+	Cost *CostDigest `json:"cost,omitempty"`
+}
+
+// CostDigest is a compact per-point resource accounting attached to
+// point completion events: where the wall time, CPU time and
+// allocations went, and how much simulation was bought with them.
+type CostDigest struct {
+	WallNS       int64   `json:"wall_ns"`
+	CPUNS        int64   `json:"cpu_ns"`
+	AllocBytes   int64   `json:"alloc_bytes"`
+	AllocObjects int64   `json:"alloc_objects"`
+	Cycles       int64   `json:"cycles"`
+	Reps         int     `json:"reps"`
+	ESS          float64 `json:"ess,omitempty"`
 }
 
 // Sink receives events. Emit may be called from any goroutine;

@@ -112,8 +112,11 @@ func TestDebugServer(t *testing.T) {
 		return string(body)
 	}
 
-	if body := get("/metrics"); !strings.Contains(body, "points.done 5") {
-		t.Fatalf("/metrics missing counter:\n%s", body)
+	if body := get("/metrics?format=legacy"); !strings.Contains(body, "points.done 5") {
+		t.Fatalf("/metrics?format=legacy missing counter:\n%s", body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "banyan_points_done_total 5") {
+		t.Fatalf("/metrics missing OpenMetrics counter:\n%s", body)
 	}
 	if body := get("/debug/events"); !strings.Contains(body, `"label":"x"`) {
 		t.Fatalf("/debug/events missing event:\n%s", body)

@@ -138,6 +138,10 @@ func (h *Hist) Mean() float64 {
 // Max returns the exact largest observation (0 when empty).
 func (h *Hist) Max() int64 { return h.max.Load() }
 
+// Sum returns the exact sum of all observations (the numerator of
+// Mean; OpenMetrics exposition serves it as the _sum sample).
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
 // Quantile returns an upper bound for the q-th quantile: the upper edge
 // of the first bucket whose cumulative count reaches ⌈q·N⌉. Exact for
 // values below 128; within HistRelError relative error above. Returns 0

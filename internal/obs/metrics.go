@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -130,6 +131,17 @@ func (m *Meter) Rate() float64 {
 	return float64(sum) / float64(span)
 }
 
+// MetricKind classifies a registered read-out for exposition formats
+// that care (OpenMetrics): a counter is cumulative and monotone, a
+// gauge is a level that can go either way. The registry's own text
+// format ignores the distinction.
+type MetricKind int
+
+const (
+	KindGauge MetricKind = iota
+	KindCounter
+)
+
 // Registry is an ordered set of named metric read-outs. Every metric
 // is registered as a func() float64, so counters, gauges, meters and
 // derived values (rates, ratios, ETAs) all read out uniformly.
@@ -137,14 +149,21 @@ type Registry struct {
 	mu    sync.Mutex
 	order []string
 	vars  map[string]func() float64
+	kinds map[string]MetricKind
+	help  map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{vars: make(map[string]func() float64)}
+	return &Registry{
+		vars:  make(map[string]func() float64),
+		kinds: make(map[string]MetricKind),
+		help:  make(map[string]string),
+	}
 }
 
 // Func registers a named read-out. Re-registering a name replaces it.
+// Read-outs default to gauge semantics; Describe upgrades them.
 func (r *Registry) Func(name string, f func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -154,10 +173,38 @@ func (r *Registry) Func(name string, f func() float64) {
 	r.vars[name] = f
 }
 
+// Describe records exposition metadata for a registered (or about to be
+// registered) name: its kind and a one-line help string. Names never
+// described expose as help-less gauges.
+func (r *Registry) Describe(name string, kind MetricKind, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kinds[name] = kind
+	if help != "" {
+		r.help[name] = help
+	}
+}
+
+// Kind returns the described kind of name (KindGauge when never
+// described).
+func (r *Registry) Kind(name string) MetricKind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.kinds[name]
+}
+
+// HelpFor returns the described help string of name ("" when none).
+func (r *Registry) HelpFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
+}
+
 // Counter creates, registers and returns a counter.
 func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{}
 	r.Func(name, func() float64 { return float64(c.Load()) })
+	r.Describe(name, KindCounter, "")
 	return c
 }
 
@@ -175,8 +222,16 @@ func (r *Registry) Gauge(name string) *Gauge {
 func (r *Registry) Meter(name string) *Meter {
 	m := &Meter{}
 	r.Func(name, func() float64 { return float64(m.Total()) })
+	r.Describe(name, KindCounter, "")
 	r.Func(name+".per_sec", m.Rate)
 	return m
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
 }
 
 // Snapshot evaluates every registered read-out.
@@ -210,6 +265,42 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RegisterRuntimeMetrics exposes a small set of process-level read-outs
+// under the proc.* namespace — goroutines, live heap, cumulative
+// allocations, GC cycles and user CPU seconds — so any binary serving a
+// registry (an engine, a runner, a future shard worker) is scrapeable as
+// a process, not just as a simulation. Each read-out samples
+// runtime/metrics on demand; the calls are cheap and never perturb
+// simulated numbers.
+func RegisterRuntimeMetrics(reg *Registry) {
+	read := func(key string) func() float64 {
+		return func() float64 {
+			s := []metrics.Sample{{Name: key}}
+			metrics.Read(s)
+			switch s[0].Value.Kind() {
+			case metrics.KindUint64:
+				return float64(s[0].Value.Uint64())
+			case metrics.KindFloat64:
+				return s[0].Value.Float64()
+			}
+			return 0
+		}
+	}
+	for _, m := range []struct {
+		name, key, help string
+		kind            MetricKind
+	}{
+		{"proc.goroutines", "/sched/goroutines:goroutines", "live goroutines", KindGauge},
+		{"proc.heap_bytes", "/memory/classes/heap/objects:bytes", "bytes of live heap objects", KindGauge},
+		{"proc.alloc_bytes", "/gc/heap/allocs:bytes", "cumulative bytes allocated on the heap", KindCounter},
+		{"proc.gc_cycles", "/gc/cycles/total:gc-cycles", "completed GC cycles", KindCounter},
+		{"proc.cpu_user_seconds", "/cpu/classes/user:cpu-seconds", "estimated user-goroutine CPU seconds", KindCounter},
+	} {
+		reg.Func(m.name, read(m.key))
+		reg.Describe(m.name, m.kind, m.help)
+	}
 }
 
 // expvarHolders lets PublishExpvar be called more than once per process

@@ -92,6 +92,161 @@ func TestMeterWindowedRate(t *testing.T) {
 	}
 }
 
+// TestMeterFirstSecondExcluded pins the two exclusion rules around a
+// burst: no rate until a full second of history exists, and the
+// in-progress second never extrapolates into the read-out.
+func TestMeterFirstSecondExcluded(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2_000_000, 0)}
+	m := &Meter{Now: clk.now}
+	m.Add(100)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("rate within the first second %g, want 0", got)
+	}
+	clk.advance(500 * time.Millisecond)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("rate at +0.5s %g, want 0 (first second incomplete)", got)
+	}
+	clk.advance(500 * time.Millisecond)
+	if got := m.Rate(); got != 100 {
+		t.Fatalf("rate after the first complete second %g, want 100", got)
+	}
+	// A burst in the in-progress second must not move the rate.
+	m.Add(9999)
+	if got := m.Rate(); got != 100 {
+		t.Fatalf("in-progress second leaked into rate: %g, want 100", got)
+	}
+}
+
+// TestMeterIdleRingWrapStale: after an idle gap of exactly the ring
+// size, the current second's bucket index collides with the stale
+// burst's — the stale count must not resurface in the rate.
+func TestMeterIdleRingWrapStale(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(3_000_000, 0)}
+	m := &Meter{Now: clk.now}
+	ring := int64(meterWindow + 1)
+	m.Add(1000)
+	// Land on the same ring slot (sec ≡ first mod ring) without any
+	// intervening Add to overwrite it.
+	clk.advance(time.Duration(ring) * time.Second)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("stale wrapped bucket leaked: rate %g, want 0", got)
+	}
+	// And writing through the collided slot replaces, not accumulates:
+	// 50 events in one second of a 10-second window reads 5/s — not
+	// 105/s, which is what folding the stale 1000 in would give.
+	m.Add(50)
+	clk.advance(time.Second)
+	if got := m.Rate(); got != 5 {
+		t.Fatalf("post-wrap rate %g, want 5 (stale count folded in?)", got)
+	}
+	if m.Total() != 1050 {
+		t.Fatalf("total %d, want 1050", m.Total())
+	}
+}
+
+// TestMeterConcurrentAddRate hammers Add while reading Rate/Total — the
+// -race guard for scrapes racing the hot path.
+func TestMeterConcurrentAddRate(t *testing.T) {
+	m := &Meter{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					m.Add(1)
+				}
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if m.Rate() < 0 || m.Total() < 0 {
+					t.Error("negative read-out")
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestRegistryDescribe covers the exposition metadata surface.
+func TestRegistryDescribe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c")
+	m := reg.Meter("m")
+	m.Add(1)
+	reg.Gauge("g")
+	reg.Describe("g", KindGauge, "a level")
+	if reg.Kind("c") != KindCounter || reg.Kind("m") != KindCounter {
+		t.Fatal("Counter/Meter not described as counters")
+	}
+	if reg.Kind("m.per_sec") != KindGauge {
+		t.Fatal("derived rate must stay a gauge")
+	}
+	if reg.Kind("never.seen") != KindGauge {
+		t.Fatal("undescribed names must default to gauge")
+	}
+	if reg.HelpFor("g") != "a level" || reg.HelpFor("c") != "" {
+		t.Fatal("help strings wrong")
+	}
+}
+
+// TestRegistrySnapshotDuringRegistration races Snapshot/Names/WriteText
+// against concurrent registration — the scrape-during-startup path.
+func TestRegistrySnapshotDuringRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := "dyn." + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+			reg.Counter(name).Inc()
+			reg.Describe(name, KindCounter, "dynamic")
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Snapshot()
+				reg.Names()
+				var sb strings.Builder
+				if err := reg.WriteText(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := WriteOpenMetrics(&sb, reg, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
 func TestRegistryTextAndSnapshot(t *testing.T) {
 	reg := NewRegistry()
 	c := reg.Counter("points.done")

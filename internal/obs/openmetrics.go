@@ -1,0 +1,555 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics exposition: the /metrics endpoint renders the Registry —
+// and the live waiting-time histograms — in the OpenMetrics text format
+// (the Prometheus exposition format plus `# EOF` framing), so any
+// standard collector can scrape an engine, a runner, or a future shard
+// worker without a bespoke ingester.
+//
+// Mapping, pinned here and documented in DESIGN.md §15:
+//
+//   - registry names are sanitized (every character outside
+//     [a-zA-Z0-9_] becomes '_') and prefixed "banyan_":
+//     "sweep.points.done" → family banyan_sweep_points_done;
+//   - read-outs described KindCounter expose one sample named
+//     family+"_total" (the OpenMetrics counter convention); gauges
+//     expose a sample named exactly like the family;
+//   - Hist snapshots expose as histogram families with cumulative
+//     `le`-labelled buckets (each occupied bucket contributes its
+//     upper edge), a "+Inf" bucket, and exact _sum/_count samples;
+//     a HistFamily's Labels ride on every one of its samples, which is
+//     how one family carries per-stage series (stage="1", …).
+//
+// The package also carries a minimal OpenMetrics parser
+// (ParseOpenMetrics) used by cmd/sweeptop and by CI to validate that a
+// live scrape really is OpenMetrics — no external dependency.
+
+// omPrefix namespaces every exposed family.
+const omPrefix = "banyan_"
+
+// HistFamily is one histogram series for WriteOpenMetrics: a family
+// name (sanitized and prefixed automatically), an optional fixed label
+// set distinguishing this series from siblings of the same family, and
+// the live histogram behind it.
+type HistFamily struct {
+	Name   string
+	Help   string
+	Labels map[string]string
+	Hist   *Hist
+}
+
+// omName sanitizes a registry name into an OpenMetrics metric name.
+func omName(name string) string {
+	var b strings.Builder
+	b.Grow(len(omPrefix) + len(name))
+	b.WriteString(omPrefix)
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// omValue renders a sample value. OpenMetrics wants plain float
+// spellings; NaN and infinities have canonical forms.
+func omValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// omEscape escapes a label value or help text for the exposition
+// format.
+func omEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// omLabels renders a label set in sorted-key order ("" when empty).
+func omLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, strings.ReplaceAll(omEscape(labels[k]), `"`, `\"`))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteOpenMetrics renders the registry (and any histogram families) as
+// an OpenMetrics text page, terminated by the mandatory "# EOF" line.
+// Families are emitted in sorted name order so scrapes are
+// deterministic and diffable.
+func WriteOpenMetrics(w io.Writer, reg *Registry, hists []HistFamily) error {
+	bw := bufio.NewWriter(w)
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		names := make([]string, 0, len(snap))
+		for n := range snap {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			family := omName(n)
+			kind, help := reg.Kind(n), reg.HelpFor(n)
+			switch kind {
+			case KindCounter:
+				fmt.Fprintf(bw, "# TYPE %s counter\n", family)
+				if help != "" {
+					fmt.Fprintf(bw, "# HELP %s %s\n", family, omEscape(help))
+				}
+				// Counters must be monotone and non-negative; clamp the
+				// read-out rather than emit an invalid page.
+				v := snap[n]
+				if v < 0 || math.IsNaN(v) {
+					v = 0
+				}
+				fmt.Fprintf(bw, "%s_total %s\n", family, omValue(v))
+			default:
+				fmt.Fprintf(bw, "# TYPE %s gauge\n", family)
+				if help != "" {
+					fmt.Fprintf(bw, "# HELP %s %s\n", family, omEscape(help))
+				}
+				fmt.Fprintf(bw, "%s %s\n", family, omValue(snap[n]))
+			}
+		}
+	}
+
+	// Histogram families: group series sharing a family name under one
+	// TYPE line.
+	byFamily := map[string][]HistFamily{}
+	var famNames []string
+	for _, hf := range hists {
+		if hf.Hist == nil {
+			continue
+		}
+		f := omName(hf.Name)
+		if _, ok := byFamily[f]; !ok {
+			famNames = append(famNames, f)
+		}
+		byFamily[f] = append(byFamily[f], hf)
+	}
+	sort.Strings(famNames)
+	for _, f := range famNames {
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", f)
+		if help := byFamily[f][0].Help; help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f, omEscape(help))
+		}
+		for _, hf := range byFamily[f] {
+			writeHistSeries(bw, f, hf)
+		}
+	}
+
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// writeHistSeries emits one histogram series: cumulative le buckets
+// from the snapshot's occupied buckets, the +Inf bucket, and exact
+// _sum/_count. The le label is merged into the series' fixed labels.
+func writeHistSeries(w io.Writer, family string, hf HistFamily) {
+	s := hf.Hist.Snapshot()
+	withLE := func(le string) string {
+		m := make(map[string]string, len(hf.Labels)+1)
+		for k, v := range hf.Labels {
+			m[k] = v
+		}
+		m["le"] = le
+		return omLabels(m)
+	}
+	// The snapshot's count can run ahead of the bucket walk under
+	// concurrent recording; the +Inf bucket and _count use the larger of
+	// the two so cumulative monotonicity always holds on the wire.
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket%s %d\n", family, withLE(omValue(float64(b.Hi))), cum)
+	}
+	count := s.Count
+	if cum > count {
+		count = cum
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", family, withLE("+Inf"), count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", family, omLabels(hf.Labels), hf.Hist.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", family, omLabels(hf.Labels), count)
+}
+
+// OMSample is one parsed OpenMetrics sample line.
+type OMSample struct {
+	Name   string // full sample name, including _total/_bucket/... suffixes
+	Labels map[string]string
+	Value  float64
+}
+
+// OMFamily is one parsed metric family.
+type OMFamily struct {
+	Name    string // family name, as declared by # TYPE
+	Type    string // counter, gauge, histogram, ...
+	Help    string
+	Samples []OMSample
+}
+
+// omNameRe-equivalent checks, hand-rolled to stay dependency-free.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleSuffixes are the structured-sample suffixes a family's samples
+// may carry, by type.
+var sampleSuffixes = map[string][]string{
+	"counter":   {"_total"},
+	"gauge":     {""},
+	"histogram": {"_bucket", "_sum", "_count"},
+	"summary":   {"", "_sum", "_count"},
+	"unknown":   {""},
+}
+
+// ParseOpenMetrics is a minimal, dependency-free OpenMetrics text
+// parser/validator. It checks the structural rules a collector relies
+// on — every sample belongs to a family declared by a # TYPE line with
+// a type-appropriate suffix, label syntax is well-formed, values parse,
+// counters are non-negative, histogram buckets are cumulative with a
+// closing +Inf bucket that equals _count, and the page is terminated by
+// exactly one trailing "# EOF" — and returns the parsed families in
+// declaration order. It exists for cmd/sweeptop and the CI scrape
+// validation; it is not a complete implementation of the spec (exemplars
+// and timestamps, which this repo never emits, are rejected).
+func ParseOpenMetrics(r io.Reader) ([]OMFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var families []OMFamily
+	index := map[string]*OMFamily{}
+	sawEOF := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if sawEOF {
+			return nil, fmt.Errorf("openmetrics: line %d: content after # EOF", lineNo)
+		}
+		if line == "" {
+			return nil, fmt.Errorf("openmetrics: line %d: empty line", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			switch {
+			case line == "# EOF":
+				sawEOF = true
+			case len(fields) >= 4 && fields[1] == "TYPE":
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("openmetrics: line %d: bad family name %q", lineNo, name)
+				}
+				if _, ok := sampleSuffixes[typ]; !ok {
+					return nil, fmt.Errorf("openmetrics: line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := index[name]; dup {
+					return nil, fmt.Errorf("openmetrics: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				families = append(families, OMFamily{Name: name, Type: typ})
+				index[name] = &families[len(families)-1]
+			case len(fields) >= 4 && (fields[1] == "HELP" || fields[1] == "UNIT"):
+				name := fields[2]
+				if f, ok := index[name]; ok && fields[1] == "HELP" {
+					f.Help = fields[3]
+				} else if !ok {
+					return nil, fmt.Errorf("openmetrics: line %d: %s for undeclared family %q", lineNo, fields[1], name)
+				}
+			default:
+				return nil, fmt.Errorf("openmetrics: line %d: malformed comment line %q", lineNo, line)
+			}
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("openmetrics: line %d: %w", lineNo, err)
+		}
+		fam := familyOf(index, sample.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("openmetrics: line %d: sample %q has no declared family", lineNo, sample.Name)
+		}
+		if fam.Type == "counter" && sample.Value < 0 {
+			return nil, fmt.Errorf("openmetrics: line %d: counter %q is negative", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("openmetrics: missing terminating # EOF")
+	}
+	for i := range families {
+		if families[i].Type == "histogram" {
+			if err := checkHistogramFamily(&families[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyOf resolves a sample name to its declared family by stripping
+// the type-appropriate suffix.
+func familyOf(index map[string]*OMFamily, sample string) *OMFamily {
+	if f, ok := index[sample]; ok && hasSuffixFor(f.Type, "") {
+		return f
+	}
+	for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sample, suf)
+		if !ok {
+			continue
+		}
+		if f, fok := index[base]; fok && hasSuffixFor(f.Type, suf) {
+			return f
+		}
+	}
+	return nil
+}
+
+func hasSuffixFor(typ, suf string) bool {
+	for _, s := range sampleSuffixes[typ] {
+		if s == suf {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSampleLine parses `name{labels} value` (no timestamps, no
+// exemplars — this repo never emits them).
+func parseSampleLine(line string) (OMSample, error) {
+	s := OMSample{}
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad sample name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	valStr := strings.TrimPrefix(rest, " ")
+	if strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("trailing content after value in %q (timestamps/exemplars unsupported)", line)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", valStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a {...} label set.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		var val strings.Builder
+		i := 1
+		for ; i < len(s); i++ {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			val.WriteByte(s[i])
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		s = s[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("missing comma between labels near %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+// checkHistogramFamily validates the cumulative-bucket contract per
+// series (label set minus le): non-decreasing bucket counts in le
+// order, a +Inf bucket present, and _count equal to the +Inf bucket.
+func checkHistogramFamily(f *OMFamily) error {
+	type series struct {
+		lastLE    float64
+		lastCount float64
+		inf       float64
+		hasInf    bool
+		count     float64
+		hasCount  bool
+	}
+	byKey := map[string]*series{}
+	key := func(labels map[string]string) string {
+		m := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				m[k] = v
+			}
+		}
+		return omLabels(m)
+	}
+	get := func(k string) *series {
+		sr, ok := byKey[k]
+		if !ok {
+			sr = &series{lastLE: math.Inf(-1)}
+			byKey[k] = sr
+		}
+		return sr
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("openmetrics: histogram %s bucket without le label", f.Name)
+			}
+			sr := get(key(s.Labels))
+			if le == "+Inf" {
+				sr.inf, sr.hasInf = s.Value, true
+				if s.Value < sr.lastCount {
+					return fmt.Errorf("openmetrics: histogram %s: +Inf bucket %g below previous bucket %g", f.Name, s.Value, sr.lastCount)
+				}
+				continue
+			}
+			lv, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("openmetrics: histogram %s: bad le %q", f.Name, le)
+			}
+			if lv <= sr.lastLE {
+				return fmt.Errorf("openmetrics: histogram %s: le %g out of order", f.Name, lv)
+			}
+			if s.Value < sr.lastCount {
+				return fmt.Errorf("openmetrics: histogram %s: bucket counts not cumulative at le=%g", f.Name, lv)
+			}
+			sr.lastLE, sr.lastCount = lv, s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			sr := get(key(s.Labels))
+			sr.count, sr.hasCount = s.Value, true
+		}
+	}
+	for k, sr := range byKey {
+		if !sr.hasInf {
+			return fmt.Errorf("openmetrics: histogram %s%s missing +Inf bucket", f.Name, k)
+		}
+		if sr.hasCount && sr.count != sr.inf {
+			return fmt.Errorf("openmetrics: histogram %s%s: _count %g != +Inf bucket %g", f.Name, k, sr.count, sr.inf)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestOpenMetricsRoundTrip renders a registry with all three read-out
+// shapes plus a labelled histogram family and feeds the page back
+// through the package's own strict parser — the writer and parser gate
+// each other.
+func TestOpenMetricsRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("points.done").Add(5)
+	g := reg.Gauge("queue.depth")
+	g.Set(3)
+	reg.Func("eta_seconds", func() float64 { return 12.5 })
+
+	h := &Hist{}
+	for v := int64(0); v < 100; v++ {
+		h.Record(v % 7)
+	}
+	fams := []HistFamily{{
+		Name: "wait_cycles", Help: "waiting time in cycles",
+		Labels: map[string]string{"stage": "total"},
+		Hist:   h,
+	}}
+
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, reg, fams); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	for _, want := range []string{
+		"# TYPE banyan_points_done counter",
+		"banyan_points_done_total 5",
+		"# TYPE banyan_queue_depth gauge",
+		"banyan_queue_depth 3",
+		"banyan_eta_seconds 12.5",
+		"# TYPE banyan_wait_cycles histogram",
+		`banyan_wait_cycles_bucket{le="+Inf",stage="total"} 100`,
+		`banyan_wait_cycles_count{stage="total"} 100`,
+		"# EOF",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q:\n%s", want, page)
+		}
+	}
+
+	parsed, err := ParseOpenMetrics(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("own page does not parse: %v\n%s", err, page)
+	}
+	byName := map[string]OMFamily{}
+	for _, f := range parsed {
+		byName[f.Name] = f
+	}
+	if f := byName["banyan_points_done"]; f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != 5 {
+		t.Fatalf("counter family wrong: %+v", f)
+	}
+	hf, ok := byName["banyan_wait_cycles"]
+	if !ok || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", parsed)
+	}
+	if hf.Help != "waiting time in cycles" {
+		t.Fatalf("histogram help lost: %q", hf.Help)
+	}
+	// _sum must be the exact sum of recorded values.
+	var wantSum int64
+	for v := int64(0); v < 100; v++ {
+		wantSum += v % 7
+	}
+	for _, s := range hf.Samples {
+		if strings.HasSuffix(s.Name, "_sum") && s.Value != float64(wantSum) {
+			t.Fatalf("_sum %g, want %d", s.Value, wantSum)
+		}
+	}
+}
+
+// TestOpenMetricsCumulativeBuckets pins the le-bucket contract: bucket
+// samples are cumulative in ascending le order and the +Inf bucket
+// equals _count.
+func TestOpenMetricsCumulativeBuckets(t *testing.T) {
+	h := &Hist{}
+	h.Record(0)
+	h.Record(0)
+	h.Record(1)
+	h.Record(5)
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, nil, []HistFamily{{Name: "w", Hist: h}}); err != nil {
+		t.Fatal(err)
+	}
+	var lastCum float64 = -1
+	var inf, count float64
+	for _, line := range strings.Split(b.String(), "\n") {
+		s, err := parseSampleLine(line)
+		if err != nil {
+			continue // comments, EOF
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket") && s.Labels["le"] != "+Inf":
+			if s.Value < lastCum {
+				t.Fatalf("buckets not cumulative: %v after %v", s.Value, lastCum)
+			}
+			lastCum = s.Value
+		case strings.HasSuffix(s.Name, "_bucket"):
+			inf = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		}
+	}
+	if inf != 4 || count != 4 {
+		t.Fatalf("+Inf %v / _count %v, want 4", inf, count)
+	}
+}
+
+// TestOpenMetricsCounterClamp: a read-out described as a counter but
+// reading negative (or NaN) must clamp to 0 rather than emit a page any
+// validator would reject.
+func TestOpenMetricsCounterClamp(t *testing.T) {
+	reg := NewRegistry()
+	reg.Func("broken", func() float64 { return -3 })
+	reg.Describe("broken", KindCounter, "")
+	reg.Func("nan", func() float64 { return math.NaN() })
+	reg.Describe("nan", KindCounter, "")
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if !strings.Contains(page, "banyan_broken_total 0\n") || !strings.Contains(page, "banyan_nan_total 0\n") {
+		t.Fatalf("negative/NaN counter not clamped:\n%s", page)
+	}
+	if _, err := ParseOpenMetrics(strings.NewReader(page)); err != nil {
+		t.Fatalf("clamped page does not parse: %v", err)
+	}
+}
+
+// TestOMNameSanitize: registry names with dots and other separators map
+// to one predictable family name.
+func TestOMNameSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"sweep.points.done":  "banyan_sweep_points_done",
+		"wait.total.p99":     "banyan_wait_total_p99",
+		"a-b c/d":            "banyan_a_b_c_d",
+		"already_underscore": "banyan_already_underscore",
+	} {
+		if got := omName(in); got != want {
+			t.Errorf("omName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestParseOpenMetricsRejects drives the validator through the
+// structural violations CI relies on it to catch.
+func TestParseOpenMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"missing EOF":           "# TYPE a gauge\na 1\n",
+		"content after EOF":     "# TYPE a gauge\na 1\n# EOF\na 2\n",
+		"empty line":            "# TYPE a gauge\n\na 1\n# EOF\n",
+		"undeclared family":     "a 1\n# EOF\n",
+		"wrong suffix for type": "# TYPE a counter\na 1\n# EOF\n",
+		"negative counter":      "# TYPE a counter\na_total -1\n# EOF\n",
+		"duplicate TYPE":        "# TYPE a gauge\n# TYPE a gauge\na 1\n# EOF\n",
+		"bad label name":        "# TYPE a gauge\na{0bad=\"x\"} 1\n# EOF\n",
+		"unquoted label value":  "# TYPE a gauge\na{l=x} 1\n# EOF\n",
+		"duplicate label":       "# TYPE a gauge\na{l=\"x\",l=\"y\"} 1\n# EOF\n",
+		"timestamp rejected":    "# TYPE a gauge\na 1 1234\n# EOF\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n# EOF\n",
+		"le out of order": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n# EOF\n",
+		"missing +Inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n# EOF\n",
+		"count != +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n# EOF\n",
+		"HELP before TYPE": "# HELP a text\n# TYPE a gauge\na 1\n# EOF\n",
+	}
+	for name, page := range cases {
+		if _, err := ParseOpenMetrics(strings.NewReader(page)); err == nil {
+			t.Errorf("%s: parser accepted invalid page:\n%s", name, page)
+		}
+	}
+
+	// And a well-formed page with every feature passes.
+	good := "# TYPE a gauge\n# HELP a a gauge\na{host=\"x\"} 1.5\n" +
+		"# TYPE c counter\nc_total 10\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"1\",stage=\"1\"} 1\nh_bucket{le=\"+Inf\",stage=\"1\"} 2\n" +
+		"h_sum{stage=\"1\"} 3\nh_count{stage=\"1\"} 2\n" +
+		"# EOF\n"
+	fams, err := ParseOpenMetrics(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("valid page rejected: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+}
+
+// TestParseOpenMetricsPerSeriesCumulative: the cumulative check is per
+// label set — interleaved stage series must not trip it, and a
+// violation inside one series must still be caught.
+func TestParseOpenMetricsPerSeriesCumulative(t *testing.T) {
+	ok := "# TYPE h histogram\n" +
+		"h_bucket{le=\"1\",stage=\"1\"} 10\nh_bucket{le=\"+Inf\",stage=\"1\"} 10\n" +
+		"h_bucket{le=\"1\",stage=\"2\"} 2\nh_bucket{le=\"+Inf\",stage=\"2\"} 2\n" +
+		"# EOF\n"
+	if _, err := ParseOpenMetrics(strings.NewReader(ok)); err != nil {
+		t.Fatalf("independent stage series rejected: %v", err)
+	}
+	bad := "# TYPE h histogram\n" +
+		"h_bucket{le=\"1\",stage=\"1\"} 10\nh_bucket{le=\"2\",stage=\"1\"} 4\n" +
+		"h_bucket{le=\"+Inf\",stage=\"1\"} 10\n# EOF\n"
+	if _, err := ParseOpenMetrics(strings.NewReader(bad)); err == nil {
+		t.Fatal("within-series violation not caught")
+	}
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TSDB is a fixed-memory in-process time-series store: it samples every
+// read-out of a Registry on a cadence into per-series value rings
+// aligned against one shared timestamp ring, and answers windowed,
+// downsampled queries. It exists so a scrape (or cmd/sweeptop, or the
+// /debug/ts endpoint) can see *history* — throughput over the last two
+// minutes, a backlog ramp, a rate collapse — instead of only the
+// instant of the scrape.
+//
+// Memory is bounded by construction: capN timestamps plus capN float64s
+// per series, with the series set fixed to the registry's names as of
+// each sample tick (a series first seen mid-run pads its past with NaN).
+// There is no persistence and no interpolation; queries downsample by
+// NaN-aware bucket means.
+type TSDB struct {
+	// Now replaces time.Now for tests; nil means time.Now.
+	Now func() time.Time
+
+	reg  *Registry
+	capN int
+
+	mu     sync.Mutex
+	times  []int64 // unix milliseconds, ring
+	n      int     // number of valid samples (≤ capN)
+	head   int     // index of the next write
+	series map[string][]float64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTSDB returns a store sampling reg with capacity capN samples per
+// series (capN < 2 is raised to 2).
+func NewTSDB(reg *Registry, capN int) *TSDB {
+	if capN < 2 {
+		capN = 2
+	}
+	return &TSDB{
+		reg:    reg,
+		capN:   capN,
+		times:  make([]int64, capN),
+		series: make(map[string][]float64),
+	}
+}
+
+func (t *TSDB) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// Sample takes one sample of every registry read-out at the current
+// time. Safe to call directly (tests, manual cadences) or via Start.
+func (t *TSDB) Sample() {
+	snap := t.reg.Snapshot()
+	ts := t.now().UnixMilli()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.times[t.head] = ts
+	for name, v := range snap {
+		ring, ok := t.series[name]
+		if !ok {
+			// New series: its past is unknown, not zero.
+			ring = make([]float64, t.capN)
+			for i := range ring {
+				ring[i] = math.NaN()
+			}
+			t.series[name] = ring
+		}
+		ring[t.head] = v
+	}
+	// Series absent from this snapshot (unregistered names) go stale
+	// rather than repeating their last value.
+	for name, ring := range t.series {
+		if _, ok := snap[name]; !ok {
+			ring[t.head] = math.NaN()
+		}
+	}
+	t.head = (t.head + 1) % t.capN
+	if t.n < t.capN {
+		t.n++
+	}
+}
+
+// Start launches a background sampler at the given interval; Stop ends
+// it. Start on an already started store is a no-op.
+func (t *TSDB) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t.mu.Lock()
+	if t.stop != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	stop, done := t.stop, t.done
+	t.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.Sample()
+			}
+		}
+	}()
+}
+
+// Stop ends the background sampler and waits for it to exit. Stopping a
+// never-started (or already stopped) store is a no-op.
+func (t *TSDB) Stop() {
+	t.mu.Lock()
+	stop, done := t.stop, t.done
+	t.stop, t.done = nil, nil
+	t.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// SeriesNames returns the names sampled so far, sorted.
+func (t *TSDB) SeriesNames() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.series))
+	for n := range t.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TSPoint is one downsampled query bucket: the bucket's end timestamp
+// and the NaN-aware mean of the raw samples that fell in it (NaN when
+// the bucket holds no samples).
+type TSPoint struct {
+	UnixMilli int64
+	Value     float64
+}
+
+// Query returns up to buckets downsampled points of series name over
+// the trailing window (0 = everything retained). Raw samples are
+// assigned to equal-width time buckets spanning [newest-window, newest]
+// and averaged NaN-aware; empty buckets read NaN so gaps stay visible.
+// Returns nil when the series is unknown or no samples fall in the
+// window.
+func (t *TSDB) Query(name string, window time.Duration, buckets int) []TSPoint {
+	if buckets < 1 {
+		buckets = 1
+	}
+	type raw struct {
+		ts int64
+		v  float64
+	}
+	t.mu.Lock()
+	ring, ok := t.series[name]
+	if !ok || t.n == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	samples := make([]raw, 0, t.n)
+	// Oldest-first walk of the ring.
+	start := (t.head - t.n + t.capN) % t.capN
+	for i := 0; i < t.n; i++ {
+		j := (start + i) % t.capN
+		samples = append(samples, raw{t.times[j], ring[j]})
+	}
+	t.mu.Unlock()
+
+	newest := samples[len(samples)-1].ts
+	oldest := samples[0].ts
+	if window > 0 {
+		if cut := newest - window.Milliseconds(); cut > oldest {
+			oldest = cut
+		}
+	}
+	span := newest - oldest
+	if span <= 0 {
+		// Single instant: one bucket holding the newest sample.
+		last := samples[len(samples)-1]
+		return []TSPoint{{UnixMilli: last.ts, Value: last.v}}
+	}
+	if int64(buckets) > span {
+		buckets = int(span)
+	}
+	sums := make([]float64, buckets)
+	counts := make([]int, buckets)
+	for _, s := range samples {
+		if s.ts < oldest || math.IsNaN(s.v) {
+			continue
+		}
+		b := int((s.ts - oldest) * int64(buckets) / (span + 1))
+		sums[b] += s.v
+		counts[b]++
+	}
+	out := make([]TSPoint, buckets)
+	for b := range out {
+		end := oldest + (int64(b)+1)*span/int64(buckets)
+		v := math.NaN()
+		if counts[b] > 0 {
+			v = sums[b] / float64(counts[b])
+		}
+		out[b] = TSPoint{UnixMilli: end, Value: v}
+	}
+	return out
+}
+
+// Len returns the number of samples currently retained.
+func (t *TSDB) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tsdbClock is a deterministic Now hook advancing one second per
+// Sample.
+type tsdbClock struct {
+	t time.Time
+}
+
+func (c *tsdbClock) now() time.Time { return c.t }
+func (c *tsdbClock) tick()          { c.t = c.t.Add(time.Second) }
+
+// TestTSDBDownsample: raw samples assigned to equal-width buckets,
+// NaN-aware means, bucket-end timestamps.
+func TestTSDBDownsample(t *testing.T) {
+	reg := NewRegistry()
+	var v float64
+	reg.Func("x", func() float64 { return v })
+	ts := NewTSDB(reg, 16)
+	clk := &tsdbClock{t: time.UnixMilli(0)}
+	ts.Now = clk.now
+	for i := 0; i < 8; i++ {
+		v = float64(i)
+		ts.Sample()
+		clk.tick()
+	}
+	if ts.Len() != 8 {
+		t.Fatalf("Len %d, want 8", ts.Len())
+	}
+	pts := ts.Query("x", 0, 7)
+	if len(pts) != 7 {
+		t.Fatalf("got %d buckets, want 7", len(pts))
+	}
+	// Samples at 0s..7s with values 0..7: the first bucket holds {0,1},
+	// the rest one sample each.
+	if pts[0].Value != 0.5 {
+		t.Fatalf("bucket 0 mean %v, want 0.5", pts[0].Value)
+	}
+	if pts[6].Value != 7 {
+		t.Fatalf("last bucket %v, want 7", pts[6].Value)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].UnixMilli <= pts[i-1].UnixMilli {
+			t.Fatalf("bucket timestamps not increasing: %v", pts)
+		}
+	}
+}
+
+// TestTSDBWindow: the window cuts from the newest sample backwards.
+func TestTSDBWindow(t *testing.T) {
+	reg := NewRegistry()
+	var v float64
+	reg.Func("x", func() float64 { return v })
+	ts := NewTSDB(reg, 16)
+	clk := &tsdbClock{t: time.UnixMilli(0)}
+	ts.Now = clk.now
+	for i := 0; i < 8; i++ {
+		v = float64(i)
+		ts.Sample()
+		clk.tick()
+	}
+	pts := ts.Query("x", 3*time.Second, 3)
+	if len(pts) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(pts))
+	}
+	// Window [4s,7s]: values {4,5}, {6}, {7}.
+	want := []float64{4.5, 6, 7}
+	for i, w := range want {
+		if pts[i].Value != w {
+			t.Fatalf("bucket %d = %v, want %v (%v)", i, pts[i].Value, w, pts)
+		}
+	}
+}
+
+// TestTSDBRingWrap: once capN samples are retained, the oldest fall
+// off and queries cover only the survivors.
+func TestTSDBRingWrap(t *testing.T) {
+	reg := NewRegistry()
+	var v float64
+	reg.Func("x", func() float64 { return v })
+	ts := NewTSDB(reg, 4)
+	clk := &tsdbClock{t: time.UnixMilli(0)}
+	ts.Now = clk.now
+	for i := 0; i < 6; i++ {
+		v = float64(i)
+		ts.Sample()
+		clk.tick()
+	}
+	if ts.Len() != 4 {
+		t.Fatalf("Len %d, want cap 4", ts.Len())
+	}
+	pts := ts.Query("x", 0, 3)
+	want := []float64{2.5, 4, 5} // survivors are values 2..5 at 2s..5s
+	for i, w := range want {
+		if pts[i].Value != w {
+			t.Fatalf("bucket %d = %v, want %v (%v)", i, pts[i].Value, w, pts)
+		}
+	}
+}
+
+// TestTSDBLateSeriesNaN: a series first seen mid-run has an unknown —
+// not zero — past, and the gap must survive downsampling as NaN.
+func TestTSDBLateSeriesNaN(t *testing.T) {
+	reg := NewRegistry()
+	reg.Func("early", func() float64 { return 1 })
+	ts := NewTSDB(reg, 16)
+	clk := &tsdbClock{t: time.UnixMilli(0)}
+	ts.Now = clk.now
+	ts.Sample()
+	clk.tick()
+	ts.Sample()
+	clk.tick()
+	reg.Func("late", func() float64 { return 42 })
+	ts.Sample()
+	clk.tick()
+	ts.Sample()
+
+	pts := ts.Query("late", 0, 3)
+	if len(pts) != 3 {
+		t.Fatalf("got %d buckets, want 3 (%v)", len(pts), pts)
+	}
+	if !math.IsNaN(pts[0].Value) {
+		t.Fatalf("late series' unknown past = %v, want NaN", pts[0].Value)
+	}
+	if pts[2].Value != 42 {
+		t.Fatalf("late series' present = %v, want 42", pts[2].Value)
+	}
+	names := ts.SeriesNames()
+	if len(names) != 2 || names[0] != "early" || names[1] != "late" {
+		t.Fatalf("SeriesNames = %v", names)
+	}
+}
+
+// TestTSDBQueryUnknown: unknown series and empty stores answer nil.
+func TestTSDBQueryUnknown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Func("x", func() float64 { return 1 })
+	ts := NewTSDB(reg, 4)
+	if pts := ts.Query("x", 0, 8); pts != nil {
+		t.Fatalf("query before any sample: %v, want nil", pts)
+	}
+	ts.Sample()
+	if pts := ts.Query("nope", 0, 8); pts != nil {
+		t.Fatalf("unknown series: %v, want nil", pts)
+	}
+	// A single retained instant collapses to one point.
+	if pts := ts.Query("x", 0, 8); len(pts) != 1 || pts[0].Value != 1 {
+		t.Fatalf("single-instant query: %v", pts)
+	}
+}
+
+// TestTSDBStartStop: the background sampler runs, stops cleanly, and
+// both Start and Stop are idempotent.
+func TestTSDBStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Func("x", func() float64 { return 1 })
+	ts := NewTSDB(reg, 64)
+	ts.Start(time.Millisecond)
+	ts.Start(time.Millisecond) // no-op, must not double-sample or leak
+	deadline := time.After(2 * time.Second)
+	for ts.Len() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("sampler never ran")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	ts.Stop()
+	n := ts.Len()
+	time.Sleep(20 * time.Millisecond)
+	if ts.Len() != n {
+		t.Fatal("sampler still running after Stop")
+	}
+	ts.Stop() // idempotent
+	ts.Start(time.Millisecond)
+	ts.Stop()
+}
+
+// TestTSDBConcurrent exercises Sample/Query/SeriesNames concurrently —
+// the -race guard for the /debug/ts scrape path.
+func TestTSDBConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var v atomicFloat
+	reg.Func("x", func() float64 { return v.load() })
+	ts := NewTSDB(reg, 32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v.store(float64(i))
+			ts.Sample()
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ts.Query("x", time.Minute, 16)
+				ts.SeriesNames()
+				ts.Len()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// atomicFloat is a tiny test helper (sync/atomic has no float64).
+type atomicFloat struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (a *atomicFloat) store(v float64) { a.mu.Lock(); a.v = v; a.mu.Unlock() }
+func (a *atomicFloat) load() float64   { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

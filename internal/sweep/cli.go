@@ -65,10 +65,19 @@ type RunOptions struct {
 	// (started, retried, truncated, journaled, done, failed, cached,
 	// resumed, aliased) to this file; "-" means stderr, "" disables.
 	EventsPath string
+	// LedgerOut writes the end-of-run accounting ledger (see RunLedger)
+	// as JSON to this file at cleanup, and prints its text-table
+	// rendition to stderr ("" = off). "-" writes the JSON to stdout.
+	LedgerOut string
 	// DebugAddr serves live observability over HTTP while the run
-	// executes — /metrics, /debug/vars (expvar), /debug/events (recent
-	// event ring) and /debug/pprof — on this address ("" = off).
+	// executes — /metrics (OpenMetrics), /debug/vars (expvar),
+	// /debug/events (recent event ring), /debug/hist (live waiting-time
+	// histograms), /debug/ts (sampled metric history), /debug/trace and
+	// /debug/pprof — on this address ("" = off).
 	DebugAddr string
+	// TSInterval is the metric-history sampling cadence for /debug/ts
+	// (0 = 1s). Only meaningful with DebugAddr.
+	TSInterval time.Duration
 	// SimStats attaches an engine probe to every simulation (free-list
 	// hit rates, block pulls, cycles/sec, per-stage backlog high-water
 	// marks) and prints its summary to stderr at cleanup.
@@ -110,7 +119,9 @@ func (o *RunOptions) RegisterFlags(fs *flag.FlagSet) {
 	fs.DurationVar(&o.Watchdog, "watchdog", 0, "arm the stalled-replication watchdog with this initial per-attempt budget (e.g. 30s); stalls convert to retryable errors")
 	fs.IntVar(&o.CheckpointFsync, "checkpoint-fsync", 0, "fsync the -checkpoint journal after every N appended points (0 = only at close)")
 	fs.StringVar(&o.EventsPath, "events", "", "append structured sweep events as JSON lines to this file (\"-\" = stderr)")
-	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve live /metrics, /debug/vars, /debug/events and /debug/pprof on this address (e.g. :6060) while the run executes")
+	fs.StringVar(&o.LedgerOut, "ledger-out", "", "write the end-of-run accounting ledger as JSON to this file (\"-\" = stdout) and print its text table to stderr")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve live /metrics (OpenMetrics), /debug/vars, /debug/events, /debug/hist, /debug/ts, /debug/trace and /debug/pprof on this address (e.g. :6060) while the run executes")
+	fs.DurationVar(&o.TSInterval, "ts-interval", 0, "with -debug-addr: sampling cadence of the /debug/ts metric history (0 = 1s)")
 	fs.BoolVar(&o.SimStats, "sim-stats", false, "collect simulator-internal statistics (free-list hit rate, per-stage backlog high water) and print a summary at exit")
 	fs.StringVar(&o.TraceOut, "trace-out", "", "sample per-message trace spans and dump them as JSON lines to this file at exit")
 	fs.IntVar(&o.TraceSample, "trace-sample", 64, "with -trace-out: trace one in N measured messages")
@@ -209,25 +220,45 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 		r.Drift = &DriftMonitor{Threshold: o.DriftThreshold}
 		r.Drift.Register(reg)
 	}
+	if o.LedgerOut != "" {
+		r.Ledger = NewLedgerCollector()
+	}
 	var srv *obs.DebugServer
+	var tsdb *obs.TSDB
 	if o.DebugAddr != "" {
 		ring := obs.NewRingSink(256)
 		sinks = append(sinks, ring)
+		// Process-level read-outs (goroutines, heap, GC, CPU) and metric
+		// history ride along with the live endpoint; both are
+		// hash-excluded and result-neutral.
+		obs.RegisterRuntimeMetrics(reg)
 		reg.PublishExpvar("banyan")
+		interval := o.TSInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		// Two minutes of history at a 1s cadence; coarser cadences retain
+		// proportionally more.
+		tsdb = obs.NewTSDB(reg, 120)
+		tsdb.Start(interval)
 		s, err := obs.StartDebugServer(o.DebugAddr, obs.DebugOptions{
 			Registry: reg,
 			Events:   ring,
 			Hists:    r.Probe.Hists,
 			Tracer:   r.Probe.Tracer,
+			TSDB:     tsdb,
 		})
 		if err != nil {
+			tsdb.Stop()
 			if eventsFile != nil {
 				eventsFile.Close() //nolint:errcheck // best-effort cleanup; the failure being reported matters more
 			}
 			return fail(fmt.Errorf("sweep: debug server: %w", err))
 		}
 		srv, o.srv = s, s
-		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/events, /debug/hist, /debug/trace and /debug/pprof on http://%s\n", s.Addr())
+		fmt.Fprintf(os.Stderr, "debug: serving /metrics, /debug/vars, /debug/events, /debug/hist, /debug/ts, /debug/trace and /debug/pprof on http://%s\n", s.Addr())
+	} else if o.TSInterval > 0 {
+		return fail(fmt.Errorf("sweep: -ts-interval requires -debug-addr"))
 	}
 	if len(sinks) > 0 {
 		r.Events = sinks
@@ -252,8 +283,35 @@ func (o *RunOptions) Apply(r *Runner) (context.Context, func(), error) {
 	cleanup := func() {
 		cancelTimeout()
 		stop()
+		if tsdb != nil {
+			tsdb.Stop()
+		}
 		if srv != nil {
 			srv.Close() //nolint:errcheck // best-effort cleanup; the failure being reported matters more
+		}
+		if o.LedgerOut != "" {
+			led := r.BuildLedger()
+			w := io.Writer(os.Stdout)
+			var f *os.File
+			if o.LedgerOut != "-" {
+				var err error
+				if f, err = os.Create(o.LedgerOut); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: ledger out: %v\n", err)
+				} else {
+					w = f
+				}
+			}
+			if f != nil || o.LedgerOut == "-" {
+				if err := led.WriteJSON(w); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: ledger out: %v\n", err)
+				}
+			}
+			if f != nil {
+				f.Close() //nolint:errcheck // best-effort cleanup; the write error above is the one that matters
+			}
+			if err := led.WriteText(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: ledger: %v\n", err)
+			}
 		}
 		if o.SimStats && r.Probe != nil {
 			r.Probe.WriteSummary(os.Stderr)

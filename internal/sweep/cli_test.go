@@ -9,6 +9,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"banyan/internal/obs"
 )
 
 // TestResumeRequiresCheckpoint is the regression test for the silent
@@ -82,11 +85,20 @@ func TestApplyObservabilityWiring(t *testing.T) {
 		}
 		return string(body)
 	}
-	metrics := get("/metrics")
+	metrics := get("/metrics?format=legacy")
 	for _, want := range []string{"sweep.points.done 3", "sweep.points.total 3", "sim.runs 3"} {
 		if !strings.Contains(metrics, want) {
-			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+			t.Fatalf("/metrics?format=legacy missing %q:\n%s", want, metrics)
 		}
+	}
+	om := get("/metrics")
+	for _, want := range []string{"# TYPE banyan_sweep_points_done gauge", "banyan_sweep_points_done 3", "banyan_sim_runs 3", "# EOF"} {
+		if !strings.Contains(om, want) {
+			t.Fatalf("/metrics missing OpenMetrics %q:\n%s", want, om)
+		}
+	}
+	if _, err := obs.ParseOpenMetrics(strings.NewReader(om)); err != nil {
+		t.Fatalf("/metrics does not parse as OpenMetrics: %v", err)
 	}
 	if ring := get("/debug/events"); !strings.Contains(ring, `"event":"point_done"`) {
 		t.Fatalf("/debug/events missing point_done:\n%s", ring)
@@ -121,6 +133,86 @@ func TestApplyObservabilityWiring(t *testing.T) {
 	// -sim-stats attached a probe that saw every replication.
 	if s := r.Probe.Snapshot(); s.Runs != 3 || s.Messages == 0 {
 		t.Fatalf("sim-stats probe missed the sweep: %+v", s)
+	}
+}
+
+// TestApplyLedgerAndTSWiring drives -ledger-out and -ts-interval the
+// way a binary would: Apply attaches the collector and the metric
+// history sampler, /debug/ts serves sampled series during the run, and
+// cleanup writes a reconciled ledger JSON artifact.
+func TestApplyLedgerAndTSWiring(t *testing.T) {
+	ledgerOut := filepath.Join(t.TempDir(), "ledger.json")
+	o := &RunOptions{
+		LedgerOut: ledgerOut,
+		DebugAddr: "127.0.0.1:0",
+		// A tight cadence so the TSDB is guaranteed samples mid-run.
+		TSInterval: time.Millisecond,
+	}
+	r := &Runner{RootSeed: 13}
+	ctx, cleanup, err := o.Apply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ledger == nil {
+		t.Fatal("-ledger-out did not attach a collector")
+	}
+	if _, err := r.RunCtx(ctx, quickPoints(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The run itself can finish before the sampler's first tick; the
+	// series appears within a few cadences.
+	var series []struct {
+		Name   string `json:"name"`
+		Values []any  `json:"values"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + o.DebugServer().Addr() + "/debug/ts?name=sweep.points.done")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(&series)
+			resp.Body.Close() //nolint:errcheck // test scrape
+			if err != nil {
+				t.Fatalf("/debug/ts malformed: %v", err)
+			}
+			break
+		}
+		resp.Body.Close() //nolint:errcheck // test scrape
+		if time.Now().After(deadline) {
+			t.Fatalf("/debug/ts never served the series: last status %d", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(series) != 1 || series[0].Name != "sweep.points.done" || len(series[0].Values) == 0 {
+		t.Fatalf("/debug/ts series shape wrong: %+v", series)
+	}
+
+	cleanup()
+	raw, err := os.ReadFile(ledgerOut)
+	if err != nil {
+		t.Fatalf("-ledger-out not written: %v", err)
+	}
+	var led RunLedger
+	if err := json.Unmarshal(raw, &led); err != nil {
+		t.Fatalf("ledger artifact unparseable: %v", err)
+	}
+	if !led.Reconciled {
+		t.Fatalf("ledger artifact not reconciled: %s", led.Note)
+	}
+	if led.Points.Done != 3 || len(led.Rows) != 3 {
+		t.Fatalf("ledger artifact content wrong: %+v rows %d", led.Points, len(led.Rows))
+	}
+}
+
+// TestApplyTSIntervalRequiresDebugAddr: sampling history no endpoint
+// will ever serve is a misconfiguration, not a silent no-op.
+func TestApplyTSIntervalRequiresDebugAddr(t *testing.T) {
+	o := &RunOptions{TSInterval: time.Second}
+	if _, _, err := o.Apply(&Runner{}); err == nil || !strings.Contains(err.Error(), "-debug-addr") {
+		t.Fatalf("want refusal naming -debug-addr, got %v", err)
 	}
 }
 
@@ -177,11 +269,14 @@ func TestApplyTraceAndDriftWiring(t *testing.T) {
 	if hist.Total.Count == 0 || len(hist.Stages) == 0 {
 		t.Fatalf("/debug/hist empty after a run: %+v", hist)
 	}
-	if !strings.Contains(get("/metrics"), "wait.total.p99 ") {
+	if !strings.Contains(get("/metrics?format=legacy"), "wait.total.p99 ") {
 		t.Fatal("/metrics missing wait quantile gauges")
 	}
-	if !strings.Contains(get("/metrics"), "drift.points_checked 1") {
+	if !strings.Contains(get("/metrics?format=legacy"), "drift.points_checked 1") {
 		t.Fatal("/metrics missing drift counters")
+	}
+	if !strings.Contains(get("/metrics"), `banyan_wait_cycles_bucket{le="+Inf",stage="total"}`) {
+		t.Fatal("/metrics missing the live wait_cycles histogram family")
 	}
 	if !strings.Contains(get("/debug/trace"), `"total_wait"`) {
 		t.Fatal("/debug/trace serves no spans")

@@ -160,6 +160,21 @@ func (d *DriftMonitor) setKS(stage int, ks float64) { // 1-based
 	d.lastKS[stage-1] = ks
 }
 
+// DriftTotals is the monitor's cumulative verdict counts.
+type DriftTotals struct {
+	Checked int64 `json:"checked"`
+	Drifted int64 `json:"drifted"`
+	Skipped int64 `json:"skipped"`
+}
+
+// Totals returns the monitor's cumulative verdict counts (the ledger's
+// drift section).
+func (d *DriftMonitor) Totals() DriftTotals {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DriftTotals{Checked: d.checked, Drifted: d.drifted, Skipped: d.skipped}
+}
+
 func (d *DriftMonitor) account(rep *DriftReport) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -102,11 +102,17 @@ func (r *Runner) attempt(ctx context.Context, pr *PointResult, rep int, cfg *sim
 	e := pr.Point.Engine
 	for a := 0; ; a++ {
 		wctx, finish := r.withWatchdog(ctx, pr, rep)
+		before := readCostSample()
 		start := time.Now()
 		res, err := r.safeRun(wctx, e, cfg)
 		err = finish(err)
+		wall := time.Since(start)
+		// Every try is paid for, so every try is attributed — retries
+		// included; a point's cost is what it actually spent, not what
+		// its final attempt spent.
+		r.addCost(pr, costDelta(before, readCostSample(), wall, runCycles(cfg, res)))
 		if err == nil {
-			r.noteRepWall(time.Since(start))
+			r.noteRepWall(wall)
 			return res, nil
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
@@ -166,8 +172,10 @@ func (r *Runner) safeRunLanes(ctx context.Context, cfgs []*simnet.Config) (resul
 // are never retried, exactly as in the scalar attempt.
 func (r *Runner) attemptLanes(ctx context.Context, pr *PointResult, rep0 int, cfgs []*simnet.Config) ([]*simnet.Result, []error) {
 	wctx, finish := r.withWatchdog(ctx, pr, rep0)
+	before := readCostSample()
 	start := time.Now()
 	results, errs, panicErr := r.safeRunLanes(wctx, cfgs)
+	wall := time.Since(start)
 	if panicErr != nil {
 		// The panic unwound the whole group: no lane has a usable
 		// outcome, every replication carries the panic.
@@ -177,6 +185,13 @@ func (r *Runner) attemptLanes(ctx context.Context, pr *PointResult, rep0 int, cf
 			errs[i] = panicErr
 		}
 	}
+	// One group invocation, one attribution: the whole group belongs to
+	// one point, so its cost needs no per-lane split.
+	var cycles int64
+	for i, res := range results {
+		cycles += runCycles(cfgs[i], res)
+	}
+	r.addCost(pr, costDelta(before, readCostSample(), wall, cycles))
 	var groupErr error
 	for _, err := range errs {
 		if err != nil {
@@ -191,7 +206,7 @@ func (r *Runner) attemptLanes(ctx context.Context, pr *PointResult, rep0 int, cf
 		// One group invocation advanced len(cfgs) replications through a
 		// shared clock, so the per-replication cost is the group wall
 		// time split evenly.
-		r.noteRepWall(time.Since(start) / time.Duration(len(cfgs)))
+		r.noteRepWall(wall / time.Duration(len(cfgs)))
 		return results, errs
 	}
 	if errors.Is(groupErr, context.Canceled) || errors.Is(groupErr, context.DeadlineExceeded) || ctx.Err() != nil {

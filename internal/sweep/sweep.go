@@ -114,6 +114,16 @@ type PointResult struct {
 	// in the order they happened. Journaled alongside the results, so a
 	// resumed sweep knows which of its points needed help.
 	Recovery []string
+
+	// Cost is the resource cost this run actually paid for the point,
+	// accumulated across every simulation attempt (see PointCost). It is
+	// hash-excluded and result-neutral, and it is attribution, not
+	// identity: points served from the cache, the journal, or an
+	// in-batch alias carry a nil Cost — their price was paid (and
+	// recorded) where the simulation happened. Wall clocks are not
+	// reproducible, so Cost never enters the resume journal; the
+	// RunLedger artifact and point_done events are the durable record.
+	Cost *PointCost
 }
 
 // Result returns the first replication's result — the common case for
@@ -213,6 +223,11 @@ type Runner struct {
 	// budget derived from recent replication wall times and converts a
 	// hang into a typed, retryable *StallError. See Watchdog.
 	Watchdog *Watchdog
+	// Ledger, when non-nil, records every settled point — fresh, failed,
+	// cached, resumed, or aliased — with its attributed cost, so
+	// BuildLedger can reconcile an end-of-run accounting against the
+	// counters. See LedgerCollector.
+	Ledger *LedgerCollector
 
 	ctr Counters
 	// repWall holds the exponentially-weighted mean replication wall
@@ -430,6 +445,10 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				// batch, and callers key their output off the label.
 				shared := *hit
 				shared.Point = *p
+				// The hit's cost was attributed where it was paid; a
+				// share costs (essentially) nothing and must not
+				// double-count.
+				shared.Cost = nil
 				if r.VR.Enabled() {
 					if shared.VR == nil {
 						shared.VR = r.VR.Estimate(&p.Cfg, shared.Runs)
@@ -441,6 +460,7 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				states[i].pending = -1
 				r.ctr.pointCached(repCap)
 				r.emit(pointEvent(obs.EventPointCached, &shared))
+				r.observeLedger(&shared, LedgerCached)
 				r.report(&shared)
 				continue
 			}
@@ -465,6 +485,7 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				}
 				r.ctr.pointResumed(repCap)
 				r.emit(pointEvent(obs.EventPointResumed, pr))
+				r.observeLedger(pr, LedgerResumed)
 				r.report(pr)
 				continue
 			}
@@ -609,13 +630,16 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				// invariant and the ETA still converge.
 				r.ctr.repsSkipped(len(st.pr.Runs) - st.sched)
 			}
+			r.finalizeCost(st.pr)
 			r.ctr.pointFailed()
 			ev := pointEvent(obs.EventPointFailed, st.pr)
 			ev.WallMS = wallMS
 			if st.pr.Err != nil {
 				ev.Err = st.pr.Err.Error()
 			}
+			ev.Cost = st.pr.Cost.Digest()
 			r.emit(ev)
+			r.observeLedger(st.pr, LedgerFailed)
 			r.report(st.pr)
 			return nil
 		}
@@ -676,9 +700,11 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 				r.emit(pointEvent(obs.EventPointJournaled, st.pr))
 			}
 		}
+		r.finalizeCost(st.pr)
 		r.ctr.pointDone()
 		ev := pointEvent(obs.EventPointDone, st.pr)
 		ev.WallMS = wallMS
+		ev.Cost = st.pr.Cost.Digest()
 		for _, run := range st.pr.Runs {
 			if run != nil {
 				ev.Messages += run.Messages
@@ -693,6 +719,7 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		if merged != nil && r.Drift != nil {
 			r.checkDrift(st.pr, merged)
 		}
+		r.observeLedger(st.pr, LedgerDone)
 		r.report(st.pr)
 		return nil
 	}
@@ -755,10 +782,13 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		st := &states[i]
 		if st.aliasOf >= 0 {
 			// Identical configuration: deterministic seeds make the
-			// result identical too, so share it (relabelled).
+			// result identical too, so share it (relabelled). Like cache
+			// shares, an alias carries no cost of its own.
 			shared := *states[st.aliasOf].pr
 			shared.Point = points[i]
+			shared.Cost = nil
 			out[i] = &shared
+			r.observeLedger(&shared, LedgerAliased)
 			continue
 		}
 		out[i] = st.pr
@@ -775,6 +805,35 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 func (r *Runner) report(pr *PointResult) {
 	if r.Reporter != nil {
 		r.Reporter.PointDone(pr, r.ctr.Snapshot())
+	}
+}
+
+// finalizeCost stamps a settling point's cost with what the spend
+// bought: the replications kept and their variance-reduced effective
+// sample size.
+func (r *Runner) finalizeCost(pr *PointResult) {
+	r.notesMu.Lock()
+	defer r.notesMu.Unlock()
+	if pr.Cost == nil {
+		return
+	}
+	n := 0
+	for _, res := range pr.Runs {
+		if res != nil {
+			n++
+		}
+	}
+	pr.Cost.Reps = n
+	if pr.VR != nil {
+		pr.Cost.ESS = pr.VR.ESS
+	}
+}
+
+// observeLedger records a settled point in the run ledger, if one is
+// attached.
+func (r *Runner) observeLedger(pr *PointResult, status LedgerStatus) {
+	if r.Ledger != nil {
+		r.Ledger.Observe(pr, status)
 	}
 }
 
@@ -877,6 +936,15 @@ type Counters struct {
 	watchdog      int64 // replications the watchdog converted to StallError
 	degraded      int64 // lane groups degraded to scalar replications
 
+	// Attributed resource-cost totals (see PointCost): every attempt's
+	// delta lands both on its point and here, so the ledger's per-point
+	// rows reconcile against these exactly.
+	costWall      int64
+	costCPU       int64
+	costAllocB    int64
+	costAllocObjs int64
+	costCycles    int64
+
 	msgMeter obs.Meter
 	repMeter obs.Meter
 }
@@ -897,6 +965,16 @@ type Progress struct {
 	Dropped       int64 // messages lost to full buffers
 	WatchdogFired int64 // stalled replications the watchdog cancelled (typed retryable)
 	Degraded      int64 // lane groups that fell back to scalar replications
+	// Attributed resource-cost totals over every simulation attempt this
+	// runner executed (retries included): wall and user-CPU nanoseconds,
+	// heap allocation deltas, and simulated cycles. Wall cost is exact
+	// attribution; CPU and allocations are process-wide deltas, so
+	// concurrent workers overlap inside them (see PointCost).
+	CostWallNS       int64
+	CostCPUNS        int64
+	CostAllocBytes   int64
+	CostAllocObjects int64
+	CostCycles       int64
 	// Elapsed is the busy wall-clock time: the union of intervals during
 	// which at least one batch was running on this Runner.
 	Elapsed time.Duration
@@ -1040,6 +1118,17 @@ func (c *Counters) laneDegraded() {
 	c.degraded++
 }
 
+// addCost folds one attempt's attributed cost into the totals.
+func (c *Counters) addCost(d PointCost) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.costWall += d.WallNS
+	c.costCPU += d.CPUNS
+	c.costAllocB += d.AllocBytes
+	c.costAllocObjs += d.AllocObjects
+	c.costCycles += d.Cycles
+}
+
 // Snapshot returns the current progress.
 func (c *Counters) Snapshot() Progress {
 	msgRate := c.msgMeter.Rate()
@@ -1051,23 +1140,28 @@ func (c *Counters) Snapshot() Progress {
 		elapsed += c.clock().Sub(c.batchStart)
 	}
 	p := Progress{
-		PointsDone:     c.pointsDone,
-		PointsFailed:   c.pointsFailed,
-		PointsAliased:  c.pointsAliased,
-		PointsCached:   c.pointsCached,
-		PointsResumed:  c.pointsResumed,
-		PointsTotal:    c.pointsWant,
-		RepsDone:       c.repsDone,
-		RepsTotal:      c.repsWant,
-		Retries:        c.retries,
-		Truncated:      c.truncated,
-		Messages:       c.messages,
-		Dropped:        c.dropped,
-		WatchdogFired:  c.watchdog,
-		Degraded:       c.degraded,
-		Elapsed:        elapsed,
-		MessagesPerSec: msgRate,
-		RepsPerSec:     repRate,
+		PointsDone:       c.pointsDone,
+		PointsFailed:     c.pointsFailed,
+		PointsAliased:    c.pointsAliased,
+		PointsCached:     c.pointsCached,
+		PointsResumed:    c.pointsResumed,
+		PointsTotal:      c.pointsWant,
+		RepsDone:         c.repsDone,
+		RepsTotal:        c.repsWant,
+		Retries:          c.retries,
+		Truncated:        c.truncated,
+		Messages:         c.messages,
+		Dropped:          c.dropped,
+		WatchdogFired:    c.watchdog,
+		Degraded:         c.degraded,
+		CostWallNS:       c.costWall,
+		CostCPUNS:        c.costCPU,
+		CostAllocBytes:   c.costAllocB,
+		CostAllocObjects: c.costAllocObjs,
+		CostCycles:       c.costCycles,
+		Elapsed:          elapsed,
+		MessagesPerSec:   msgRate,
+		RepsPerSec:       repRate,
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		// Sub-second sweeps have no complete meter bucket yet; the
@@ -1109,4 +1203,18 @@ func (c *Counters) Register(reg *obs.Registry) {
 	reg.Func("sweep.dropped", get(func(p Progress) float64 { return float64(p.Dropped) }))
 	reg.Func("sweep.elapsed_seconds", get(func(p Progress) float64 { return p.Elapsed.Seconds() }))
 	reg.Func("sweep.eta_seconds", get(func(p Progress) float64 { return p.ETA.Seconds() }))
+	costs := []struct {
+		name, help string
+		f          func(Progress) float64
+	}{
+		{"sweep.cost.wall_seconds", "attributed simulation wall time", func(p Progress) float64 { return float64(p.CostWallNS) / 1e9 }},
+		{"sweep.cost.cpu_seconds", "attributed user CPU time", func(p Progress) float64 { return float64(p.CostCPUNS) / 1e9 }},
+		{"sweep.cost.alloc_bytes", "attributed heap allocation bytes", func(p Progress) float64 { return float64(p.CostAllocBytes) }},
+		{"sweep.cost.alloc_objects", "attributed heap allocation objects", func(p Progress) float64 { return float64(p.CostAllocObjects) }},
+		{"sweep.cost.cycles", "simulated cycles bought", func(p Progress) float64 { return float64(p.CostCycles) }},
+	}
+	for _, m := range costs {
+		reg.Func(m.name, get(m.f))
+		reg.Describe(m.name, obs.KindCounter, m.help)
+	}
 }

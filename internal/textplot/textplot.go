@@ -6,6 +6,7 @@ package textplot
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -82,7 +83,9 @@ var sparkRunes = []rune("▁▂▃▄▅▆▇█")
 // Sparkline renders values as a single-line unicode bar chart, resampled
 // to width cells (width < 1 keeps one cell per value). Each cell shows
 // the mean of the values it covers, scaled so the global maximum maps to
-// the tallest block; non-positive cells render as the lowest block.
+// the tallest block; non-positive cells render as the lowest block. NaN
+// values mark gaps (missing samples, not zeros): a cell covering only
+// NaNs renders as a space, and NaNs never enter a covering cell's mean.
 // Returns "" for an empty input.
 func Sparkline(values []float64, width int) string {
 	if len(values) == 0 {
@@ -98,11 +101,19 @@ func Sparkline(values []float64, width int) string {
 		if hi <= lo {
 			hi = lo + 1
 		}
-		sum := 0.0
+		sum, n := 0.0, 0
 		for _, v := range values[lo:hi] {
+			if math.IsNaN(v) {
+				continue
+			}
 			sum += v
+			n++
 		}
-		cells[i] = sum / float64(hi-lo)
+		if n == 0 {
+			cells[i] = math.NaN()
+		} else {
+			cells[i] = sum / float64(n)
+		}
 	}
 	maxV := 0.0
 	for _, c := range cells {
@@ -112,6 +123,10 @@ func Sparkline(values []float64, width int) string {
 	}
 	out := make([]rune, width)
 	for i, c := range cells {
+		if math.IsNaN(c) {
+			out[i] = ' '
+			continue
+		}
 		level := 0
 		if maxV > 0 && c > 0 {
 			level = int(c / maxV * float64(len(sparkRunes)-1))
