@@ -76,6 +76,10 @@ type (
 	SimResult = simnet.Result
 	// Trace is a pre-generated arrival schedule shared by both engines.
 	Trace = simnet.Trace
+	// TopologyKind selects the graph engine's inter-stage wiring.
+	TopologyKind = topology.Kind
+	// LinkFail names one failed switch-output link for the graph engine.
+	LinkFail = simnet.LinkFail
 	// BurstParams configures Markov-modulated (bursty) sources.
 	BurstParams = simnet.BurstParams
 	// Scale controls experiment simulation effort.
@@ -181,6 +185,29 @@ func SimulateTrace(cfg *SimConfig, tr *Trace) (*SimResult, error) { return simne
 // buffers via SimConfig.BufferCap).
 func SimulateLiteral(cfg *SimConfig, tr *Trace) (*SimResult, error) {
 	return simnet.RunLiteral(cfg, tr)
+}
+
+// Graph-engine wirings (SimConfig.Topology).
+const (
+	// TopoOmega is the omega (perfect-shuffle) wiring — the same network
+	// the stage-model engines assume.
+	TopoOmega = topology.Omega
+	// TopoButterfly is the indirect-binary-cube (butterfly) wiring.
+	TopoButterfly = topology.Butterfly
+	// TopoFlip is the flip (inverse-omega) wiring, consuming destination
+	// digits least-significant first.
+	TopoFlip = topology.Flip
+)
+
+// SimulateGraph runs the topology-true graph engine on a prepared trace:
+// messages advance switch by switch through the explicit wiring selected
+// by SimConfig.Topology (omega when empty), with optional per-stage
+// buffer caps (StageBuffers), failed links (FailLinks/FailPolicy),
+// hot-module traffic and per-switch telemetry (TrackSwitches). Under
+// uniform traffic and infinite buffers it reproduces the fast engine's
+// results exactly.
+func SimulateGraph(cfg *SimConfig, tr *Trace) (*SimResult, error) {
+	return simnet.RunGraphTrace(cfg, tr)
 }
 
 // Stage2Exact is the exact (truncated Markov chain) analysis of the

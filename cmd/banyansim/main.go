@@ -7,10 +7,27 @@
 //
 //	banyansim -k 2 -n 6 -p 0.5 [-m 4 | -geom 0.25] [-b 2] [-q 0.1]
 //	          [-cycles 20000] [-warmup 2000] [-seed 1]
-//	          [-engine fast|literal] [-buffers 4] [-hist]
+//	          [-engine fast|literal|graph] [-buffers 4] [-hist]
+//	          [-topology omega|butterfly|flip] [-hotspot 0.2]
+//	          [-buffer-map 4,4,2,2] [-fail-link 2:3] [-fail-policy reroute]
+//	          [-switch-stats] [-sat-depth 32]
 //	          [-sim-stats] [-debug-addr :6060] [-debug-hold]
 //	          [-trace-out spans.jsonl] [-trace-sample 64]
 //	          [-drift-check] [-drift-threshold 0.15]
+//
+// -engine graph selects the topology-true engine: messages advance
+// switch by switch through the explicit wiring chosen by -topology
+// (omega when unset), enabling the scenarios the stage models can only
+// approximate — -hotspot h sends a fraction h of arrivals to the shared
+// output 0 (tree saturation), -buffer-map caps each stage's per-port
+// queue depth (head-of-line blocking and backpressure), and -fail-link
+// with -fail-policy drops or deterministically reroutes traffic around a
+// failed switch output. -switch-stats tracks per-switch backlog
+// high-water marks and blocked cycles and prints saturation verdicts
+// (backlog ≥ -sat-depth, or blocked at least once); with -debug-addr the
+// same telemetry appears as the "switches" section of /debug/hist. The
+// graph-only flags are rejected when a stage-model engine is selected,
+// since those engines simulate one representative queue per stage.
 //
 // -sim-stats attaches an engine probe (cycles/sec, free-list hit rate,
 // per-stage backlog high-water marks) and prints its summary to stderr;
@@ -24,11 +41,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,10 +73,18 @@ func main() {
 		cycles  = flag.Int("cycles", 20000, "measured cycles")
 		warmup  = flag.Int("warmup", 2000, "warmup cycles")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		engine  = flag.String("engine", "fast", "engine: fast or literal")
-		buffers = flag.Int("buffers", 0, "finite buffer capacity per queue (literal engine; 0 = infinite)")
-		hist    = flag.Bool("hist", false, "print the total-wait histogram with the gamma overlay")
-		reps    = flag.Int("replications", 0, "run N independent replications (fast engine) and report confidence intervals")
+		engine  = flag.String("engine", "fast", "engine: fast, literal or graph")
+		buffers = flag.Int("buffers", 0, "finite buffer capacity per queue (literal engine; 0 = infinite; the graph engine uses -buffer-map)")
+
+		topo        = flag.String("topology", "", "graph engine: inter-stage wiring — omega, butterfly or flip (empty = omega)")
+		hotspot     = flag.Float64("hotspot", 0, "graph engine: fraction of arrivals addressed to the shared hot output 0 (tree saturation)")
+		bufferMap   = flag.String("buffer-map", "", "graph engine: comma-separated per-stage buffer depths, e.g. 4,4,2,2 (0 = infinite)")
+		failLink    = flag.String("fail-link", "", "graph engine: failed switch-output links as stage:row[,stage:row,…], e.g. 2:3")
+		failPolicy  = flag.String("fail-policy", "", "graph engine: fate of a message routed onto a failed link — drop or reroute")
+		switchStats = flag.Bool("switch-stats", false, "graph engine: track per-switch backlog/blocked telemetry and print saturation verdicts")
+		satDepth    = flag.Int("sat-depth", 0, "graph engine: backlog high-water mark at which a switch is reported saturated (0 = 32)")
+		hist        = flag.Bool("hist", false, "print the total-wait histogram with the gamma overlay")
+		reps        = flag.Int("replications", 0, "run N independent replications (fast engine) and report confidence intervals")
 
 		simStats  = flag.Bool("sim-stats", false, "collect simulator-internal statistics and print a summary at exit")
 		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars, /debug/hist, /debug/trace and /debug/pprof on this address while the simulation runs")
@@ -85,6 +113,58 @@ func main() {
 	cfg := &banyan.SimConfig{
 		K: *k, Stages: *n, P: *p, Bulk: *b, Q: *q, Service: svc,
 		Cycles: *cycles, Warmup: *warmup, Seed: *seed, BufferCap: *buffers,
+	}
+
+	// The graph-only knobs are meaningless on the stage-model engines,
+	// which simulate one representative queue per stage; reject them all
+	// at once, naming each offending flag (sweep.Validate style).
+	if *engine != "graph" {
+		var gerrs []error
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-topology", *topo != ""},
+			{"-hotspot", *hotspot != 0},
+			{"-buffer-map", *bufferMap != ""},
+			{"-fail-link", *failLink != ""},
+			{"-fail-policy", *failPolicy != ""},
+			{"-switch-stats", *switchStats},
+			{"-sat-depth", *satDepth != 0},
+		} {
+			if f.set {
+				gerrs = append(gerrs, fmt.Errorf("%s requires -engine graph; the %s engine models one representative queue per stage", f.name, *engine))
+			}
+		}
+		if err := errors.Join(gerrs...); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if *buffers > 0 {
+			log.Fatal("-buffers is the literal engine's knob; use -buffer-map with -engine graph")
+		}
+		if *topo == "" {
+			*topo = string(banyan.TopoOmega)
+		}
+		cfg.Topology = banyan.TopologyKind(*topo)
+		cfg.HotModule = *hotspot
+		cfg.FailPolicy = *failPolicy
+		cfg.TrackSwitches = *switchStats
+		cfg.SatDepth = *satDepth
+		if *bufferMap != "" {
+			caps, err := parseBufferMap(*bufferMap)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.StageBuffers = caps
+		}
+		if *failLink != "" {
+			fails, err := parseFailLinks(*failLink)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.FailLinks = fails
+		}
 	}
 
 	// Observability: the probe rides on the config (excluded from result
@@ -126,6 +206,8 @@ func main() {
 			Hists:    probe.Hists,
 			Tracer:   probe.Tracer,
 			TSDB:     tsdb,
+			Probe:    probe,
+			SatDepth: *satDepth,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -184,6 +266,8 @@ func main() {
 		res, err = banyan.SimulateTrace(cfg, tr)
 	case "literal":
 		res, err = banyan.SimulateLiteral(cfg, tr)
+	case "graph":
+		res, err = banyan.SimulateGraph(cfg, tr)
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}
@@ -200,6 +284,8 @@ func main() {
 	var arr banyan.Arrivals
 	if *q > 0 {
 		arr, err = banyan.HotSpotTraffic(*k, *p, *q, *b)
+	} else if *hotspot > 0 {
+		arr, err = banyan.HotModuleTraffic(*k, *p, *hotspot, *b)
 	} else if *b > 1 {
 		arr, err = banyan.BulkTraffic(*k, *k, *p, *b)
 	} else {
@@ -222,6 +308,28 @@ func main() {
 	}
 	if err := textplot.Table(os.Stdout, "per-stage waiting times", header, rows); err != nil {
 		log.Fatal(err)
+	}
+
+	if res.BlockedCycles > 0 || res.Deflected > 0 || res.Misrouted > 0 {
+		fmt.Printf("\ngraph: blocked cycles %d, deflected %d, misrouted %d\n",
+			res.BlockedCycles, res.Deflected, res.Misrouted)
+	}
+	if len(res.SwitchSat) > 0 {
+		sh := []string{"stage", "switch", "high water", "blocked", "saturated"}
+		var srows [][]string
+		for _, sw := range res.SwitchSat {
+			srows = append(srows, []string{
+				fmt.Sprintf("%d", sw.Stage),
+				fmt.Sprintf("%d", sw.Switch),
+				fmt.Sprintf("%d", sw.HighWater),
+				fmt.Sprintf("%d", sw.Blocked),
+				fmt.Sprintf("%v", sw.Saturated),
+			})
+		}
+		fmt.Println()
+		if err := textplot.Table(os.Stdout, "per-switch saturation verdicts", sh, srows); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *driftCheck {
@@ -280,4 +388,33 @@ func main() {
 	} else {
 		fmt.Printf("\ntotal wait: sim mean %.4f var %.4f\n", res.MeanTotalWait(), res.VarTotalWait())
 	}
+}
+
+// parseBufferMap parses the -buffer-map value: comma-separated per-stage
+// queue depths, e.g. "4,4,2,2" (0 = infinite).
+func parseBufferMap(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-buffer-map entry %q: want an integer depth", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseFailLinks parses the -fail-link value: comma-separated stage:row
+// pairs naming failed switch-output links, e.g. "2:3,1:0".
+func parseFailLinks(s string) ([]banyan.LinkFail, error) {
+	var out []banyan.LinkFail
+	for _, p := range strings.Split(s, ",") {
+		var f banyan.LinkFail
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d:%d", &f.Stage, &f.Row); err != nil {
+			return nil, fmt.Errorf("-fail-link entry %q: want stage:row", p)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }

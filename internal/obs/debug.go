@@ -42,6 +42,13 @@ type DebugOptions struct {
 	Hists    *HistSet
 	Tracer   *Tracer
 	TSDB     *TSDB
+	// Probe, when set, adds the graph engine's per-switch telemetry
+	// (backlog high-water marks, blocked cycles, saturation verdicts) to
+	// the /debug/hist response as a "switches" section.
+	Probe *SimProbe
+	// SatDepth is the backlog high-water mark at or above which a switch
+	// is reported saturated (0 = 32, simnet's default).
+	SatDepth int
 }
 
 // Query-parameter bounds: values outside these are a client error, and
@@ -115,6 +122,36 @@ func histFamilies(hists *HistSet) []HistFamily {
 	return fams
 }
 
+// switchJSON is one switch's graph-engine telemetry in the /debug/hist
+// response: aggregate backlog high-water mark and blocked-cycle count
+// across the probe's runs, plus the saturation verdict at the
+// configured depth.
+type switchJSON struct {
+	Stage     int   `json:"stage"`  // 1-based
+	Switch    int   `json:"switch"` // 0-based within the stage
+	HighWater int64 `json:"high_water"`
+	Blocked   int64 `json:"blocked"`
+	Saturated bool  `json:"saturated"`
+}
+
+func switchesToJSON(snap *ProbeSnapshot, satDepth int) []switchJSON {
+	var out []switchJSON
+	for s, hws := range snap.SwitchHighWater {
+		for id, hw := range hws {
+			var blocked int64
+			if s < len(snap.SwitchBlocked) && id < len(snap.SwitchBlocked[s]) {
+				blocked = snap.SwitchBlocked[s][id]
+			}
+			out = append(out, switchJSON{
+				Stage: s + 1, Switch: id,
+				HighWater: hw, Blocked: blocked,
+				Saturated: blocked > 0 || hw >= int64(satDepth),
+			})
+		}
+	}
+	return out
+}
+
 // StartDebugServer listens on addr and serves the configured surfaces.
 func StartDebugServer(addr string, opts DebugOptions) (*DebugServer, error) {
 	mux := http.NewServeMux()
@@ -138,7 +175,10 @@ func StartDebugServer(addr string, opts DebugOptions) (*DebugServer, error) {
 		})
 	}
 	if opts.Hists != nil {
-		hists := opts.Hists
+		hists, probe, satDepth := opts.Hists, opts.Probe, opts.SatDepth
+		if satDepth <= 0 {
+			satDepth = 32
+		}
 		mux.HandleFunc("/debug/hist", func(w http.ResponseWriter, r *http.Request) {
 			width, ok := intParam(r, "width", sparkWidthDefault, sparkWidthMin, sparkWidthMax)
 			if !ok {
@@ -148,12 +188,21 @@ func StartDebugServer(addr string, opts DebugOptions) (*DebugServer, error) {
 			resp := struct {
 				Total  histJSON   `json:"total"`
 				Stages []histJSON `json:"stages"`
+				// Per-switch graph-engine telemetry; absent unless a probe
+				// with graph runs is attached.
+				Switches      []switchJSON `json:"switches,omitempty"`
+				BlockedCycles int64        `json:"blocked_cycles,omitempty"`
 			}{
 				Total:  histToJSON(hists.Total(), width),
 				Stages: []histJSON{},
 			}
 			for _, h := range hists.Stages(hists.NumStages()) {
 				resp.Stages = append(resp.Stages, histToJSON(h, width))
+			}
+			if probe != nil {
+				snap := probe.Snapshot()
+				resp.Switches = switchesToJSON(&snap, satDepth)
+				resp.BlockedCycles = snap.BlockedCycles
 			}
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)

@@ -263,3 +263,59 @@ func TestDebugConcurrentScrape(t *testing.T) {
 	close(stop)
 	writers.Wait()
 }
+
+// TestDebugHistSwitches checks the /debug/hist "switches" section: with
+// a probe carrying graph-engine per-switch telemetry the endpoint
+// reports high-water marks, blocked cycles, and saturation verdicts;
+// without one the section is absent entirely.
+func TestDebugHistSwitches(t *testing.T) {
+	hs := NewHistSet()
+	hs.Total().Record(1)
+	probe := NewSimProbe()
+	probe.Record(RunSample{
+		SwitchHW:      [][]int64{{40, 3}, {1, 0}},
+		SwitchBlocked: [][]int64{{0, 7}, {0, 0}},
+		BlockedCycles: 7,
+	})
+	srv := startTestServer(t, DebugOptions{Hists: hs, Probe: probe})
+
+	code, body := get(t, srv, "/debug/hist")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/hist status %d", code)
+	}
+	var resp struct {
+		Switches []struct {
+			Stage     int   `json:"stage"`
+			Switch    int   `json:"switch"`
+			HighWater int64 `json:"high_water"`
+			Blocked   int64 `json:"blocked"`
+			Saturated bool  `json:"saturated"`
+		} `json:"switches"`
+		BlockedCycles int64 `json:"blocked_cycles"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/debug/hist not JSON: %v\n%s", err, body)
+	}
+	if len(resp.Switches) != 4 || resp.BlockedCycles != 7 {
+		t.Fatalf("switch section wrong: %+v", resp)
+	}
+	// Switch (1,0): high water 40 ≥ default depth 32 → saturated.
+	// Switch (1,1): blocked cycles 7 → saturated despite low backlog.
+	// Stage 2 switches: idle → not saturated.
+	want := []struct {
+		sat bool
+		hw  int64
+	}{{true, 40}, {true, 3}, {false, 1}, {false, 0}}
+	for i, sw := range resp.Switches {
+		if sw.Saturated != want[i].sat || sw.HighWater != want[i].hw {
+			t.Fatalf("switch %d verdict wrong: %+v", i, sw)
+		}
+	}
+
+	// Without a probe the section must not appear at all.
+	bare := startTestServer(t, DebugOptions{Hists: hs})
+	_, body = get(t, bare, "/debug/hist")
+	if strings.Contains(body, "switches") {
+		t.Fatalf("probe-less /debug/hist leaked a switches section:\n%s", body)
+	}
+}

@@ -62,7 +62,8 @@ type Event struct {
 
 	// Drift-monitor fields (EventDrift) and histogram digests attached
 	// to point completion when waiting-time histograms are collected.
-	Stage     int              `json:"stage,omitempty"` // offending stage, 1-based
+	Stage     int              `json:"stage,omitempty"`  // offending stage, 1-based
+	Switch    int              `json:"switch,omitempty"` // offending switch, 1-based (per-switch drift on graph points)
 	KS        float64          `json:"ks,omitempty"`
 	Threshold float64          `json:"threshold,omitempty"`
 	Waits     []StageQuantiles `json:"waits,omitempty"`

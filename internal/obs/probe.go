@@ -26,6 +26,14 @@ type RunSample struct {
 	// StageHighWater[i] is the run's high-water mark of messages
 	// queued at stage i+1.
 	StageHighWater []int64
+	// SwitchHW[i][s] / SwitchBlocked[i][s] are the graph engine's
+	// per-switch backlog high-water marks and blocked-cycle counts
+	// (stage i+1, switch s); nil for the stage-model engines.
+	SwitchHW      [][]int64
+	SwitchBlocked [][]int64
+	// BlockedCycles is the run's total count of (port, cycle) pairs the
+	// graph engine spent blocked on a full downstream buffer.
+	BlockedCycles int64
 }
 
 // SimProbe aggregates engine instrumentation across simulation runs.
@@ -46,15 +54,18 @@ type SimProbe struct {
 	// never by consuming simulation randomness).
 	Tracer *Tracer
 
-	mu          sync.Mutex
-	runs        int64
-	cycles      int64
-	blockPulls  int64
-	freeHits    int64
-	slotAllocs  int64
-	messages    int64
-	maxInFlight int64
-	stageHW     []int64
+	mu            sync.Mutex
+	runs          int64
+	cycles        int64
+	blockPulls    int64
+	freeHits      int64
+	slotAllocs    int64
+	messages      int64
+	maxInFlight   int64
+	stageHW       []int64
+	switchHW      [][]int64
+	switchBlocked [][]int64
+	blockedCycles int64
 }
 
 // NewSimProbe returns an empty probe.
@@ -94,6 +105,27 @@ func (p *SimProbe) Record(s RunSample) {
 			p.stageHW[i] = hw
 		}
 	}
+	p.blockedCycles += s.BlockedCycles
+	for len(p.switchHW) < len(s.SwitchHW) {
+		p.switchHW = append(p.switchHW, nil)
+		p.switchBlocked = append(p.switchBlocked, nil)
+	}
+	for i, hws := range s.SwitchHW {
+		for len(p.switchHW[i]) < len(hws) {
+			p.switchHW[i] = append(p.switchHW[i], 0)
+			p.switchBlocked[i] = append(p.switchBlocked[i], 0)
+		}
+		for j, hw := range hws {
+			if hw > p.switchHW[i][j] {
+				p.switchHW[i][j] = hw
+			}
+		}
+		if i < len(s.SwitchBlocked) {
+			for j, b := range s.SwitchBlocked[i] {
+				p.switchBlocked[i][j] += b
+			}
+		}
+	}
 }
 
 // ProbeSnapshot is a point-in-time read of a SimProbe.
@@ -108,6 +140,13 @@ type ProbeSnapshot struct {
 	Messages       int64
 	MaxInFlight    int64
 	StageHighWater []int64
+	// SwitchHighWater / SwitchBlocked carry the graph engine's
+	// per-switch aggregates (max and sum across runs respectively);
+	// empty when no graph run flushed into this probe. BlockedCycles is
+	// the summed blocked-(port, cycle) count.
+	SwitchHighWater [][]int64
+	SwitchBlocked   [][]int64
+	BlockedCycles   int64
 }
 
 // Snapshot returns the current aggregate.
@@ -125,6 +164,11 @@ func (p *SimProbe) Snapshot() ProbeSnapshot {
 		Messages:       p.messages,
 		MaxInFlight:    p.maxInFlight,
 		StageHighWater: append([]int64(nil), p.stageHW...),
+		BlockedCycles:  p.blockedCycles,
+	}
+	for i := range p.switchHW {
+		s.SwitchHighWater = append(s.SwitchHighWater, append([]int64(nil), p.switchHW[i]...))
+		s.SwitchBlocked = append(s.SwitchBlocked, append([]int64(nil), p.switchBlocked[i]...))
 	}
 	if n := s.FreeListHits + s.SlotAllocs; n > 0 {
 		s.FreeListRate = float64(s.FreeListHits) / float64(n)
@@ -145,6 +189,7 @@ func (p *SimProbe) Register(reg *Registry) {
 	reg.Func("sim.free_list_hit_rate", func() float64 { return p.Snapshot().FreeListRate })
 	reg.Func("sim.messages", func() float64 { return float64(p.Snapshot().Messages) })
 	reg.Func("sim.max_in_flight", func() float64 { return float64(p.Snapshot().MaxInFlight) })
+	reg.Func("sim.blocked_cycles", func() float64 { return float64(p.Snapshot().BlockedCycles) })
 	reg.Func("sim.stage_high_water_max", func() float64 {
 		var m int64
 		for _, hw := range p.Snapshot().StageHighWater {

@@ -26,11 +26,13 @@ package simnet
 
 import (
 	"fmt"
+	"strings"
 
 	"banyan/internal/dist"
 	"banyan/internal/faultinject"
 	"banyan/internal/obs"
 	"banyan/internal/stats"
+	"banyan/internal/topology"
 	"banyan/internal/traffic"
 )
 
@@ -195,6 +197,71 @@ type Config struct {
 	// every armed fault fires at most once per plan — a retried
 	// replication converges back to the fault-free result bit for bit.
 	Fault *faultinject.RepFault
+
+	// Topology selects the explicit inter-stage wiring for the graph
+	// engine (RunGraph and friends): omega, butterfly or flip. Empty
+	// means the graph engine defaults to omega; the stage-model engines
+	// reject a non-empty Topology because they hard-code the omega
+	// arithmetic — use the graph engine for anything topology-true.
+	// Graph configurations always simulate the full k^n-row network (the
+	// wiring tables have no wrapped form), so k^n must fit MaxRows.
+	// Hash-included in sweeps: the wiring changes which queue every
+	// message joins.
+	Topology topology.Kind
+
+	// StageBuffers caps the per-port output-queue depth of each stage for
+	// the graph engine: StageBuffers[j] bounds stage j+1 (0 = infinite;
+	// a short slice leaves the remaining stages infinite). Any finite
+	// entry switches the graph engine from its committed (stage-model
+	// equivalent) dynamics into blocking dynamics: a message that finds
+	// its next queue full stays where it is, its output port stalls
+	// (head-of-line blocking) and the attempt repeats every cycle until
+	// the queue drains — backpressure, not loss. Hash-included.
+	StageBuffers []int
+
+	// FailLinks lists failed switch-output links for the graph engine;
+	// each entry names the output row of one stage. Messages routed onto
+	// a failed link follow FailPolicy. Hash-included.
+	FailLinks []LinkFail
+
+	// FailPolicy selects what happens to a message routed onto a failed
+	// link: "drop" (count it in Result.Dropped and discard it) or
+	// "reroute" (deflect to the next healthy sister port of the same
+	// switch, counting Result.Deflected; a deflected message keeps
+	// routing by its original digits, so it may exit at the wrong output
+	// — counted in Result.Misrouted). Empty defaults to "drop".
+	// Hash-included.
+	FailPolicy string
+
+	// TrackSwitches makes the graph engine publish per-switch telemetry
+	// in Result.SwitchSat: backlog high-water marks, blocked-cycle
+	// counts and the saturation verdict (blocked at least once, or
+	// backlog reaching SatDepth). Hash-included because it changes the
+	// Result shape; the statistics themselves are unchanged.
+	TrackSwitches bool
+
+	// SatDepth is the backlog high-water threshold at which a switch
+	// output port is declared saturated (0 = 32). Hash-included (it
+	// changes SwitchSat verdicts).
+	SatDepth int
+
+	// SwitchWaitHists, when non-nil, receives each measured message's
+	// waiting time split by the switch that served it:
+	// SwitchWaitHists[j][s] accumulates stage j+1, switch s. It must
+	// have at least Stages rows of at least k^(n-1) non-nil histograms.
+	// This is the per-switch drift monitor's data path — under uniform
+	// traffic every switch of a stage sees the same analytic waiting
+	// time law, so each histogram can be KS-tested against the stage
+	// model. Purely observational, excluded from sweep config hashing
+	// like WaitHists.
+	SwitchWaitHists [][]*stats.Hist
+}
+
+// LinkFail names one failed switch-output link of the graph engine:
+// output row Row of stage Stage (1-based).
+type LinkFail struct {
+	Stage int
+	Row   int
 }
 
 func (c *Config) bulk() int {
@@ -350,6 +417,9 @@ func (c *Config) Validate() error {
 			}
 		}
 	}
+	if err := c.validateGraph(); err != nil {
+		return err
+	}
 	rho := float64(c.bulk()) * c.P * c.service().Mean()
 	if c.BufferCap == 0 && rho >= 1 && !c.AllowUnstable {
 		return fmt.Errorf("simnet: unstable load m·λ = %g ≥ 1 (bulk %d × p %g × mean service %g) with infinite buffers; "+
@@ -360,6 +430,131 @@ func (c *Config) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// graphKnobs names the configuration fields only the graph engine
+// interprets, in the order they are validated and reported.
+func (c *Config) graphKnobs() []string {
+	var set []string
+	if c.StageBuffers != nil {
+		set = append(set, "StageBuffers")
+	}
+	if c.FailLinks != nil {
+		set = append(set, "FailLinks")
+	}
+	if c.FailPolicy != "" {
+		set = append(set, "FailPolicy")
+	}
+	if c.TrackSwitches {
+		set = append(set, "TrackSwitches")
+	}
+	if c.SatDepth != 0 {
+		set = append(set, "SatDepth")
+	}
+	if c.SwitchWaitHists != nil {
+		set = append(set, "SwitchWaitHists")
+	}
+	return set
+}
+
+// requireStageModel rejects graph-only configuration on the stage-model
+// engines, which hard-code the omega arithmetic and have no per-switch
+// state. Every stage-model entry point calls it so a topology-true
+// configuration cannot silently run with its knobs ignored.
+func (c *Config) requireStageModel(engine string) error {
+	if c.Topology != "" {
+		return fmt.Errorf("simnet: Topology %q requires the graph engine (RunGraph); the %s engine models one representative queue per stage", c.Topology, engine)
+	}
+	if set := c.graphKnobs(); len(set) > 0 {
+		return fmt.Errorf("simnet: %s require the graph engine (RunGraph); the %s engine models one representative queue per stage", strings.Join(set, ", "), engine)
+	}
+	return nil
+}
+
+// validateGraph checks the graph-engine knobs. They are legal only
+// alongside an explicit Topology (the graph engine fills in the omega
+// default itself before validating).
+func (c *Config) validateGraph() error {
+	if c.Topology == "" {
+		if set := c.graphKnobs(); len(set) > 0 {
+			return fmt.Errorf("simnet: %s need Config.Topology (graph engine only)", strings.Join(set, ", "))
+		}
+		return nil
+	}
+	if _, err := topology.ParseKind(string(c.Topology)); err != nil {
+		return err
+	}
+	if intPow(c.K, c.Stages) > c.maxRows() {
+		return fmt.Errorf("simnet: Topology %q needs the full k^n=%d-row network (MaxRows=%d); the wiring tables have no wrapped form",
+			c.Topology, intPow(c.K, c.Stages), c.maxRows())
+	}
+	if c.BufferCap != 0 {
+		return fmt.Errorf("simnet: BufferCap is the literal engine's knob; use StageBuffers with Topology %q", c.Topology)
+	}
+	if len(c.StageBuffers) > c.Stages {
+		return fmt.Errorf("simnet: StageBuffers has %d entries for %d stages", len(c.StageBuffers), c.Stages)
+	}
+	for i, b := range c.StageBuffers {
+		if b < 0 {
+			return fmt.Errorf("simnet: StageBuffers[%d] = %d is negative", i, b)
+		}
+	}
+	rows := intPow(c.K, c.Stages)
+	for i, f := range c.FailLinks {
+		if f.Stage < 1 || f.Stage > c.Stages {
+			return fmt.Errorf("simnet: FailLinks[%d] stage %d out of 1..%d", i, f.Stage, c.Stages)
+		}
+		if f.Row < 0 || f.Row >= rows {
+			return fmt.Errorf("simnet: FailLinks[%d] row %d out of 0..%d", i, f.Row, rows-1)
+		}
+	}
+	switch c.FailPolicy {
+	case "", "drop", "reroute":
+	default:
+		return fmt.Errorf("simnet: FailPolicy %q (want drop or reroute)", c.FailPolicy)
+	}
+	if c.FailPolicy != "" && len(c.FailLinks) == 0 {
+		return fmt.Errorf("simnet: FailPolicy %q without FailLinks", c.FailPolicy)
+	}
+	if c.SatDepth < 0 {
+		return fmt.Errorf("simnet: negative SatDepth %d", c.SatDepth)
+	}
+	if c.SwitchWaitHists != nil {
+		if len(c.SwitchWaitHists) < c.Stages {
+			return fmt.Errorf("simnet: SwitchWaitHists has %d rows for %d stages", len(c.SwitchWaitHists), c.Stages)
+		}
+		sw := rows / c.K
+		for j, row := range c.SwitchWaitHists[:c.Stages] {
+			if len(row) < sw {
+				return fmt.Errorf("simnet: SwitchWaitHists[%d] has %d entries for %d switches", j, len(row), sw)
+			}
+			for s, h := range row[:sw] {
+				if h == nil {
+					return fmt.Errorf("simnet: SwitchWaitHists[%d][%d] is nil", j, s)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// satDepth returns the saturation high-water threshold.
+func (c *Config) satDepth() int {
+	if c.SatDepth > 0 {
+		return c.SatDepth
+	}
+	return 32
+}
+
+// graphBlocking reports whether any stage has a finite buffer bound,
+// which switches the graph engine into blocking dynamics.
+func (c *Config) graphBlocking() bool {
+	for _, b := range c.StageBuffers {
+		if b > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // BurstParams configures the two-state Markov-modulated source; see

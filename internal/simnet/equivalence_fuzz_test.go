@@ -85,10 +85,12 @@ func fuzzLaneWidth(seed uint64) (w, slot int) {
 	return w, slot
 }
 
-// FuzzEngineEquivalence cross-checks the four engines on arbitrary
+// FuzzEngineEquivalence cross-checks the five engines on arbitrary
 // bounded configurations: the batch kernel must match the scalar
-// reference engine bit for bit (the determinism contract); the laned
-// kernel — running the same configuration as one lane of a lock-step
+// reference engine bit for bit (the determinism contract); the
+// topology-true graph engine, under its default omega wiring with
+// unlimited buffers, must collapse to the kernel bit for bit (the
+// graph-collapse contract); the laned kernel — running the same configuration as one lane of a lock-step
 // group of seed-derived width, and again as a degenerate W=1 group —
 // must match the scalar kernel bit for bit on every lane; and, when the
 // run is not truncated, all must agree with the cycle-driven literal
@@ -143,11 +145,30 @@ func FuzzEngineEquivalence(f *testing.F) {
 		if (kerr == nil) != (rerr == nil) {
 			t.Fatalf("error mismatch: kernel %v, reference %v (cfg %+v)", kerr, rerr, cfg)
 		}
+
+		// Graph leg: the topology-true engine under its default omega
+		// wiring with unlimited buffers must collapse to the stage model
+		// bit for bit — same errors, same Result, at every draw. The fuzz
+		// bounds keep k^n ≤ 256 < MaxRows, so the graph engine always sees
+		// the full unwrapped network it requires.
+		wcfg := cfg
+		wsrc, err := NewTraceStream(&wcfg, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wres, werr := RunGraphSource(&wcfg, wsrc)
+		if (kerr == nil) != (werr == nil) {
+			t.Fatalf("error mismatch: kernel %v, graph %v (cfg %+v)", kerr, werr, cfg)
+		}
+
 		if kerr != nil {
-			return // both rejected (no measured messages)
+			return // all rejected (no measured messages)
 		}
 		if !reflect.DeepEqual(kres, rres) {
 			t.Fatalf("kernel and reference diverge (cfg %+v)\nkernel %+v\nref    %+v", cfg, kres, rres)
+		}
+		if !reflect.DeepEqual(kres, wres) {
+			t.Fatalf("kernel and graph engine diverge (cfg %+v)\nkernel %+v\ngraph  %+v", cfg, kres, wres)
 		}
 
 		// Laned cross-check: the fuzz config runs as one lane of a

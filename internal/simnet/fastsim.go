@@ -64,6 +64,36 @@ type Result struct {
 	// TruncatedAt is the cycle at which a truncated run stopped (the
 	// number of cycles actually simulated); 0 unless Truncated.
 	TruncatedAt int64
+
+	// BlockedCycles counts (port, cycle) pairs at which the graph engine
+	// in blocking mode could not move a message forward because the next
+	// queue was full — injections held at the sources included. Zero in
+	// committed mode and whenever buffers never fill.
+	BlockedCycles int64
+
+	// Deflected counts messages pushed onto a healthy sister port by the
+	// graph engine's reroute failure policy; Misrouted counts the subset
+	// that consequently exited the network at the wrong output. Both are
+	// zero without Config.FailLinks.
+	Deflected int64
+	Misrouted int64
+
+	// SwitchSat carries the graph engine's per-switch telemetry and
+	// saturation verdicts, ordered by stage then switch index; nil
+	// unless Config.TrackSwitches.
+	SwitchSat []SwitchStat
+}
+
+// SwitchStat is one switch's graph-engine telemetry: the backlog
+// high-water mark across its output ports, the number of (port, cycle)
+// pairs it spent blocked, and the saturation verdict (blocked at least
+// once, or backlog reaching Config.SatDepth).
+type SwitchStat struct {
+	Stage     int // 1-based
+	Switch    int
+	HighWater int64
+	Blocked   int64
+	Saturated bool
 }
 
 // truncate flags the result as stopped at cycle t.
@@ -239,6 +269,9 @@ const ctxCheckMask = 1023
 // measurement of a diverging configuration, not a failure.
 func RunSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.requireStageModel("fast"); err != nil {
 		return nil, err
 	}
 	meta := src.Meta()

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"testing"
+
+	"banyan/internal/topology"
 )
 
 // golden pins exact recorded statistics at fixed seeds. Any change to
@@ -104,4 +106,50 @@ func TestGoldenLiteralEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "literal cap=2", res, want)
+}
+
+// TestGoldenGraphEngine pins the graph engine's sample paths. The
+// "uniform" entry is deliberately the stage-model literal reused
+// verbatim: under the default omega wiring with unlimited buffers the
+// graph engine must reproduce the kernel's recorded values bit for bit
+// (the collapse contract anchored to goldens). The remaining entries
+// pin the graph-only scenarios — alternate wirings, finite buffers
+// with backpressure, hot-spot traffic, and link-failure rerouting.
+func TestGoldenGraphEngine(t *testing.T) {
+	want := map[string]golden{
+		"uniform": fastGolden["uniform"],
+		// Butterfly at k=2 is a stage-output relabeling of omega, so the
+		// relabel-invariance property makes its literals identical to the
+		// omega ones; flip consumes digits LSB-first and walks genuinely
+		// different sample paths.
+		"butterfly": fastGolden["uniform"],
+		"flip":      {messages: 95879, offered: 108641, dropped: 0, meanW: "1.712783821", varW: "2.401783924", stage1W: "0.249585415"},
+		"blocking":  {messages: 16711, offered: 18973, dropped: 0, meanW: "3.171743163", varW: "9.035192216", stage1W: "0.930883849"},
+		"hotspot":   {messages: 9743, offered: 10944, dropped: 0, meanW: "312.8739608", varW: "280177.0052", stage1W: "0.3086318382"},
+		"faillink":  {messages: 14476, offered: 16356, dropped: 0, meanW: "24.44597955", varW: "4526.822241", stage1W: "0.3941005803"},
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"uniform", Config{K: 2, Stages: 6, P: 0.5, Cycles: 3000, Warmup: 400, Seed: 0x601d}},
+		{"butterfly", Config{K: 2, Stages: 6, P: 0.5, Cycles: 3000, Warmup: 400, Seed: 0x601d,
+			Topology: topology.Butterfly}},
+		{"flip", Config{K: 2, Stages: 6, P: 0.5, Cycles: 3000, Warmup: 400, Seed: 0x601d,
+			Topology: topology.Flip}},
+		{"blocking", Config{K: 2, Stages: 4, P: 0.7, Cycles: 1500, Warmup: 200, Seed: 0x117,
+			StageBuffers: []int{4, 4, 4, 4}}},
+		{"hotspot", Config{K: 2, Stages: 4, P: 0.5, HotModule: 0.25, Cycles: 1200, Warmup: 150,
+			Seed: 0x407}},
+		{"faillink", Config{K: 2, Stages: 4, P: 0.6, Cycles: 1500, Warmup: 200, Seed: 0xfa11,
+			FailLinks: []LinkFail{{Stage: 2, Row: 3}}, FailPolicy: "reroute"}},
+	}
+	for _, c := range cases {
+		cfg := c.cfg
+		res, err := RunGraph(&cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		checkGolden(t, c.name, res, want)
+	}
 }

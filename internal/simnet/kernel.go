@@ -64,6 +64,9 @@ func runKernel(ctx context.Context, cfg *Config, src ArrivalSource, ar *arena) (
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.requireStageModel("fast"); err != nil {
+		return nil, err
+	}
 	meta := src.Meta()
 	n := meta.Stages
 	rowsN := meta.Rows

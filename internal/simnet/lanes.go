@@ -108,6 +108,9 @@ func RunLanesCtx(ctx context.Context, cfgs []*Config) ([]*Result, []error) {
 		if err := cfg.Validate(); err != nil {
 			return failAll(err)
 		}
+		if err := cfg.requireStageModel("lanes"); err != nil {
+			return failAll(err)
+		}
 	}
 
 	la := getLanesArena()

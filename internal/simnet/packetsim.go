@@ -82,6 +82,9 @@ func RunLiteralSourceCtx(ctx context.Context, cfg *Config, src ArrivalSource) (*
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.requireStageModel("literal"); err != nil {
+		return nil, err
+	}
 	meta := src.Meta()
 	n := meta.Stages
 	res := &Result{

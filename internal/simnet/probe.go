@@ -22,6 +22,12 @@ type runProbe struct {
 	stageLoad  []int64
 	stageHW    []int64
 
+	// Per-switch counters, aliased to the graph engine's live arrays
+	// (nil for the stage-model engines): backlog high-water marks and
+	// blocked-cycle counts per (stage, switch).
+	switchHW      [][]int64
+	switchBlocked [][]int64
+
 	// Distributional telemetry (Probe.Hists / Probe.Tracer); all nil
 	// when the probe carries neither, so the hooks below reduce to a
 	// couple of nil checks.
@@ -153,5 +159,8 @@ func (pc *runProbe) flush(p *obs.SimProbe, t int64, res *Result) {
 		Messages:       res.Messages,
 		MaxInFlight:    pc.maxActive,
 		StageHighWater: pc.stageHW,
+		SwitchHW:       pc.switchHW,
+		SwitchBlocked:  pc.switchBlocked,
+		BlockedCycles:  res.BlockedCycles,
 	})
 }

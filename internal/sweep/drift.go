@@ -88,6 +88,11 @@ type DriftMonitor struct {
 	checked int64
 	drifted int64
 	skipped int64
+
+	// Per-switch verdict counters (graph-engine points): individual
+	// switch checks and how many of them drifted.
+	swChecked int64
+	swDrifted int64
 }
 
 func (d *DriftMonitor) floor() float64 {
@@ -127,6 +132,16 @@ func (d *DriftMonitor) Register(reg *obs.Registry) {
 		defer d.mu.Unlock()
 		return float64(d.skipped)
 	})
+	reg.Func("drift.switches_checked", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.swChecked)
+	})
+	reg.Func("drift.switches_drifted", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.swDrifted)
+	})
 	for i := range d.lastKS {
 		d.registerStageLocked(i)
 	}
@@ -160,11 +175,15 @@ func (d *DriftMonitor) setKS(stage int, ks float64) { // 1-based
 	d.lastKS[stage-1] = ks
 }
 
-// DriftTotals is the monitor's cumulative verdict counts.
+// DriftTotals is the monitor's cumulative verdict counts. The switch
+// counters tally individual per-switch checks on graph-engine points
+// (a point with s stages of w switches contributes up to s·w).
 type DriftTotals struct {
-	Checked int64 `json:"checked"`
-	Drifted int64 `json:"drifted"`
-	Skipped int64 `json:"skipped"`
+	Checked         int64 `json:"checked"`
+	Drifted         int64 `json:"drifted"`
+	Skipped         int64 `json:"skipped"`
+	SwitchesChecked int64 `json:"switches_checked,omitempty"`
+	SwitchesDrifted int64 `json:"switches_drifted,omitempty"`
 }
 
 // Totals returns the monitor's cumulative verdict counts (the ledger's
@@ -172,7 +191,10 @@ type DriftTotals struct {
 func (d *DriftMonitor) Totals() DriftTotals {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return DriftTotals{Checked: d.checked, Drifted: d.drifted, Skipped: d.skipped}
+	return DriftTotals{
+		Checked: d.checked, Drifted: d.drifted, Skipped: d.skipped,
+		SwitchesChecked: d.swChecked, SwitchesDrifted: d.swDrifted,
+	}
 }
 
 func (d *DriftMonitor) account(rep *DriftReport) {
@@ -320,6 +342,163 @@ func stageQuantiles(hists []*stats.Hist) []obs.StageQuantiles {
 		})
 	}
 	return out
+}
+
+// SwitchDrift is one switch's verdict in a per-switch drift check.
+type SwitchDrift struct {
+	Stage    int   // 1-based
+	Switch   int   // 0-based within the stage
+	N        int64 // measured waits at this switch's output ports
+	KS       float64
+	Critical float64
+	Trigger  float64
+	Drifted  bool
+}
+
+// SwitchDriftReport is the outcome of checking one graph-engine point
+// switch by switch.
+type SwitchDriftReport struct {
+	// Skipped is non-empty when the configuration's per-switch loads are
+	// not exchangeable (or no analytic model exists at all), so holding
+	// each switch to the stage distribution would flag healthy runs.
+	Skipped  string
+	Switches []SwitchDrift
+	Drifted  bool
+}
+
+// switchDriftIneligible reports why a configuration's switches cannot
+// each be held to the analytic stage distribution ("" = checkable).
+// Beyond the point-level eligibility, per-switch checks need uniform
+// traffic over an intact, unbuffered network: anything that loads
+// switches asymmetrically makes per-switch deviation expected.
+func switchDriftIneligible(cfg *simnet.Config) string {
+	if reason := driftIneligible(cfg); reason != "" {
+		return reason
+	}
+	if cfg.Q != 0 {
+		return "favorite-output traffic loads switches asymmetrically"
+	}
+	for _, b := range cfg.StageBuffers {
+		if b > 0 {
+			return "finite buffers distort per-switch waits through backpressure"
+		}
+	}
+	if len(cfg.FailLinks) > 0 {
+		return "link failures load the surviving switches asymmetrically"
+	}
+	return ""
+}
+
+// CheckSwitches compares each switch's pooled waiting-time histogram
+// (hists[i][s] = stage i+1, switch s) against the analytic stage
+// distribution — under uniform traffic every switch of a stage draws
+// from the same law, so a single miswired switch stands out while the
+// stage aggregate still averages clean. Switches with no measured
+// waits are passed over rather than failed (short runs may miss a
+// switch entirely).
+func (d *DriftMonitor) CheckSwitches(cfg *simnet.Config, hists [][]*stats.Hist) (*SwitchDriftReport, error) {
+	rep := &SwitchDriftReport{}
+	if reason := switchDriftIneligible(cfg); reason != "" {
+		rep.Skipped = reason
+		return rep, nil
+	}
+	if len(hists) < cfg.Stages {
+		return nil, fmt.Errorf("sweep: per-switch drift check needs %d stage rows, got %d", cfg.Stages, len(hists))
+	}
+	rho := float64(driftBulk(cfg)) * cfg.P * driftService(cfg).Mean()
+	for i := 0; i < cfg.Stages; i++ {
+		support := 256
+		for _, h := range hists[i] {
+			if h != nil && len(h.Counts())+64 > support {
+				support = len(h.Counts()) + 64
+			}
+		}
+		model, err := d.model(cfg, i+1, support)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: drift model for stage %d: %w", i+1, err)
+		}
+		for id, h := range hists[i] {
+			if h == nil || h.N() == 0 {
+				continue
+			}
+			kr, err := dist.OneSampleKS(h.Counts(), model, d.alpha(), rho)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: per-switch drift check stage %d switch %d: %w", i+1, id, err)
+			}
+			trigger := d.floor()
+			if kr.Critical > trigger {
+				trigger = kr.Critical
+			}
+			sd := SwitchDrift{
+				Stage: i + 1, Switch: id, N: h.N(),
+				KS: kr.KS, Critical: kr.Critical, Trigger: trigger,
+				Drifted: kr.KS > trigger,
+			}
+			rep.Switches = append(rep.Switches, sd)
+			rep.Drifted = rep.Drifted || sd.Drifted
+		}
+	}
+	d.mu.Lock()
+	d.swChecked += int64(len(rep.Switches))
+	for _, sd := range rep.Switches {
+		if sd.Drifted {
+			d.swDrifted++
+		}
+	}
+	d.mu.Unlock()
+	return rep, nil
+}
+
+// mergeSwitchHists pools per-replication (stage, switch) histograms,
+// under the same completeness rules as mergeWaitHists.
+func mergeSwitchHists(reps [][][]*stats.Hist, nStages, nSwitches int, truncated bool) [][]*stats.Hist {
+	if reps == nil || truncated || nStages <= 0 || nSwitches <= 0 {
+		return nil
+	}
+	merged := make([][]*stats.Hist, nStages)
+	for s := range merged {
+		merged[s] = make([]*stats.Hist, nSwitches)
+		for id := range merged[s] {
+			merged[s][id] = &stats.Hist{}
+		}
+	}
+	for _, wh := range reps {
+		if len(wh) < nStages {
+			return nil
+		}
+		for s := 0; s < nStages; s++ {
+			if len(wh[s]) < nSwitches {
+				return nil
+			}
+			for id := 0; id < nSwitches; id++ {
+				merged[s][id].Merge(wh[s][id])
+			}
+		}
+	}
+	return merged
+}
+
+// checkSwitchDrift runs the per-switch monitor on a completed
+// graph-engine point, emitting one drift event per offending switch.
+func (r *Runner) checkSwitchDrift(pr *PointResult, merged [][]*stats.Hist) {
+	rep, err := r.Drift.CheckSwitches(&pr.Point.Cfg, merged)
+	if err != nil {
+		ev := pointEvent(obs.EventDrift, pr)
+		ev.Err = err.Error()
+		r.emit(ev)
+		return
+	}
+	for _, sd := range rep.Switches {
+		if !sd.Drifted {
+			continue
+		}
+		ev := pointEvent(obs.EventDrift, pr)
+		ev.Stage = sd.Stage
+		ev.Switch = sd.Switch + 1 // 1-based in events so switch 0 survives omitempty
+		ev.KS = sd.KS
+		ev.Threshold = sd.Trigger
+		r.emit(ev)
+	}
 }
 
 // checkDrift runs the drift monitor on a completed point's merged

@@ -79,6 +79,36 @@ func pointKey(p *Point, rootSeed uint64) uint64 {
 	wb(cfg.AllowUnstable)
 	wi(cfg.MaxInFlight)
 	wi(cfg.DrainCycles)
+	// Graph-engine identity: wiring kind, per-stage buffer depths, link
+	// failures and their policy all change the simulated numbers.
+	// TrackSwitches and SatDepth only shape Result.SwitchSat, but a
+	// cached result must carry the verdicts the point asked for, so they
+	// are part of the identity too. SwitchWaitHists stays excluded —
+	// attached instrumentation never changes what a point computes. The
+	// whole block is appended only when some graph field is set: a
+	// stage-model config hashes — and seeds — exactly as it did before
+	// the graph engine existed, and a graph config always writes strictly
+	// more bytes, so the two spaces cannot alias.
+	if cfg.Topology != "" || len(cfg.StageBuffers) > 0 || len(cfg.FailLinks) > 0 ||
+		cfg.FailPolicy != "" || cfg.TrackSwitches || cfg.SatDepth != 0 {
+		ws := func(s string) {
+			wi(len(s))
+			h.Write([]byte(s))
+		}
+		ws(string(cfg.Topology))
+		wi(len(cfg.StageBuffers))
+		for _, b := range cfg.StageBuffers {
+			wi(b)
+		}
+		wi(len(cfg.FailLinks))
+		for _, f := range cfg.FailLinks {
+			wi(f.Stage)
+			wi(f.Row)
+		}
+		ws(cfg.FailPolicy)
+		wb(cfg.TrackSwitches)
+		wi(cfg.SatDepth)
+	}
 	return h.Sum64()
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"banyan/internal/simnet"
 	"banyan/internal/textplot"
 )
 
@@ -51,6 +52,10 @@ type LedgerRow struct {
 	// VR effectiveness, when the point carried an estimate.
 	VarReduction float64 `json:"var_reduction,omitempty"`
 	ESS          float64 `json:"ess,omitempty"`
+	// SaturatedSwitches counts the distinct (stage, switch) pairs the
+	// graph engine flagged saturated in any replication (points run with
+	// Cfg.TrackSwitches; 0 otherwise).
+	SaturatedSwitches int `json:"saturated_switches,omitempty"`
 }
 
 // LedgerCollector records every settled point of a run. Attach one to
@@ -87,9 +92,31 @@ func (l *LedgerCollector) Observe(pr *PointResult, status LedgerStatus) {
 		row.VarReduction = pr.VR.VarReduction
 		row.ESS = pr.VR.ESS
 	}
+	row.SaturatedSwitches = saturatedSwitchCount(pr.Runs)
 	l.mu.Lock()
 	l.rows = append(l.rows, row)
 	l.mu.Unlock()
+}
+
+// saturatedSwitchCount counts the distinct (stage, switch) pairs the
+// graph engine flagged saturated in any of the point's replications.
+func saturatedSwitchCount(runs []*simnet.Result) int {
+	var seen map[[2]int]bool
+	for _, run := range runs {
+		if run == nil {
+			continue
+		}
+		for _, s := range run.SwitchSat {
+			if !s.Saturated {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[[2]int]bool)
+			}
+			seen[[2]int{s.Stage, s.Switch}] = true
+		}
+	}
+	return len(seen)
 }
 
 // Rows returns a copy of the observed rows, in settle order.
@@ -395,8 +422,23 @@ func (led *RunLedger) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
-		if err := textplot.Table(w, "drift", []string{"checked", "drifted", "skipped"},
-			[][]string{{i(led.Drift.Checked), i(led.Drift.Drifted), i(led.Drift.Skipped)}}); err != nil {
+		if err := textplot.Table(w, "drift", []string{"checked", "drifted", "skipped", "switches", "sw drifted"},
+			[][]string{{i(led.Drift.Checked), i(led.Drift.Drifted), i(led.Drift.Skipped),
+				i(led.Drift.SwitchesChecked), i(led.Drift.SwitchesDrifted)}}); err != nil {
+			return err
+		}
+	}
+	var satRows [][]string
+	for _, row := range led.Rows {
+		if row.SaturatedSwitches > 0 {
+			satRows = append(satRows, []string{row.Label, row.Engine, i(int64(row.SaturatedSwitches))})
+		}
+	}
+	if len(satRows) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := textplot.Table(w, "saturated switches", []string{"label", "engine", "switches"}, satRows); err != nil {
 			return err
 		}
 	}

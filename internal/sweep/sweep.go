@@ -53,6 +53,13 @@ const (
 	// under either; selecting it only changes which code path computes
 	// the (identical) result.
 	Reference
+	// Graph is the topology-true graph engine: messages advance switch
+	// by switch through an explicit wiring (Cfg.Topology), with optional
+	// finite per-stage buffers, link failures and per-switch telemetry.
+	// Under the default omega wiring with unlimited buffers it is
+	// byte-identical to Fast, but it hashes separately: its points carry
+	// graph-only config fields and per-switch verdicts in their results.
+	Graph
 )
 
 func (e Engine) String() string {
@@ -61,6 +68,8 @@ func (e Engine) String() string {
 		return "literal"
 	case Reference:
 		return "reference"
+	case Graph:
+		return "graph"
 	}
 	return "fast"
 }
@@ -384,6 +393,10 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		// histograms (drift-monitor data path); nil unless r.Drift is set
 		// and the point is freshly simulated.
 		hists [][]*stats.Hist
+		// swHists holds each replication's per-(stage, switch)
+		// waiting-time histograms; nil unless r.Drift is set and the
+		// point runs on the graph engine.
+		swHists [][][]*stats.Hist
 		// Adaptive (CI-targeted) scheduling state: cks is the point's
 		// checkpoint cadence, sched the replication count scheduled so
 		// far (cks[ck]). Written only under mu by the worker that settles
@@ -501,6 +514,9 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		states[i].pending = states[i].sched
 		if r.Drift != nil {
 			states[i].hists = make([][]*stats.Hist, repCap)
+			if p.Engine == Graph {
+				states[i].swHists = make([][][]*stats.Hist, repCap)
+			}
 		}
 		jobs = append(jobs, chunk(i, 0, states[i].sched, p)...)
 	}
@@ -573,6 +589,20 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 					}
 					cfg.WaitHists = wh
 					st.hists[j.rep+i] = wh
+				}
+				if st.swHists != nil {
+					// Per-switch drift data path (graph engine only):
+					// one histogram per (stage, switch), same ownership
+					// discipline as WaitHists.
+					swh := make([][]*stats.Hist, cfg.Stages)
+					for s := range swh {
+						swh[s] = make([]*stats.Hist, switchCount(&cfg))
+						for id := range swh[s] {
+							swh[s][id] = &stats.Hist{}
+						}
+					}
+					cfg.SwitchWaitHists = swh
+					st.swHists[j.rep+i] = swh
 				}
 				cfgs[i] = &cfg
 			}
@@ -718,6 +748,12 @@ func (r *Runner) RunCtx(ctx context.Context, points []Point) ([]*PointResult, er
 		r.emit(ev)
 		if merged != nil && r.Drift != nil {
 			r.checkDrift(st.pr, merged)
+		}
+		if st.swHists != nil && r.Drift != nil {
+			cfg := &st.pr.Point.Cfg
+			if msw := mergeSwitchHists(st.swHists, cfg.Stages, switchCount(cfg), st.pr.Truncated()); msw != nil {
+				r.checkSwitchDrift(st.pr, msw)
+			}
 		}
 		r.observeLedger(st.pr, LedgerDone)
 		r.report(st.pr)
@@ -879,6 +915,16 @@ func pointEvent(kind string, pr *PointResult) obs.Event {
 	}
 }
 
+// switchCount is the number of switches per stage of cfg's network:
+// k^(stages-1) rows per stage, k rows per switch.
+func switchCount(cfg *simnet.Config) int {
+	n := 1
+	for i := 1; i < cfg.Stages; i++ {
+		n *= cfg.K
+	}
+	return n
+}
+
 // runEngineCtx executes one replication on the selected engine, always
 // via the streaming arrival path, honouring ctx cancellation.
 func runEngineCtx(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Result, error) {
@@ -895,6 +941,8 @@ func runEngineCtx(ctx context.Context, e Engine, cfg *simnet.Config) (*simnet.Re
 			return nil, err
 		}
 		return simnet.RunSourceCtx(ctx, cfg, src)
+	case Graph:
+		return simnet.RunGraphCtx(ctx, cfg)
 	}
 	return simnet.RunCtx(ctx, cfg)
 }

@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestPermutationNetwork checks that every generated wiring is a full
+// permutation network: each input reaches each output by digit routing
+// (CheckPermutation) and no switch emits duplicate edges (enforced at
+// construction, re-checked here explicitly). On failure the reported
+// counterexample is first shrunk to the smallest (k, n) of the same
+// kind that still fails, so the printed path is human-sized.
+func TestPermutationNetwork(t *testing.T) {
+	for _, kind := range Kinds() {
+		for k := 2; k <= 5; k++ {
+			for n := 1; n <= 4; n++ {
+				if intPowT(k, n) > 1024 {
+					continue
+				}
+				t.Run(fmt.Sprintf("%s/k=%d/n=%d", kind, k, n), func(t *testing.T) {
+					w, err := WiringFor(kind, k, n)
+					if err != nil {
+						t.Fatalf("WiringFor: %v", err)
+					}
+					checkNoDuplicateEdges(t, w)
+					if err := w.CheckPermutation(); err != nil {
+						t.Fatal(shrinkPermutationFailure(kind, k, n, err))
+					}
+				})
+			}
+		}
+	}
+}
+
+func intPowT(k, n int) int {
+	v := 1
+	for i := 0; i < n; i++ {
+		v *= k
+	}
+	return v
+}
+
+func checkNoDuplicateEdges(t *testing.T, w *Wiring) {
+	t.Helper()
+	for stage := 1; stage <= w.Stages(); stage++ {
+		type edge struct{ from, to int }
+		seen := map[edge]int{}
+		for r := 0; r < w.Size(); r++ {
+			for d := 0; d < w.Radix(); d++ {
+				e := edge{r, w.Next(stage, r, d)}
+				if prev, dup := seen[e]; dup {
+					t.Fatalf("%s stage %d: duplicate edge %d→%d (digits %d and %d)",
+						w.Kind(), stage, e.from, e.to, prev, d)
+				}
+				seen[e] = d
+			}
+		}
+	}
+}
+
+// shrinkPermutationFailure re-runs the permutation check on ever
+// smaller (k, n) of the same wiring kind and reports the minimal
+// failing instance, so a systematic generator bug prints as its
+// smallest reproduction rather than a 1024-row path dump.
+func shrinkPermutationFailure(kind Kind, k, n int, orig error) error {
+	minErr := orig
+	mink, minn := k, n
+	for kk := 2; kk <= k; kk++ {
+		for nn := 1; nn <= n; nn++ {
+			if kk == k && nn == n {
+				continue
+			}
+			w, err := WiringFor(kind, kk, nn)
+			if err != nil {
+				continue
+			}
+			if perr := w.CheckPermutation(); perr != nil && intPowT(kk, nn) < intPowT(mink, minn) {
+				minErr, mink, minn = perr, kk, nn
+			}
+		}
+	}
+	if mink != k || minn != n {
+		return fmt.Errorf("%v\n  shrunk from k=%d n=%d to minimal failing instance k=%d n=%d", minErr, k, n, mink, minn)
+	}
+	return fmt.Errorf("%v\n  (already minimal: no smaller %s instance fails)", minErr, kind)
+}
+
+// TestShrinkingPrinter corrupts one edge of a healthy wiring and checks
+// that the permutation checker catches it and reports a typed
+// counterexample carrying the offending source, destination and path.
+func TestShrinkingPrinter(t *testing.T) {
+	w, err := WiringFor(Omega, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the two outgoing edges of row 0 at the last stage: digit
+	// routing now delivers inputs to the wrong external output.
+	tbl := w.NextTable(w.Stages())
+	tbl[0], tbl[1] = tbl[1], tbl[0]
+	perr := w.CheckPermutation()
+	if perr == nil {
+		t.Fatal("corrupted wiring passed CheckPermutation")
+	}
+	var pe *PermutationError
+	if !errors.As(perr, &pe) {
+		t.Fatalf("want *PermutationError, got %T: %v", perr, perr)
+	}
+	if pe.Path[len(pe.Path)-1] == pe.Dest {
+		t.Fatalf("counterexample path %v ends at Dest %d — not a counterexample", pe.Path, pe.Dest)
+	}
+	if got := shrinkPermutationFailure(Omega, 2, 3, perr); got == nil {
+		t.Fatal("shrinker dropped the failure")
+	}
+}
+
+// TestWiringOmegaMatchesNetwork pins the omega wiring tables to the
+// closed-form arithmetic the stage-model engines use — the structural
+// half of the collapse contract.
+func TestWiringOmegaMatchesNetwork(t *testing.T) {
+	for _, c := range []struct{ k, n int }{{2, 4}, {3, 3}, {4, 2}, {6, 2}} {
+		net := MustNew(c.k, c.n)
+		w, err := WiringFor(Omega, c.k, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for stage := 1; stage <= c.n; stage++ {
+			for r := 0; r < net.Size(); r++ {
+				for d := 0; d < c.k; d++ {
+					if got, want := w.Next(stage, r, d), net.NextRow(r, d); got != want {
+						t.Fatalf("k=%d n=%d stage %d next(%d,%d) = %d, want %d", c.k, c.n, stage, r, d, got, want)
+					}
+				}
+				if got, want := w.SwitchOf(stage, r), net.SwitchOf(r); got != want {
+					t.Fatalf("k=%d n=%d stage %d switch(%d) = %d, want %d", c.k, c.n, stage, r, got, want)
+				}
+			}
+		}
+		for dest := 0; dest < net.Size(); dest++ {
+			for stage := 1; stage <= c.n; stage++ {
+				if got, want := w.Digit(dest, stage), net.Digit(dest, stage); got != want {
+					t.Fatalf("k=%d n=%d digit(%d,%d) = %d, want %d", c.k, c.n, dest, stage, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRelabelStage checks that relabeling rewires both sides
+// consistently: routes still deliver every input to every output, and
+// relabeling the last stage (the external outputs) is rejected.
+func TestRelabelStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, kind := range Kinds() {
+		w, err := WiringFor(kind, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for stage := 1; stage < w.Stages(); stage++ {
+			perm := rng.Perm(w.Size())
+			rw, err := w.RelabelStage(stage, perm)
+			if err != nil {
+				t.Fatalf("%s relabel stage %d: %v", kind, stage, err)
+			}
+			if err := rw.CheckPermutation(); err != nil {
+				t.Fatalf("%s relabeled stage %d no longer a permutation network: %v", kind, stage, err)
+			}
+		}
+		if _, err := w.RelabelStage(w.Stages(), rng.Perm(w.Size())); err == nil {
+			t.Fatalf("%s: relabeling the last stage must be rejected", kind)
+		}
+		if _, err := w.RelabelStage(1, []int{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+			t.Fatalf("%s: non-permutation relabel must be rejected", kind)
+		}
+	}
+}
+
+// TestSiblings checks the reroute policy's sister-port lookup: siblings
+// are the k output rows of one physical switch, listed in digit order
+// and containing the queried row.
+func TestSiblings(t *testing.T) {
+	for _, kind := range Kinds() {
+		w, err := WiringFor(kind, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for stage := 1; stage <= w.Stages(); stage++ {
+			for r := 0; r < w.Size(); r++ {
+				sib := w.Siblings(stage, r)
+				if len(sib) != w.Radix() {
+					t.Fatalf("%s stage %d row %d: %d siblings, want %d", kind, stage, r, len(sib), w.Radix())
+				}
+				found := false
+				for _, s := range sib {
+					if s == r {
+						found = true
+					}
+					if w.SwitchOf(stage, s) != w.SwitchOf(stage, r) {
+						t.Fatalf("%s stage %d: sibling %d of row %d on different switch", kind, stage, s, r)
+					}
+				}
+				if !found {
+					t.Fatalf("%s stage %d row %d missing from its own sibling set %v", kind, stage, r, sib)
+				}
+			}
+		}
+	}
+}
